@@ -1,0 +1,42 @@
+//! Host wall-clock counterpart of Fig. 3: the four backend
+//! configurations (Naive, CAGS, FLInt, CAGS+FLInt) across a depth
+//! sweep on one UCI-shaped dataset. Reports per-batch time; the
+//! paper's claim is that FLInt ≲ 0.85× naive and CAGS(FLInt) is the
+//! fastest for deep trees.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flint_data::train_test_split;
+use flint_data::uci::{Scale, UciDataset};
+use flint_exec::{BackendKind, CompiledForest};
+use flint_forest::{ForestConfig, RandomForest};
+
+fn bench_fig3(c: &mut Criterion) {
+    let data = UciDataset::Magic.generate(Scale::Small);
+    let split = train_test_split(&data, 0.25, 42);
+    let mut group = c.benchmark_group("fig3_host");
+    for depth in [5usize, 20] {
+        let forest =
+            RandomForest::fit(&split.train, &ForestConfig::grid(20, depth)).expect("trainable");
+        for kind in BackendKind::PAPER_SET {
+            let backend =
+                CompiledForest::compile(&forest, kind, Some(&split.train)).expect("compilable");
+            group.bench_with_input(
+                BenchmarkId::new(kind.name().replace(' ', "_"), depth),
+                &depth,
+                |b, _| {
+                    b.iter(|| {
+                        let mut acc = 0u32;
+                        for i in 0..split.test.n_samples() {
+                            acc = acc.wrapping_add(backend.predict(black_box(split.test.sample(i))));
+                        }
+                        acc
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Host wall-clock counterpart of Fig. 4: the FLInt flat-array
+//! implementation (our "C" analog — compiler-optimized Rust) versus the
+//! FLInt bytecode VM (the assembly stand-in, paying interpretation
+//! overhead per node) across shallow and deep trees. On real hardware
+//! the paper finds assembly loses on shallow trees and wins on deep
+//! ones; an interpreting VM always pays more per node, so here the
+//! interesting quantity is the *ratio trend* with depth, recorded in
+//! EXPERIMENTS.md.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flint_codegen::{VmForest, VmVariant};
+use flint_data::train_test_split;
+use flint_data::uci::{Scale, UciDataset};
+use flint_exec::{BackendKind, CompiledForest};
+use flint_forest::{ForestConfig, RandomForest};
+
+fn bench_fig4(c: &mut Criterion) {
+    let data = UciDataset::Magic.generate(Scale::Small);
+    let split = train_test_split(&data, 0.25, 42);
+    let mut group = c.benchmark_group("fig4_host");
+    for depth in [1usize, 10, 20] {
+        let forest =
+            RandomForest::fit(&split.train, &ForestConfig::grid(10, depth)).expect("trainable");
+        let flat = CompiledForest::compile(&forest, BackendKind::Flint, None).expect("compilable");
+        let vm = VmForest::compile(&forest, VmVariant::Flint);
+        group.bench_with_input(BenchmarkId::new("flint_flat_c_analog", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..split.test.n_samples() {
+                    acc = acc.wrapping_add(flat.predict(black_box(split.test.sample(i))));
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flint_vm_asm_analog", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for i in 0..split.test.n_samples() {
+                    let (class, _) = vm.run(black_box(split.test.sample(i))).expect("runs");
+                    acc = acc.wrapping_add(class);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

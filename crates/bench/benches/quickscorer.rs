@@ -1,0 +1,44 @@
+//! QuickScorer vs if-else flat trees on the host — the "algorithmic
+//! refinement vs architectural optimization" contrast the paper's
+//! related-work section draws, with FLInt applied to both.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flint_data::train_test_split;
+use flint_data::uci::{Scale, UciDataset};
+use flint_exec::{BackendKind, CompiledForest};
+use flint_forest::{ForestConfig, RandomForest};
+use flint_qscorer::{QsCompare, QsForest};
+
+fn bench_quickscorer(c: &mut Criterion) {
+    let data = UciDataset::Magic.generate(Scale::Small);
+    let split = train_test_split(&data, 0.25, 42);
+    let rows: Vec<&[f32]> = (0..split.test.n_samples())
+        .map(|i| split.test.sample(i))
+        .collect();
+    let mut group = c.benchmark_group("quickscorer_vs_ifelse");
+    for depth in [5usize, 15] {
+        let forest =
+            RandomForest::fit(&split.train, &ForestConfig::grid(10, depth)).expect("trainable");
+        let qs = QsForest::build(&forest);
+        let flat = CompiledForest::compile(&forest, BackendKind::Flint, None).expect("compilable");
+        group.bench_with_input(BenchmarkId::new("qs_float", depth), &depth, |b, _| {
+            b.iter(|| qs.predict_batch(black_box(&rows), QsCompare::Float))
+        });
+        group.bench_with_input(BenchmarkId::new("qs_flint", depth), &depth, |b, _| {
+            b.iter(|| qs.predict_batch(black_box(&rows), QsCompare::Flint))
+        });
+        group.bench_with_input(BenchmarkId::new("ifelse_flint", depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for row in &rows {
+                    acc = acc.wrapping_add(flat.predict(black_box(row)));
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quickscorer);
+criterion_main!(benches);

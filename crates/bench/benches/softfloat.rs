@@ -1,0 +1,60 @@
+//! Software float vs hardware float arithmetic cost (supporting the
+//! paper's motivation that software floats are expensive on FPU-less
+//! targets — here measured on a host as a lower bound on the gap).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flint_softfloat::{soft_add, soft_cmp, soft_mul};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn pairs(n: usize) -> Vec<(f32, f32)> {
+    let mut rng = StdRng::seed_from_u64(11);
+    (0..n)
+        .map(|_| (rng.gen_range(-1e6f32..1e6), rng.gen_range(-1e6f32..1e6)))
+        .collect()
+}
+
+fn bench_softfloat(c: &mut Criterion) {
+    let xs = pairs(4096);
+    let mut group = c.benchmark_group("softfloat_vs_hardware");
+    group.bench_function("hw_add", |b| {
+        b.iter(|| xs.iter().map(|&(a, x)| black_box(a) + black_box(x)).sum::<f32>())
+    });
+    group.bench_function("soft_add", |b| {
+        b.iter(|| {
+            xs.iter()
+                .map(|&(a, x)| soft_add(black_box(a), black_box(x)))
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("hw_mul", |b| {
+        b.iter(|| xs.iter().map(|&(a, x)| black_box(a) * black_box(x)).sum::<f32>())
+    });
+    group.bench_function("soft_mul", |b| {
+        b.iter(|| {
+            xs.iter()
+                .map(|&(a, x)| soft_mul(black_box(a), black_box(x)))
+                .sum::<f32>()
+        })
+    });
+    group.bench_function("hw_cmp", |b| {
+        b.iter(|| {
+            xs.iter()
+                .filter(|&&(a, x)| black_box(a) < black_box(x))
+                .count()
+        })
+    });
+    group.bench_function("soft_cmp", |b| {
+        b.iter(|| {
+            xs.iter()
+                .filter(|&&(a, x)| {
+                    soft_cmp(black_box(a), black_box(x)) == Some(core::cmp::Ordering::Less)
+                })
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_softfloat);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Prints the paper's tables and figures from simulated cost models.
+//!
+//! ```text
+//! figures [--paper-scale] [table1|fig2|fig3|table2|fig4|table3|ablation-nofpu|all]
+//! ```
+//!
+//! The default quick grid runs in seconds; `--paper-scale` runs the
+//! paper's full 9×7 sweep on small-scale datasets (minutes).
+
+use flint_bench::report;
+use flint_bench::{train_grid, GridScale};
+use flint_sim::Machine;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--paper-scale") {
+        GridScale::Paper
+    } else {
+        GridScale::Quick
+    };
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    match what {
+        "table1" => print!("{}", report::table1()),
+        "fig2" => print!("{}", report::fig2(65536)),
+        "fig3" => {
+            let grid = train_grid(scale);
+            for machine in Machine::PAPER_SET {
+                println!("{}", report::fig3_panel(machine, &grid));
+            }
+        }
+        "table2" => {
+            let grid = train_grid(scale);
+            print!("{}", report::table2(&grid));
+        }
+        "fig4" => {
+            let grid = train_grid(scale);
+            print!("{}", report::fig4(&grid));
+        }
+        "table3" => {
+            let grid = train_grid(scale);
+            print!("{}", report::table3(&grid));
+        }
+        "ablation-nofpu" => {
+            let grid = train_grid(scale);
+            print!("{}", report::ablation_nofpu(&grid));
+        }
+        "ablation-blocksize" => {
+            let grid = train_grid(scale);
+            print!("{}", report::ablation_blocksize(&grid));
+        }
+        "all" => print!("{}", report::full_report(scale)),
+        other => {
+            eprintln!(
+                "unknown artifact {other:?}; expected one of table1, fig2, fig3, table2, fig4, table3, ablation-nofpu, ablation-blocksize, all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

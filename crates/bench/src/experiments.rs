@@ -1,0 +1,307 @@
+//! The experiment grid of the paper's evaluation (Section V) and the
+//! aggregation used by its figures and tables.
+
+use flint_data::uci::{Scale, UciDataset};
+use flint_data::{train_test_split, TrainTestSplit};
+use flint_forest::{ForestConfig, RandomForest};
+use flint_sim::{simulate_forest, Machine, SimConfig, SimulateError};
+use std::collections::BTreeMap;
+
+/// Ensemble sizes swept by the paper.
+pub const PAPER_TREES: [usize; 9] = [1, 5, 10, 15, 20, 30, 50, 80, 100];
+/// Maximal depths swept by the paper.
+pub const PAPER_DEPTHS: [usize; 7] = [1, 5, 10, 15, 20, 30, 50];
+
+/// How much of the paper's grid to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridScale {
+    /// Reduced grid on tiny datasets — seconds, for CI and smoke runs.
+    Quick,
+    /// The paper's full grid on small-scale datasets — minutes.
+    Paper,
+}
+
+impl GridScale {
+    /// The ensemble sizes of this grid.
+    pub fn trees(self) -> &'static [usize] {
+        match self {
+            GridScale::Quick => &[1, 5, 10, 20],
+            GridScale::Paper => &PAPER_TREES,
+        }
+    }
+
+    /// The depth sweep of this grid.
+    pub fn depths(self) -> &'static [usize] {
+        match self {
+            GridScale::Quick => &[1, 5, 10, 20, 30],
+            GridScale::Paper => &PAPER_DEPTHS,
+        }
+    }
+
+    /// The dataset size used. Both grids run on the tiny dataset scale:
+    /// the full paper grid (9 ensemble sizes × 7 depths × 5 datasets ×
+    /// 4 machines × 5 configurations) already takes minutes there, and
+    /// the normalized-time aggregates are insensitive to sample count
+    /// (they are ratios of per-inference costs).
+    pub fn dataset_scale(self) -> Scale {
+        match self {
+            GridScale::Quick | GridScale::Paper => Scale::Tiny,
+        }
+    }
+}
+
+/// One trained grid point, reused across configurations and machines.
+#[derive(Debug)]
+pub struct GridPoint {
+    /// Which dataset.
+    pub dataset: UciDataset,
+    /// Ensemble size.
+    pub n_trees: usize,
+    /// Depth cap.
+    pub max_depth: usize,
+    /// Train/test split (75/25 like the paper).
+    pub split: TrainTestSplit,
+    /// The trained forest.
+    pub forest: RandomForest,
+}
+
+/// Trains every `(dataset, n_trees, depth)` point of the grid once.
+///
+/// # Panics
+///
+/// Panics if training fails (generated datasets are never empty or
+/// NaN-bearing).
+pub fn train_grid(scale: GridScale) -> Vec<GridPoint> {
+    let mut points = Vec::new();
+    for dataset in UciDataset::ALL {
+        let data = dataset.generate(scale.dataset_scale());
+        let split = train_test_split(&data, 0.25, 42);
+        for &n_trees in scale.trees() {
+            for &max_depth in scale.depths() {
+                let forest = RandomForest::fit(&split.train, &ForestConfig::grid(n_trees, max_depth))
+                    .expect("synthetic data always trains");
+                points.push(GridPoint {
+                    dataset,
+                    n_trees,
+                    max_depth,
+                    split: TrainTestSplit {
+                        train: split.train.clone(),
+                        test: split.test.clone(),
+                    },
+                    forest,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Geometric mean of strictly positive values (1.0 for empty input).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 1.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Population variance (0.0 for fewer than two values).
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64
+}
+
+/// One Fig. 3 data point: normalized time of one configuration at one
+/// maximal depth, aggregated over datasets and ensemble sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DepthPoint {
+    /// The maximal depth (x axis).
+    pub max_depth: usize,
+    /// Geometric-mean normalized execution time (y axis).
+    pub mean: f64,
+    /// Variance across datasets × ensemble sizes.
+    pub variance: f64,
+}
+
+/// Fig. 3 for one machine: per configuration, the depth series of
+/// normalized execution times.
+///
+/// # Errors
+///
+/// Propagates [`SimulateError`] (cannot occur for FPU machines).
+pub fn fig3_series(
+    machine: Machine,
+    grid: &[GridPoint],
+    configs: &[SimConfig],
+) -> Result<BTreeMap<&'static str, Vec<DepthPoint>>, SimulateError> {
+    // ratios[config name][depth] -> Vec of normalized times
+    let mut ratios: BTreeMap<&'static str, BTreeMap<usize, Vec<f64>>> = BTreeMap::new();
+    for point in grid {
+        let naive = simulate_forest(
+            machine,
+            &point.forest,
+            &point.split.train,
+            &point.split.test,
+            &SimConfig::naive(),
+        )?;
+        for config in configs {
+            let report = simulate_forest(
+                machine,
+                &point.forest,
+                &point.split.train,
+                &point.split.test,
+                config,
+            )?;
+            ratios
+                .entry(config.name())
+                .or_default()
+                .entry(point.max_depth)
+                .or_default()
+                .push(report.total_cycles() / naive.total_cycles());
+        }
+    }
+    Ok(ratios
+        .into_iter()
+        .map(|(name, by_depth)| {
+            let series = by_depth
+                .into_iter()
+                .map(|(max_depth, values)| DepthPoint {
+                    max_depth,
+                    mean: geometric_mean(&values),
+                    variance: variance(&values),
+                })
+                .collect();
+            (name, series)
+        })
+        .collect())
+}
+
+/// One Table II / Table III row: overall geometric mean and the
+/// deep-tree (`D >= 20`) geometric mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggregateRow {
+    /// Geometric mean over the full grid.
+    pub overall: f64,
+    /// Geometric mean over grid points with `max_depth >= 20`.
+    pub deep: f64,
+}
+
+/// Aggregates normalized times for `config` on `machine` over the grid
+/// (Table II's "all" and "D ≥ 20" cells).
+///
+/// # Errors
+///
+/// Propagates [`SimulateError`].
+pub fn aggregate(
+    machine: Machine,
+    grid: &[GridPoint],
+    config: &SimConfig,
+) -> Result<AggregateRow, SimulateError> {
+    let mut all = Vec::new();
+    let mut deep = Vec::new();
+    for point in grid {
+        let naive = simulate_forest(
+            machine,
+            &point.forest,
+            &point.split.train,
+            &point.split.test,
+            &SimConfig::naive(),
+        )?;
+        let report = simulate_forest(
+            machine,
+            &point.forest,
+            &point.split.train,
+            &point.split.test,
+            config,
+        )?;
+        let ratio = report.total_cycles() / naive.total_cycles();
+        all.push(ratio);
+        if point.max_depth >= 20 {
+            deep.push(ratio);
+        }
+    }
+    Ok(AggregateRow {
+        overall: geometric_mean(&all),
+        deep: geometric_mean(&deep),
+    })
+}
+
+/// The Fig. 2 data series: evenly sampled 32-bit patterns (NaN and the
+/// infinities excluded) as `(SI(B), FP(B))` pairs.
+pub fn fig2_series(n_points: usize) -> Vec<(i32, f32)> {
+    let n = n_points.max(2) as u64;
+    let mut series: Vec<(i32, f32)> = (0..n)
+        .map(|k| (k * (u32::MAX as u64) / (n - 1)) as u32)
+        .map(f32::from_bits)
+        .filter(|v| v.is_finite())
+        .map(|v| (v.to_bits() as i32, v))
+        .collect();
+    series.sort_by_key(|&(si, _)| si);
+    series.dedup_by_key(|&mut (si, _)| si);
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 1.0);
+        assert!((geometric_mean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_basics() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig2_series_is_monotone_in_float_order() {
+        let series = fig2_series(4096);
+        assert!(series.len() > 1000);
+        // Sorted by SI; FP must then follow the paper's V-shape: strictly
+        // decreasing over the negative half and increasing over the
+        // positive half.
+        let neg: Vec<f32> = series.iter().filter(|(si, _)| *si < 0).map(|&(_, v)| v).collect();
+        let pos: Vec<f32> = series.iter().filter(|(si, _)| *si >= 0).map(|&(_, v)| v).collect();
+        assert!(neg.windows(2).all(|w| w[0] >= w[1]), "negative half decreasing");
+        assert!(pos.windows(2).all(|w| w[0] <= w[1]), "positive half increasing");
+    }
+
+    #[test]
+    fn tiny_grid_trains_and_aggregates() {
+        // A micro-grid: one dataset, small sweeps — just the plumbing.
+        let data = UciDataset::Wine.generate(Scale::Tiny);
+        let split = train_test_split(&data, 0.25, 42);
+        let mut grid = Vec::new();
+        for (n_trees, depth) in [(1, 5), (5, 20)] {
+            let forest =
+                RandomForest::fit(&split.train, &ForestConfig::grid(n_trees, depth)).expect("trains");
+            grid.push(GridPoint {
+                dataset: UciDataset::Wine,
+                n_trees,
+                max_depth: depth,
+                split: TrainTestSplit {
+                    train: split.train.clone(),
+                    test: split.test.clone(),
+                },
+                forest,
+            });
+        }
+        let row = aggregate(Machine::X86Server, &grid, &SimConfig::flint()).expect("simulates");
+        assert!(row.overall < 1.0 && row.overall > 0.3);
+        assert!(row.deep < 1.0);
+        let series =
+            fig3_series(Machine::X86Server, &grid, &[SimConfig::flint()]).expect("simulates");
+        let flint = &series["FLInt"];
+        assert_eq!(flint.len(), 2); // depths 5 and 20
+        assert!(flint.iter().all(|p| p.mean < 1.0));
+    }
+}

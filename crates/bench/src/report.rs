@@ -1,0 +1,371 @@
+//! Plain-text rendering of the paper's tables and figures.
+
+use crate::experiments::{
+    aggregate, fig2_series, fig3_series, train_grid, DepthPoint, GridPoint, GridScale,
+};
+use flint_sim::{simulate_forest, Machine, SimConfig};
+use std::fmt::Write;
+
+/// Renders Table I (machine details) with the cost-model substitution
+/// noted.
+pub fn table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE I: MACHINE DETAILS FOR EVALUATION (simulated cost models)");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<22} {:<26} {:<12} {:<16}",
+        "Machine", "System", "CPU", "RAM", "Linux kernel"
+    );
+    for m in Machine::PAPER_SET {
+        let (sys, cpu, ram, kernel) = m.table1_row();
+        let _ = writeln!(out, "{:<10} {:<22} {:<26} {:<12} {:<16}", m.name(), sys, cpu, ram, kernel);
+    }
+    let (sys, cpu, ram, kernel) = Machine::EmbeddedNoFpu.table1_row();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<22} {:<26} {:<12} {:<16}",
+        "Embedded", sys, cpu, ram, kernel
+    );
+    out
+}
+
+/// Renders the Fig. 2 data series (SI vs FP for sampled 32-bit
+/// patterns) as a two-column listing plus a coarse ASCII plot.
+pub fn fig2(n_points: usize) -> String {
+    let series = fig2_series(n_points);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIG 2: signed integer (x) vs floating point (y) for sampled 32-bit vectors"
+    );
+    let _ = writeln!(out, "{:>12}  {:>14}", "SI(B)", "FP(B)");
+    let stride = (series.len() / 32).max(1);
+    for (si, fp) in series.iter().step_by(stride) {
+        let _ = writeln!(out, "{si:>12}  {fp:>14.6e}");
+    }
+    let _ = writeln!(
+        out,
+        "(V-shape: FP decreases over negative SI, increases over non-negative SI)"
+    );
+    out
+}
+
+/// Renders one machine's Fig. 3 panel.
+pub fn fig3_panel(machine: Machine, grid: &[GridPoint]) -> String {
+    let configs = [SimConfig::cags(), SimConfig::flint(), SimConfig::cags_flint()];
+    let series = fig3_series(machine, grid, &configs).expect("paper machines have FPUs");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIG 3 ({}): normalized execution time vs maximal tree depth",
+        machine.name()
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:>8} {:>18} {:>12} {:>18}",
+        "depth", "Naive", "CAGS (var)", "FLInt (var)", "CAGS-FLInt (var)"
+    );
+    let depths: Vec<usize> = series
+        .values()
+        .next()
+        .map(|s| s.iter().map(|p| p.max_depth).collect())
+        .unwrap_or_default();
+    let find = |name: &str, depth: usize| -> DepthPoint {
+        series[name]
+            .iter()
+            .find(|p| p.max_depth == depth)
+            .copied()
+            .expect("depth present in every series")
+    };
+    for depth in depths {
+        let cags = find("CAGS", depth);
+        let flint = find("FLInt", depth);
+        let both = find("CAGS (FLInt)", depth);
+        let _ = writeln!(
+            out,
+            "{:<6} {:>8.3} {:>11.3} ({:.3}) {:>6.3} ({:.3}) {:>10.3} ({:.3})",
+            depth, 1.0, cags.mean, cags.variance, flint.mean, flint.variance, both.mean, both.variance
+        );
+    }
+    out
+}
+
+/// Renders Table II (average normalized execution times, all and
+/// D ≥ 20, per machine).
+pub fn table2(grid: &[GridPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE II: AVERAGE (GEOMETRIC MEAN) NORMALIZED EXECUTION TIME"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>8} {:>8} {:>8}",
+        "", "X86 S", "X86 D", "ARMv8 S", "ARMv8 D"
+    );
+    let configs = [
+        ("CAGS", SimConfig::cags()),
+        ("FLInt", SimConfig::flint()),
+        ("CAGS (FLInt)", SimConfig::cags_flint()),
+    ];
+    for (label, config) in configs {
+        let mut overall_row = format!("{label:<22}");
+        let mut deep_row = format!("{:<22}", format!("{label} (D>=20)"));
+        for machine in Machine::PAPER_SET {
+            let row = aggregate(machine, grid, &config).expect("paper machines have FPUs");
+            let _ = write!(overall_row, " {:>7.2}x", row.overall);
+            let _ = write!(deep_row, " {:>7.2}x", row.deep);
+        }
+        let _ = writeln!(out, "{overall_row}");
+        let _ = writeln!(out, "{deep_row}");
+    }
+    out
+}
+
+/// Renders Fig. 4 (FLInt C vs FLInt ASM on the X86 server) as a depth
+/// series of normalized times.
+pub fn fig4(grid: &[GridPoint]) -> String {
+    let machine = Machine::X86Server;
+    let configs = [SimConfig::flint(), SimConfig::flint_asm()];
+    let series = fig3_series(machine, grid, &configs).expect("X86 server has an FPU");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIG 4 ({}): FLInt C vs FLInt ASM, normalized to naive",
+        machine.name()
+    );
+    let _ = writeln!(out, "{:<6} {:>10} {:>10}", "depth", "FLInt C", "FLInt ASM");
+    for point in &series["FLInt"] {
+        let asm = series["FLInt ASM"]
+            .iter()
+            .find(|p| p.max_depth == point.max_depth)
+            .expect("same depths");
+        let _ = writeln!(
+            out,
+            "{:<6} {:>10.3} {:>10.3}",
+            point.max_depth, point.mean, asm.mean
+        );
+    }
+    out
+}
+
+/// Renders Table III (FLInt ASM aggregates per machine).
+pub fn table3(grid: &[GridPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TABLE III: AVERAGE NORMALIZED EXECUTION TIME, ASSEMBLY IMPLEMENTATION"
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>8} {:>8} {:>8} {:>8}",
+        "", "X86 S", "X86 D", "ARMv8 S", "ARMv8 D"
+    );
+    let mut overall_row = format!("{:<22}", "FLInt ASM");
+    let mut deep_row = format!("{:<22}", "FLInt ASM (D>=20)");
+    for machine in Machine::PAPER_SET {
+        let row = aggregate(machine, grid, &SimConfig::flint_asm()).expect("has FPU");
+        let _ = write!(overall_row, " {:>7.2}x", row.overall);
+        let _ = write!(deep_row, " {:>7.2}x", row.deep);
+    }
+    let _ = writeln!(out, "{overall_row}");
+    let _ = writeln!(out, "{deep_row}");
+    out
+}
+
+/// Renders the no-FPU ablation (our addition): softfloat vs FLInt C vs
+/// FLInt ASM cycles on the embedded profile.
+pub fn ablation_nofpu(grid: &[GridPoint]) -> String {
+    let machine = Machine::EmbeddedNoFpu;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ABLATION (ours): cycles per inference on {} (naive floats impossible)",
+        machine.name()
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>14} {:>14} {:>14} {:>10}",
+        "depth", "SoftFloat", "FLInt C", "FLInt ASM", "speedup"
+    );
+    // One representative dataset, middle ensemble size.
+    let points: Vec<&GridPoint> = grid
+        .iter()
+        .filter(|p| p.dataset == flint_data::uci::UciDataset::Magic && p.n_trees == 10)
+        .collect();
+    for point in points {
+        let soft = simulate_forest(
+            machine,
+            &point.forest,
+            &point.split.train,
+            &point.split.test,
+            &SimConfig::softfloat(),
+        )
+        .expect("softfloat runs without FPU");
+        let flint = simulate_forest(
+            machine,
+            &point.forest,
+            &point.split.train,
+            &point.split.test,
+            &SimConfig::flint(),
+        )
+        .expect("flint runs without FPU");
+        let asm = simulate_forest(
+            machine,
+            &point.forest,
+            &point.split.train,
+            &point.split.test,
+            &SimConfig::flint_asm(),
+        )
+        .expect("flint asm runs without FPU");
+        let _ = writeln!(
+            out,
+            "{:<10} {:>14.1} {:>14.1} {:>14.1} {:>9.1}x",
+            point.max_depth,
+            soft.cycles_per_inference(),
+            flint.cycles_per_inference(),
+            asm.cycles_per_inference(),
+            soft.cycles_per_inference() / flint.cycles_per_inference(),
+        );
+    }
+    out
+}
+
+/// Renders the block-size ablation (our addition, the paper's
+/// future-work knob: "the assumptions about available cache sizes can
+/// be adjusted"): CAGS(FLInt) normalized time as a function of the
+/// grouping block size.
+pub fn ablation_blocksize(grid: &[GridPoint]) -> String {
+    use flint_layout::LayoutStrategy;
+    use flint_sim::ImplStyle;
+    let machine = Machine::X86Server;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ABLATION (ours): CAGS(FLInt) on {} vs grouping block size",
+        machine.name()
+    );
+    let _ = writeln!(out, "{:<12} {:>16}", "block_nodes", "normalized time");
+    for block_nodes in [1usize, 2, 4, 8, 16] {
+        let config = flint_sim::SimConfig {
+            variant: flint_codegen::VmVariant::Flint,
+            layout: LayoutStrategy::Cags { block_nodes },
+            style: ImplStyle::C,
+        };
+        let row = aggregate(machine, grid, &config).expect("has FPU");
+        let _ = writeln!(out, "{block_nodes:<12} {:>15.3}x", row.overall);
+    }
+    out
+}
+
+/// Runs every figure and table at the given grid scale.
+pub fn full_report(scale: GridScale) -> String {
+    let grid = train_grid(scale);
+    let mut out = String::new();
+    out.push_str(&table1());
+    out.push('\n');
+    out.push_str(&fig2(65536));
+    out.push('\n');
+    for machine in Machine::PAPER_SET {
+        out.push_str(&fig3_panel(machine, &grid));
+        out.push('\n');
+    }
+    out.push_str(&table2(&grid));
+    out.push('\n');
+    out.push_str(&fig4(&grid));
+    out.push('\n');
+    out.push_str(&table3(&grid));
+    out.push('\n');
+    out.push_str(&ablation_nofpu(&grid));
+    out.push('\n');
+    out.push_str(&ablation_blocksize(&grid));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_data::train_test_split;
+    use flint_data::uci::{Scale, UciDataset};
+    use flint_data::TrainTestSplit;
+    use flint_forest::{ForestConfig, RandomForest};
+
+    #[test]
+    fn table1_contains_all_machines() {
+        let t = table1();
+        for name in ["X86 S", "X86 D", "ARMv8 S", "ARMv8 D", "EPYC", "ThunderX2", "M1"] {
+            assert!(t.contains(name), "missing {name}:\n{t}");
+        }
+    }
+
+    #[test]
+    fn fig2_report_mentions_v_shape() {
+        let f = fig2(1024);
+        assert!(f.contains("V-shape"));
+        assert!(f.lines().count() > 10);
+    }
+
+    fn micro_grid() -> Vec<GridPoint> {
+        let data = UciDataset::Magic.generate(Scale::Tiny);
+        let split = train_test_split(&data, 0.25, 42);
+        [(10usize, 5usize), (10, 25)]
+            .iter()
+            .map(|&(n_trees, max_depth)| {
+                let forest =
+                    RandomForest::fit(&split.train, &ForestConfig::grid(n_trees, max_depth))
+                        .expect("trains");
+                GridPoint {
+                    dataset: UciDataset::Magic,
+                    n_trees,
+                    max_depth,
+                    split: TrainTestSplit {
+                        train: split.train.clone(),
+                        test: split.test.clone(),
+                    },
+                    forest,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn table2_renders_all_configurations() {
+        let grid = micro_grid();
+        let t = table2(&grid);
+        for label in ["CAGS", "FLInt", "CAGS (FLInt)", "(D>=20)"] {
+            assert!(t.contains(label), "missing {label}:\n{t}");
+        }
+        // Six data rows (three configs × overall/deep) plus two headers.
+        assert_eq!(t.lines().count(), 8, "{t}");
+    }
+
+    #[test]
+    fn fig3_panel_has_one_row_per_depth() {
+        let grid = micro_grid();
+        let panel = fig3_panel(Machine::X86Server, &grid);
+        assert!(panel.contains("FIG 3"));
+        // Two depths in the micro grid -> two data rows + two headers.
+        assert_eq!(panel.lines().count(), 4, "{panel}");
+    }
+
+    #[test]
+    fn fig4_and_table3_render() {
+        let grid = micro_grid();
+        let f = fig4(&grid);
+        assert!(f.contains("FLInt ASM"));
+        assert_eq!(f.lines().count(), 4, "{f}");
+        let t = table3(&grid);
+        assert!(t.contains("FLInt ASM (D>=20)"));
+    }
+
+    #[test]
+    fn ablations_render() {
+        let grid = micro_grid();
+        let a = ablation_nofpu(&grid);
+        assert!(a.contains("SoftFloat"), "{a}");
+        assert!(a.contains("x"), "{a}");
+        let b = ablation_blocksize(&grid);
+        assert!(b.contains("block_nodes"), "{b}");
+        assert_eq!(b.lines().count(), 7, "{b}"); // header ×2 + 5 sizes
+    }
+}

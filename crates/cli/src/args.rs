@@ -1,0 +1,282 @@
+//! Command line parsing (hand-rolled: no argument-parsing crate is in
+//! the sanctioned offline dependency set).
+
+use std::collections::BTreeMap;
+
+/// A parsed subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Train a forest from a CSV file and write the model.
+    Train {
+        /// Input CSV (features…, label).
+        data: String,
+        /// Number of classes in the label column.
+        classes: usize,
+        /// Ensemble size.
+        trees: usize,
+        /// Depth cap (`None` = unbounded).
+        depth: Option<usize>,
+        /// RNG seed.
+        seed: u64,
+        /// Output model path (stdout if `None`).
+        out: Option<String>,
+    },
+    /// Predict a CSV with a stored model.
+    Predict {
+        /// Model file.
+        model: String,
+        /// Input CSV.
+        data: String,
+        /// Number of classes in the CSV's label column.
+        classes: usize,
+        /// Backend name (`naive`, `flint`, `cags`, `cags-flint`,
+        /// `quickscorer`).
+        backend: String,
+        /// Also print accuracy against the CSV labels.
+        accuracy: bool,
+    },
+    /// Emit source code for a stored model.
+    Emit {
+        /// Model file.
+        model: String,
+        /// Target language (`c`, `c64`, `rust`, `asm-arm`, `asm-x86`).
+        lang: String,
+        /// Comparison idiom (`std`, `flint`).
+        variant: String,
+    },
+    /// Print Gini feature importances of a stored model.
+    Importance {
+        /// Model file.
+        model: String,
+    },
+    /// Simulate a stored model on a machine cost profile.
+    Simulate {
+        /// Model file.
+        model: String,
+        /// Input CSV used as the workload.
+        data: String,
+        /// Number of classes in the CSV.
+        classes: usize,
+        /// Machine name (`x86s`, `x86d`, `arms`, `armd`, `embedded`).
+        machine: String,
+        /// Configuration (`naive`, `cags`, `flint`, `cags-flint`,
+        /// `flint-asm`, `softfloat`).
+        config: String,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Error parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl core::fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+fn flags(args: &[String]) -> Result<BTreeMap<String, String>, ParseArgsError> {
+    let mut map = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| ParseArgsError(format!("expected --flag, got {:?}", args[i])))?;
+        if key == "accuracy" {
+            map.insert(key.to_owned(), "true".to_owned());
+            i += 1;
+            continue;
+        }
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| ParseArgsError(format!("--{key} needs a value")))?;
+        map.insert(key.to_owned(), value.clone());
+        i += 2;
+    }
+    Ok(map)
+}
+
+fn required(map: &BTreeMap<String, String>, key: &str) -> Result<String, ParseArgsError> {
+    map.get(key)
+        .cloned()
+        .ok_or_else(|| ParseArgsError(format!("missing required --{key}")))
+}
+
+fn parse_number<T: std::str::FromStr>(text: &str, key: &str) -> Result<T, ParseArgsError> {
+    text.parse()
+        .map_err(|_| ParseArgsError(format!("--{key}: cannot parse {text:?}")))
+}
+
+/// Parses `args` (without the program name) into a [`Command`].
+///
+/// # Errors
+///
+/// [`ParseArgsError`] with a human-readable message on any malformed
+/// input.
+pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let map = flags(rest)?;
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "train" => Ok(Command::Train {
+            data: required(&map, "data")?,
+            classes: parse_number(&required(&map, "classes")?, "classes")?,
+            trees: map
+                .get("trees")
+                .map(|v| parse_number(v, "trees"))
+                .transpose()?
+                .unwrap_or(10),
+            depth: map
+                .get("depth")
+                .map(|v| parse_number(v, "depth"))
+                .transpose()?,
+            seed: map
+                .get("seed")
+                .map(|v| parse_number(v, "seed"))
+                .transpose()?
+                .unwrap_or(0),
+            out: map.get("out").cloned(),
+        }),
+        "predict" => Ok(Command::Predict {
+            model: required(&map, "model")?,
+            data: required(&map, "data")?,
+            classes: parse_number(&required(&map, "classes")?, "classes")?,
+            backend: map
+                .get("backend")
+                .cloned()
+                .unwrap_or_else(|| "flint".to_owned()),
+            accuracy: map.contains_key("accuracy"),
+        }),
+        "emit" => Ok(Command::Emit {
+            model: required(&map, "model")?,
+            lang: map.get("lang").cloned().unwrap_or_else(|| "c".to_owned()),
+            variant: map
+                .get("variant")
+                .cloned()
+                .unwrap_or_else(|| "flint".to_owned()),
+        }),
+        "importance" => Ok(Command::Importance {
+            model: required(&map, "model")?,
+        }),
+        "simulate" => Ok(Command::Simulate {
+            model: required(&map, "model")?,
+            data: required(&map, "data")?,
+            classes: parse_number(&required(&map, "classes")?, "classes")?,
+            machine: map
+                .get("machine")
+                .cloned()
+                .unwrap_or_else(|| "x86s".to_owned()),
+            config: map
+                .get("config")
+                .cloned()
+                .unwrap_or_else(|| "flint".to_owned()),
+        }),
+        other => Err(ParseArgsError(format!(
+            "unknown subcommand {other:?}; try `flint help`"
+        ))),
+    }
+}
+
+/// The usage text printed by `flint help`.
+pub const USAGE: &str = "\
+flint — FLInt random forest toolchain
+
+USAGE:
+  flint train      --data d.csv --classes K [--trees N] [--depth D] [--seed S] [--out model.txt]
+  flint predict    --model model.txt --data d.csv --classes K [--backend naive|flint|cags|cags-flint|quickscorer] [--accuracy]
+  flint emit       --model model.txt [--lang c|c64|rust|asm-arm|asm-x86] [--variant std|flint]
+  flint importance --model model.txt
+  flint simulate   --model model.txt --data d.csv --classes K [--machine x86s|x86d|arms|armd|embedded] [--config naive|cags|flint|cags-flint|flint-asm|softfloat]
+  flint help
+
+CSV format: one row per sample, float features followed by an integer
+class label, no header.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(text: &str) -> Vec<String> {
+        text.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parse_train_with_defaults() {
+        let cmd = parse(&argv("train --data d.csv --classes 3")).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Train {
+                data: "d.csv".into(),
+                classes: 3,
+                trees: 10,
+                depth: None,
+                seed: 0,
+                out: None,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_train_full() {
+        let cmd = parse(&argv(
+            "train --data d.csv --classes 2 --trees 50 --depth 12 --seed 9 --out m.txt",
+        ))
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Train {
+                data: "d.csv".into(),
+                classes: 2,
+                trees: 50,
+                depth: Some(12),
+                seed: 9,
+                out: Some("m.txt".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn parse_predict_accuracy_flag() {
+        let cmd = parse(&argv(
+            "predict --model m.txt --data d.csv --classes 2 --backend cags-flint --accuracy",
+        ))
+        .expect("parses");
+        match cmd {
+            Command::Predict {
+                backend, accuracy, ..
+            } => {
+                assert_eq!(backend, "cags-flint");
+                assert!(accuracy);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        let err = parse(&argv("train --classes 2")).unwrap_err();
+        assert!(err.0.contains("--data"), "{err}");
+        let err = parse(&argv("train --data d.csv --classes two")).unwrap_err();
+        assert!(err.0.contains("classes"), "{err}");
+        let err = parse(&argv("frobnicate")).unwrap_err();
+        assert!(err.0.contains("unknown subcommand"), "{err}");
+        let err = parse(&argv("train --data")).unwrap_err();
+        assert!(err.0.contains("needs a value"), "{err}");
+        let err = parse(&argv("train data")).unwrap_err();
+        assert!(err.0.contains("expected --flag"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse(&[]).expect("parses"), Command::Help);
+        assert_eq!(parse(&argv("help")).expect("parses"), Command::Help);
+        assert_eq!(parse(&argv("--help")).expect("parses"), Command::Help);
+    }
+}

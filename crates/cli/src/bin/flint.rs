@@ -1,0 +1,18 @@
+//! The `flint` binary: parse, run, report errors on stderr.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match flint_cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", flint_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    if let Err(e) = flint_cli::run(command, &mut stdout.lock()) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

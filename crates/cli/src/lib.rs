@@ -1,0 +1,27 @@
+//! # flint-cli — the FLInt random forest toolchain
+//!
+//! A command line front end over the workspace, playing the role
+//! arch-forest's scripts play for the paper: train models from CSV,
+//! predict with any backend (including QuickScorer), emit C / Rust /
+//! assembly realizations in both precisions, inspect feature
+//! importances, and run the machine cost simulator.
+//!
+//! ```text
+//! flint train    --data iris.csv --classes 3 --trees 20 --depth 10 --out model.txt
+//! flint predict  --model model.txt --data iris.csv --classes 3 --backend cags-flint --accuracy
+//! flint emit     --model model.txt --lang c --variant flint
+//! flint simulate --model model.txt --data iris.csv --classes 3 --machine embedded --config flint
+//! ```
+//!
+//! Parsing lives in [`args`], execution in [`runner`]; both are plain
+//! functions so the whole tool is unit-testable without spawning
+//! processes.
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod args;
+pub mod runner;
+
+pub use args::{parse, Command, ParseArgsError, USAGE};
+pub use runner::{run, RunError};

@@ -1,0 +1,432 @@
+//! Command execution, separated from I/O so it can be tested without a
+//! real process invocation.
+
+use crate::args::{Command, USAGE};
+use flint_codegen::{
+    emit_forest_c, emit_forest_c_f64, emit_forest_rust, emit_tree_asm, AsmTarget, CVariant,
+    RustVariant,
+};
+use flint_data::{csv, Dataset};
+use flint_exec::{BackendKind, CompiledForest};
+use flint_forest::metrics::accuracy;
+use flint_forest::{io as model_io, ForestConfig, RandomForest};
+use flint_qscorer::{QsCompare, QsForest};
+use flint_sim::{simulate_forest, Machine, SimConfig};
+use std::fmt::Write as FmtWrite;
+use std::fs::File;
+use std::io::{BufReader, Write};
+
+/// Error executing a command.
+#[derive(Debug)]
+pub enum RunError {
+    /// File system or stream failure.
+    Io(std::io::Error),
+    /// Bad CSV input.
+    Csv(csv::ReadCsvError),
+    /// Bad model file.
+    Model(model_io::ReadModelError),
+    /// Training failure.
+    Train(flint_forest::train::TrainError),
+    /// Invalid option value with a human-readable message.
+    Invalid(String),
+}
+
+impl core::fmt::Display for RunError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Csv(e) => write!(f, "csv error: {e}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
+            Self::Train(e) => write!(f, "training error: {e}"),
+            Self::Invalid(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+impl From<csv::ReadCsvError> for RunError {
+    fn from(e: csv::ReadCsvError) -> Self {
+        Self::Csv(e)
+    }
+}
+impl From<model_io::ReadModelError> for RunError {
+    fn from(e: model_io::ReadModelError) -> Self {
+        Self::Model(e)
+    }
+}
+impl From<flint_forest::train::TrainError> for RunError {
+    fn from(e: flint_forest::train::TrainError) -> Self {
+        Self::Train(e)
+    }
+}
+
+fn load_csv(path: &str, classes: usize) -> Result<Dataset, RunError> {
+    Ok(csv::read_csv(BufReader::new(File::open(path)?), classes)?)
+}
+
+fn load_model(path: &str) -> Result<RandomForest, RunError> {
+    Ok(model_io::read_forest(BufReader::new(File::open(path)?))?)
+}
+
+fn backend_kind(name: &str) -> Result<BackendKind, RunError> {
+    Ok(match name {
+        "naive" => BackendKind::Naive,
+        "cags" => BackendKind::Cags,
+        "flint" => BackendKind::Flint,
+        "cags-flint" => BackendKind::CagsFlint,
+        "softfloat" => BackendKind::SoftFloat,
+        other => {
+            return Err(RunError::Invalid(format!(
+                "unknown backend {other:?} (try naive|flint|cags|cags-flint|softfloat|quickscorer)"
+            )))
+        }
+    })
+}
+
+fn machine(name: &str) -> Result<Machine, RunError> {
+    Ok(match name {
+        "x86s" => Machine::X86Server,
+        "x86d" => Machine::X86Desktop,
+        "arms" => Machine::Armv8Server,
+        "armd" => Machine::Armv8Desktop,
+        "embedded" => Machine::EmbeddedNoFpu,
+        other => {
+            return Err(RunError::Invalid(format!(
+                "unknown machine {other:?} (try x86s|x86d|arms|armd|embedded)"
+            )))
+        }
+    })
+}
+
+fn sim_config(name: &str) -> Result<SimConfig, RunError> {
+    Ok(match name {
+        "naive" => SimConfig::naive(),
+        "cags" => SimConfig::cags(),
+        "flint" => SimConfig::flint(),
+        "cags-flint" => SimConfig::cags_flint(),
+        "flint-asm" => SimConfig::flint_asm(),
+        "softfloat" => SimConfig::softfloat(),
+        other => {
+            return Err(RunError::Invalid(format!(
+                "unknown config {other:?} (try naive|cags|flint|cags-flint|flint-asm|softfloat)"
+            )))
+        }
+    })
+}
+
+/// Executes `command`, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// [`RunError`] on any I/O, parse, training or option failure.
+pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
+    match command {
+        Command::Help => {
+            write!(out, "{USAGE}")?;
+        }
+        Command::Train {
+            data,
+            classes,
+            trees,
+            depth,
+            seed,
+            out: out_path,
+        } => {
+            let dataset = load_csv(&data, classes)?;
+            let config = ForestConfig {
+                n_trees: trees,
+                max_depth: depth,
+                seed,
+                ..ForestConfig::default()
+            };
+            let forest = RandomForest::fit(&dataset, &config)?;
+            match out_path {
+                Some(path) => {
+                    model_io::write_forest(&forest, File::create(&path)?)?;
+                    writeln!(
+                        out,
+                        "trained {} trees ({} nodes, depth {}) on {} samples -> {path}",
+                        forest.n_trees(),
+                        forest.n_nodes(),
+                        forest.depth(),
+                        dataset.n_samples()
+                    )?;
+                }
+                None => {
+                    let mut buf = Vec::new();
+                    model_io::write_forest(&forest, &mut buf)?;
+                    out.write_all(&buf)?;
+                }
+            }
+        }
+        Command::Predict {
+            model,
+            data,
+            classes,
+            backend,
+            accuracy: report_accuracy,
+        } => {
+            let forest = load_model(&model)?;
+            let dataset = load_csv(&data, classes)?;
+            let predictions: Vec<u32> = if backend == "quickscorer" {
+                let qs = QsForest::build(&forest);
+                (0..dataset.n_samples())
+                    .map(|i| qs.predict(dataset.sample(i), QsCompare::Flint))
+                    .collect()
+            } else {
+                let compiled = CompiledForest::compile(&forest, backend_kind(&backend)?, None)
+                    .map_err(|e| RunError::Invalid(e.to_string()))?;
+                compiled.predict_dataset(&dataset)
+            };
+            for p in &predictions {
+                writeln!(out, "{p}")?;
+            }
+            if report_accuracy {
+                writeln!(
+                    out,
+                    "accuracy: {:.4}",
+                    accuracy(&predictions, dataset.labels())
+                )?;
+            }
+        }
+        Command::Emit {
+            model,
+            lang,
+            variant,
+        } => {
+            let forest = load_model(&model)?;
+            let text = match (lang.as_str(), variant.as_str()) {
+                ("c", "std") => emit_forest_c(&forest, CVariant::Standard),
+                ("c", "flint") => emit_forest_c(&forest, CVariant::Flint),
+                ("c64", "std") => emit_forest_c_f64(&forest, CVariant::Standard),
+                ("c64", "flint") => emit_forest_c_f64(&forest, CVariant::Flint),
+                ("rust", "std") => emit_forest_rust(&forest, RustVariant::Standard),
+                ("rust", "flint") => emit_forest_rust(&forest, RustVariant::Flint),
+                ("asm-arm", "flint") | ("asm-x86", "flint") => {
+                    let target = if lang == "asm-arm" {
+                        AsmTarget::Armv8
+                    } else {
+                        AsmTarget::X86
+                    };
+                    let mut text = String::new();
+                    for (i, tree) in forest.trees().iter().enumerate() {
+                        let _ = writeln!(text, "// tree {i}");
+                        text.push_str(&emit_tree_asm(tree, i, target));
+                    }
+                    text
+                }
+                ("asm-arm" | "asm-x86", other) => {
+                    return Err(RunError::Invalid(format!(
+                        "assembly emission supports only --variant flint, got {other:?}"
+                    )))
+                }
+                (l, v) => {
+                    return Err(RunError::Invalid(format!(
+                        "unsupported --lang {l:?} / --variant {v:?}"
+                    )))
+                }
+            };
+            write!(out, "{text}")?;
+        }
+        Command::Importance { model } => {
+            let forest = load_model(&model)?;
+            for (i, v) in forest.feature_importances().iter().enumerate() {
+                writeln!(out, "feature {i}: {v:.6}")?;
+            }
+        }
+        Command::Simulate {
+            model,
+            data,
+            classes,
+            machine: machine_name,
+            config: config_name,
+        } => {
+            let forest = load_model(&model)?;
+            let dataset = load_csv(&data, classes)?;
+            let m = machine(&machine_name)?;
+            let config = sim_config(&config_name)?;
+            let report = simulate_forest(m, &forest, &dataset, &dataset, &config)
+                .map_err(|e| RunError::Invalid(e.to_string()))?;
+            writeln!(out, "machine: {}", m.name())?;
+            writeln!(out, "config: {}", config.name())?;
+            writeln!(out, "cycles/inference: {:.1}", report.cycles_per_inference())?;
+            writeln!(
+                out,
+                "breakdown: instr {:.0} + cache {:.0} + layout {:.0} + calls {:.0}",
+                report.instruction_cycles,
+                report.cache_cycles,
+                report.layout_overhead,
+                report.call_overhead
+            )?;
+            // Normalized against naive when the machine can run it.
+            if let Ok(naive) = simulate_forest(m, &forest, &dataset, &dataset, &SimConfig::naive())
+            {
+                writeln!(
+                    out,
+                    "normalized vs naive: {:.3}x",
+                    report.total_cycles() / naive.total_cycles()
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+    use flint_data::synth::SynthSpec;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("flint_cli_{}_{name}", std::process::id()))
+    }
+
+    fn write_dataset_csv(name: &str, seed: u64) -> (std::path::PathBuf, Dataset) {
+        let ds = SynthSpec::new(120, 4, 2).cluster_std(0.6).seed(seed).generate();
+        let path = temp_path(name);
+        let mut buf = Vec::new();
+        csv::write_csv(&ds, &mut buf).expect("write");
+        std::fs::write(&path, buf).expect("write file");
+        (path, ds)
+    }
+
+    fn run_argv(text: &str) -> Result<String, RunError> {
+        let argv: Vec<String> = text.split_whitespace().map(str::to_owned).collect();
+        let cmd = parse(&argv).expect("parses");
+        let mut out = Vec::new();
+        run(cmd, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    #[test]
+    fn train_predict_pipeline() {
+        let (data_path, ds) = write_dataset_csv("tp.csv", 1);
+        let model_path = temp_path("tp_model.txt");
+        let trained = run_argv(&format!(
+            "train --data {} --classes 2 --trees 5 --depth 8 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        assert!(trained.contains("trained 5 trees"), "{trained}");
+        for backend in ["naive", "flint", "cags", "cags-flint", "quickscorer"] {
+            let output = run_argv(&format!(
+                "predict --model {} --data {} --classes 2 --backend {backend} --accuracy",
+                model_path.display(),
+                data_path.display()
+            ))
+            .expect("predicts");
+            let lines: Vec<&str> = output.lines().collect();
+            assert_eq!(lines.len(), ds.n_samples() + 1, "{backend}");
+            assert!(lines.last().expect("non-empty").starts_with("accuracy:"));
+        }
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn all_backends_print_identical_predictions() {
+        let (data_path, _) = write_dataset_csv("same.csv", 2);
+        let model_path = temp_path("same_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 4 --depth 6 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let outputs: Vec<String> = ["naive", "flint", "cags-flint", "quickscorer"]
+            .iter()
+            .map(|b| {
+                run_argv(&format!(
+                    "predict --model {} --data {} --classes 2 --backend {b}",
+                    model_path.display(),
+                    data_path.display()
+                ))
+                .expect("predicts")
+            })
+            .collect();
+        assert!(outputs.windows(2).all(|w| w[0] == w[1]));
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn emit_and_importance_and_simulate() {
+        let (data_path, _) = write_dataset_csv("emit.csv", 3);
+        let model_path = temp_path("emit_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 2 --depth 4 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let c = run_argv(&format!("emit --model {} --lang c --variant flint", model_path.display()))
+            .expect("emits");
+        assert!(c.contains("predict_forest_flint"));
+        let c64 = run_argv(&format!("emit --model {} --lang c64", model_path.display()))
+            .expect("emits");
+        assert!(c64.contains("_f64"));
+        let asm = run_argv(&format!(
+            "emit --model {} --lang asm-arm --variant flint",
+            model_path.display()
+        ))
+        .expect("emits");
+        assert!(asm.contains("movz"));
+        let imp = run_argv(&format!("importance --model {}", model_path.display()))
+            .expect("importances");
+        assert_eq!(imp.lines().count(), 4);
+        let sim = run_argv(&format!(
+            "simulate --model {} --data {} --classes 2 --machine embedded --config flint",
+            model_path.display(),
+            data_path.display()
+        ))
+        .expect("simulates");
+        assert!(sim.contains("cycles/inference"), "{sim}");
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn invalid_options_error_cleanly() {
+        let (data_path, _) = write_dataset_csv("bad.csv", 4);
+        let model_path = temp_path("bad_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 1 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let err = run_argv(&format!(
+            "predict --model {} --data {} --classes 2 --backend warp",
+            model_path.display(),
+            data_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown backend"));
+        let err = run_argv(&format!(
+            "simulate --model {} --data {} --classes 2 --machine vax",
+            model_path.display(),
+            data_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown machine"));
+        let err = run_argv("predict --model /nonexistent --data also-nope --classes 2").unwrap_err();
+        assert!(matches!(err, RunError::Io(_)));
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_argv("help").expect("help");
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("flint train"));
+    }
+}

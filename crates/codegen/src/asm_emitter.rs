@@ -1,0 +1,299 @@
+//! Assembly text emission — the paper's Listing 5 and its X86
+//! counterpart.
+//!
+//! The FLInt assembly implementation loads the feature word with an
+//! integer load, materializes the split immediate with `movz`/`movk`
+//! (ARMv8) or `mov` (X86), compares with the integer `cmp`, and
+//! branches with `b.gt`/`jg` to the else block. Negative splits insert
+//! one `eor`/`xor` to flip the loaded word's sign bit and compare in
+//! the reversed direction (`b.lt`/`jl` against the folded immediate).
+//!
+//! The emitted text is the artifact the paper describes; the executable
+//! stand-in with identical instruction sequencing is [`crate::vm`].
+
+use flint_core::PreparedThreshold;
+use flint_forest::{DecisionTree, Node, NodeId};
+use std::fmt::Write;
+
+/// Target instruction set for the textual emitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AsmTarget {
+    /// ARMv8 AArch64 (`ldrsw`/`movz`/`movk`/`cmp`/`b.gt`), Listing 5.
+    Armv8,
+    /// X86-64 AT&T-flavoured (`movl`/`cmpl`/`jg`).
+    X86,
+}
+
+/// Emits the body of one tree as assembly text for `target`.
+///
+/// Feature words are addressed relative to the feature-vector base
+/// register (`%1` on ARMv8 as in the paper's inline-asm listing, `%rdi`
+/// on X86). Labels follow the paper's `rtittlab<node><tree>` pattern.
+pub fn emit_tree_asm(tree: &DecisionTree, tree_index: usize, target: AsmTarget) -> String {
+    let mut out = String::new();
+    let mut label_counter = 0usize;
+    emit_node(&mut out, tree, NodeId::ROOT, tree_index, target, &mut label_counter);
+    out
+}
+
+fn emit_node(
+    out: &mut String,
+    tree: &DecisionTree,
+    id: NodeId,
+    tree_index: usize,
+    target: AsmTarget,
+    label_counter: &mut usize,
+) {
+    match &tree.nodes()[id.index()] {
+        Node::Leaf { class, .. } => match target {
+            AsmTarget::Armv8 => {
+                let _ = writeln!(out, "    mov w0, #{class}");
+                let _ = writeln!(out, "    b rtitt_done_{tree_index}");
+            }
+            AsmTarget::X86 => {
+                let _ = writeln!(out, "    movl ${class}, %eax");
+                let _ = writeln!(out, "    jmp rtitt_done_{tree_index}");
+            }
+        },
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let prepared =
+                PreparedThreshold::new(*threshold).expect("validated trees have no NaN thresholds");
+            let key = prepared.key() as u32;
+            let label = format!("rtittlab{}_{tree_index}", *label_counter);
+            *label_counter += 1;
+            let byte_offset = feature * 4;
+            match target {
+                AsmTarget::Armv8 => {
+                    let _ = writeln!(out, "    ldrsw x1, [%1, {byte_offset}]");
+                    if prepared.flips_sign() {
+                        // Listing 5 variant for negative splits: flip the
+                        // loaded sign bit, compare reversed.
+                        let _ = writeln!(out, "    eor w1, w1, #0x80000000");
+                    }
+                    let _ = writeln!(out, "    movz x2, #0x{:04x}", key & 0xffff);
+                    let _ = writeln!(out, "    movk x2, #0x{:04x}, lsl 16", key >> 16);
+                    let _ = writeln!(out, "    cmp w1, w2");
+                    if prepared.flips_sign() {
+                        // go right when (x ^ M) < key, i.e. key > flipped
+                        let _ = writeln!(out, "    b.lt {label}");
+                    } else {
+                        let _ = writeln!(out, "    b.gt {label}");
+                    }
+                }
+                AsmTarget::X86 => {
+                    let _ = writeln!(out, "    movl {byte_offset}(%rdi), %ecx");
+                    if prepared.flips_sign() {
+                        let _ = writeln!(out, "    xorl $0x80000000, %ecx");
+                    }
+                    let _ = writeln!(out, "    cmpl $0x{key:08x}, %ecx");
+                    if prepared.flips_sign() {
+                        let _ = writeln!(out, "    jl {label}");
+                    } else {
+                        let _ = writeln!(out, "    jg {label}");
+                    }
+                }
+            }
+            emit_node(out, tree, *left, tree_index, target, label_counter);
+            let _ = writeln!(out, "{label}:");
+            emit_node(out, tree, *right, tree_index, target, label_counter);
+        }
+    }
+}
+
+/// Emits the body of one tree as **double precision** assembly: 64-bit
+/// integer loads (`ldr x`/`movq`), four-part immediate materialization
+/// on ARMv8 (`movz` + three `movk`), `movabsq` on X86, and the bit-63
+/// sign flip for negative splits. Thresholds widen exactly from the
+/// trained `f32` values.
+pub fn emit_tree_asm_f64(tree: &DecisionTree, tree_index: usize, target: AsmTarget) -> String {
+    let mut out = String::new();
+    let mut label_counter = 0usize;
+    emit_node_f64(&mut out, tree, NodeId::ROOT, tree_index, target, &mut label_counter);
+    out
+}
+
+fn emit_node_f64(
+    out: &mut String,
+    tree: &DecisionTree,
+    id: NodeId,
+    tree_index: usize,
+    target: AsmTarget,
+    label_counter: &mut usize,
+) {
+    match &tree.nodes()[id.index()] {
+        Node::Leaf { class, .. } => match target {
+            AsmTarget::Armv8 => {
+                let _ = writeln!(out, "    mov w0, #{class}");
+                let _ = writeln!(out, "    b rtitt_done_{tree_index}");
+            }
+            AsmTarget::X86 => {
+                let _ = writeln!(out, "    movl ${class}, %eax");
+                let _ = writeln!(out, "    jmp rtitt_done_{tree_index}");
+            }
+        },
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let prepared = PreparedThreshold::new(f64::from(*threshold))
+                .expect("validated trees have no NaN thresholds");
+            let key = prepared.key() as u64;
+            let label = format!("rtittlab{}_{tree_index}", *label_counter);
+            *label_counter += 1;
+            let byte_offset = feature * 8;
+            match target {
+                AsmTarget::Armv8 => {
+                    let _ = writeln!(out, "    ldr x1, [%1, {byte_offset}]");
+                    if prepared.flips_sign() {
+                        let _ = writeln!(out, "    eor x1, x1, #0x8000000000000000");
+                    }
+                    let _ = writeln!(out, "    movz x2, #0x{:04x}", key & 0xffff);
+                    for (i, shift) in [(1u32, 16u32), (2, 32), (3, 48)] {
+                        let half = (key >> (16 * i)) & 0xffff;
+                        let _ = writeln!(out, "    movk x2, #0x{half:04x}, lsl {shift}");
+                    }
+                    let _ = writeln!(out, "    cmp x1, x2");
+                    let _ = writeln!(
+                        out,
+                        "    {} {label}",
+                        if prepared.flips_sign() { "b.lt" } else { "b.gt" }
+                    );
+                }
+                AsmTarget::X86 => {
+                    let _ = writeln!(out, "    movq {byte_offset}(%rdi), %rcx");
+                    if prepared.flips_sign() {
+                        let _ = writeln!(out, "    movabsq $0x8000000000000000, %rdx");
+                        let _ = writeln!(out, "    xorq %rdx, %rcx");
+                    }
+                    let _ = writeln!(out, "    movabsq $0x{key:016x}, %rdx");
+                    let _ = writeln!(out, "    cmpq %rdx, %rcx");
+                    let _ = writeln!(
+                        out,
+                        "    {} {label}",
+                        if prepared.flips_sign() { "jl" } else { "jg" }
+                    );
+                }
+            }
+            emit_node_f64(out, tree, *left, tree_index, target, label_counter);
+            let _ = writeln!(out, "{label}:");
+            emit_node_f64(out, tree, *right, tree_index, target, label_counter);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_forest::example_tree;
+
+    #[test]
+    fn armv8_uses_listing5_mnemonics() {
+        let tree = example_tree();
+        let asm = emit_tree_asm(&tree, 0, AsmTarget::Armv8);
+        for mnemonic in ["ldrsw", "movz", "movk", "cmp", "b.gt"] {
+            assert!(asm.contains(mnemonic), "missing {mnemonic}:\n{asm}");
+        }
+        // The -1.25 split must flip via eor and branch reversed.
+        assert!(asm.contains("eor w1, w1, #0x80000000"), "{asm}");
+        assert!(asm.contains("b.lt"), "{asm}");
+    }
+
+    #[test]
+    fn x86_variant_uses_integer_ops() {
+        let tree = example_tree();
+        let asm = emit_tree_asm(&tree, 0, AsmTarget::X86);
+        for mnemonic in ["movl", "cmpl", "jg"] {
+            assert!(asm.contains(mnemonic), "missing {mnemonic}:\n{asm}");
+        }
+        assert!(asm.contains("xorl $0x80000000"));
+        // No floating point instruction anywhere.
+        for forbidden in ["ss", "fld", "fcmp", "comis"] {
+            assert!(
+                !asm.lines().any(|l| l.trim().starts_with(forbidden)),
+                "float instruction {forbidden} leaked:\n{asm}"
+            );
+        }
+    }
+
+    #[test]
+    fn immediates_split_into_movz_movk_halves() {
+        let tree = example_tree(); // threshold 0.5 = 0x3f000000
+        let asm = emit_tree_asm(&tree, 0, AsmTarget::Armv8);
+        assert!(asm.contains("movz x2, #0x0000"), "{asm}");
+        assert!(asm.contains("movk x2, #0x3f00, lsl 16"), "{asm}");
+    }
+
+    #[test]
+    fn every_label_is_defined_once_and_branched_to() {
+        let tree = example_tree();
+        for target in [AsmTarget::Armv8, AsmTarget::X86] {
+            let asm = emit_tree_asm(&tree, 7, target);
+            for line in asm.lines() {
+                if let Some(label) = line.strip_suffix(':') {
+                    let uses = asm
+                        .lines()
+                        .filter(|l| l.contains(label) && !l.ends_with(':'))
+                        .count();
+                    assert_eq!(uses, 1, "label {label} in {target:?}");
+                }
+            }
+            // One leaf return per leaf.
+            let rets = asm
+                .lines()
+                .filter(|l| l.contains("rtitt_done_7"))
+                .count();
+            assert_eq!(rets, tree.n_leaves());
+        }
+    }
+
+    #[test]
+    fn byte_offsets_are_feature_times_four() {
+        let tree = example_tree(); // features 0 and 1
+        let asm = emit_tree_asm(&tree, 0, AsmTarget::Armv8);
+        assert!(asm.contains("[%1, 0]"), "{asm}");
+        assert!(asm.contains("[%1, 4]"), "{asm}");
+    }
+
+    #[test]
+    fn f64_armv8_materializes_four_immediate_halves() {
+        let tree = example_tree();
+        let asm = emit_tree_asm_f64(&tree, 0, AsmTarget::Armv8);
+        // One movz + three movk per split node.
+        let splits = tree.n_nodes() - tree.n_leaves();
+        assert_eq!(asm.matches("movz").count(), splits);
+        assert_eq!(asm.matches("movk").count(), 3 * splits);
+        assert!(asm.contains("lsl 48"), "{asm}");
+        assert!(asm.contains("cmp x1, x2"), "{asm}");
+        // 8-byte feature stride.
+        assert!(asm.contains("[%1, 8]"), "{asm}");
+        // Negative split flips bit 63.
+        assert!(asm.contains("#0x8000000000000000"), "{asm}");
+    }
+
+    #[test]
+    fn f64_x86_uses_movabsq_and_cmpq() {
+        let tree = example_tree();
+        let asm = emit_tree_asm_f64(&tree, 0, AsmTarget::X86);
+        assert!(asm.contains("movabsq"), "{asm}");
+        assert!(asm.contains("cmpq"), "{asm}");
+        assert!(asm.contains("movq 8(%rdi)"), "{asm}");
+    }
+
+    #[test]
+    fn f64_immediate_is_widened_threshold_pattern() {
+        let tree = example_tree(); // positive split 0.5 -> f64 0x3fe0...
+        let asm = emit_tree_asm_f64(&tree, 0, AsmTarget::X86);
+        let want = 0.5f64.to_bits();
+        assert!(
+            asm.contains(&format!("$0x{want:016x}")),
+            "expected {want:#018x} in\n{asm}"
+        );
+    }
+}

@@ -1,0 +1,408 @@
+//! C source emission for if-else trees — the paper's Listings 1–4.
+//!
+//! Two variants are generated:
+//!
+//! * **standard** (Listing 1/3): `if (pX[3] <= (float)10.074347f) { … }`
+//! * **FLInt** (Listing 2/4): the feature array is reinterpreted as
+//!   `int*`, the split value becomes a hex integer immediate, and
+//!   negative splits compile to the sign-flip form
+//!   `if (((int)(0x403bddde)) <= ((*(((int*)(pX))+125)) ^ (0b1<<31)))`.
+//!
+//! The emitted text is a compilable translation unit (one predict
+//! function per tree plus a majority-vote forest function); the
+//! integration tests compile and run it when a C compiler is present.
+
+use flint_core::PreparedThreshold;
+use flint_forest::{DecisionTree, Node, NodeId, RandomForest};
+use std::fmt::Write;
+
+/// Which comparison idiom the C code uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CVariant {
+    /// Plain float comparisons (Listing 1).
+    Standard,
+    /// FLInt integer comparisons with offline-resolved sign handling
+    /// (Listings 2 and 4).
+    Flint,
+}
+
+impl CVariant {
+    /// Suffix used in generated function names (`_std` / `_flint`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            CVariant::Standard => "std",
+            CVariant::Flint => "flint",
+        }
+    }
+}
+
+/// Emits one `unsigned int predict_tree_<index>_<variant>(const float*
+/// pX)` function for `tree`.
+///
+/// # Panics
+///
+/// Panics if the tree contains NaN thresholds (tree validation prevents
+/// this for trees built through the public API).
+pub fn emit_tree_c(tree: &DecisionTree, index: usize, variant: CVariant) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "unsigned int predict_tree_{index}_{}(const float* pX) {{",
+        variant.suffix()
+    );
+    emit_node(&mut out, tree, NodeId::ROOT, variant, 1);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn emit_node(out: &mut String, tree: &DecisionTree, id: NodeId, variant: CVariant, depth: usize) {
+    match &tree.nodes()[id.index()] {
+        Node::Leaf { class, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "return {class}u;");
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            indent(out, depth);
+            let _ = writeln!(out, "if ({}) {{", condition(*feature, *threshold, variant));
+            emit_node(out, tree, *left, variant, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}} else {{");
+            emit_node(out, tree, *right, variant, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+    }
+}
+
+/// The branch condition text for `pX[feature] <= threshold`.
+///
+/// For [`CVariant::Flint`] this reproduces the exact idioms of
+/// Listings 2 and 4, including the `-0.0 -> +0.0` rewrite and the
+/// sign-flip XOR for negative split values.
+pub fn condition(feature: u32, threshold: f32, variant: CVariant) -> String {
+    match variant {
+        CVariant::Standard => {
+            // {:?} prints the shortest f32 representation that
+            // round-trips, like the paper's printed decimals.
+            format!("pX[{feature}] <= (float){threshold:?}f")
+        }
+        CVariant::Flint => {
+            let prepared =
+                PreparedThreshold::new(threshold).expect("validated trees have no NaN thresholds");
+            let key = prepared.key() as u32;
+            if prepared.flips_sign() {
+                format!(
+                    "((int)(0x{key:08x})) <= ((*(((int*)(pX))+{feature})) ^ (0b1<<31))"
+                )
+            } else {
+                format!("(*(((int*)(pX))+{feature})) <= ((int)(0x{key:08x}))")
+            }
+        }
+    }
+}
+
+/// Formats an `f32` as a C hexadecimal float literal
+/// (`0x1.242610p+3f`), which round-trips the bit pattern exactly
+/// through any C compiler — used to embed test vectors and thresholds
+/// without decimal rounding drift.
+///
+/// # Examples
+///
+/// ```
+/// use flint_codegen::c_emitter::c_float_literal;
+///
+/// assert_eq!(c_float_literal(1.0), "0x1.000000p+0f");
+/// assert_eq!(c_float_literal(-0.0), "-0.0f");
+/// assert!(c_float_literal(1e-40).ends_with("p-149f")); // subnormal
+/// ```
+pub fn c_float_literal(v: f32) -> String {
+    if v == 0.0 {
+        return if v.is_sign_negative() {
+            "-0.0f".to_owned()
+        } else {
+            "0.0f".to_owned()
+        };
+    }
+    let bits = v.to_bits();
+    let sign = if bits >> 31 != 0 { "-" } else { "" };
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let man = bits & 0x007f_ffff;
+    if exp == 0 {
+        // Subnormal: value = man * 2^-149.
+        return format!("{sign}0x{man:x}p-149f");
+    }
+    format!("{sign}0x1.{:06x}p{:+}f", man << 1, exp - 127)
+}
+
+/// Emits a full translation unit for a forest: one function per tree
+/// plus `unsigned int predict_forest_<variant>(const float* pX)` doing
+/// a majority vote (ties to the lower class, matching `flint-exec`).
+pub fn emit_forest_c(forest: &RandomForest, variant: CVariant) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "/* Generated by flint-codegen ({}) */", variant.suffix());
+    let _ = writeln!(out, "#include <stddef.h>\n");
+    for (i, tree) in forest.trees().iter().enumerate() {
+        out.push_str(&emit_tree_c(tree, i, variant));
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "unsigned int predict_forest_{}(const float* pX) {{",
+        variant.suffix()
+    );
+    let _ = writeln!(out, "    unsigned int votes[{}] = {{0}};", forest.n_classes());
+    for i in 0..forest.n_trees() {
+        let _ = writeln!(
+            out,
+            "    votes[predict_tree_{i}_{}(pX)] += 1u;",
+            variant.suffix()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "    unsigned int best = 0u;\n    for (size_t c = 1; c < {}; ++c) {{\n        if (votes[c] > votes[best]) best = (unsigned int)c;\n    }}\n    return best;",
+        forest.n_classes()
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// The branch condition text for the **double precision** realization
+/// `pX[feature] <= (double)threshold` (the paper's generator supports
+/// both widths; converting the trained `f32` threshold to `f64` is
+/// exact, and the FLInt immediate becomes a 64-bit constant compared
+/// as `long long` — Section IV-C).
+pub fn condition_f64(feature: u32, threshold: f32, variant: CVariant) -> String {
+    let threshold = f64::from(threshold); // exact widening
+    match variant {
+        CVariant::Standard => format!("pX[{feature}] <= (double){threshold:?}"),
+        CVariant::Flint => {
+            let prepared =
+                PreparedThreshold::new(threshold).expect("validated trees have no NaN thresholds");
+            let key = prepared.key() as u64;
+            if prepared.flips_sign() {
+                format!(
+                    "((long long)(0x{key:016x}LL)) <= ((*(((long long*)(pX))+{feature})) ^ (1LL<<63))"
+                )
+            } else {
+                format!("(*(((long long*)(pX))+{feature})) <= ((long long)(0x{key:016x}LL))")
+            }
+        }
+    }
+}
+
+/// Emits one `unsigned int predict_tree_<index>_<variant>_f64(const
+/// double* pX)` function — the double-precision twin of
+/// [`emit_tree_c`].
+///
+/// # Panics
+///
+/// Panics if the tree contains NaN thresholds.
+pub fn emit_tree_c_f64(tree: &DecisionTree, index: usize, variant: CVariant) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "unsigned int predict_tree_{index}_{}_f64(const double* pX) {{",
+        variant.suffix()
+    );
+    emit_node_f64(&mut out, tree, NodeId::ROOT, variant, 1);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn emit_node_f64(
+    out: &mut String,
+    tree: &DecisionTree,
+    id: NodeId,
+    variant: CVariant,
+    depth: usize,
+) {
+    match &tree.nodes()[id.index()] {
+        Node::Leaf { class, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "return {class}u;");
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            indent(out, depth);
+            let _ = writeln!(
+                out,
+                "if ({}) {{",
+                condition_f64(*feature, *threshold, variant)
+            );
+            emit_node_f64(out, tree, *left, variant, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}} else {{");
+            emit_node_f64(out, tree, *right, variant, depth + 1);
+            indent(out, depth);
+            let _ = writeln!(out, "}}");
+        }
+    }
+}
+
+/// Emits a double-precision translation unit: per-tree `_f64` functions
+/// plus `predict_forest_<variant>_f64(const double* pX)` majority vote.
+pub fn emit_forest_c_f64(forest: &RandomForest, variant: CVariant) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "/* Generated by flint-codegen ({}, double precision) */",
+        variant.suffix()
+    );
+    let _ = writeln!(out, "#include <stddef.h>\n");
+    for (i, tree) in forest.trees().iter().enumerate() {
+        out.push_str(&emit_tree_c_f64(tree, i, variant));
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "unsigned int predict_forest_{}_f64(const double* pX) {{",
+        variant.suffix()
+    );
+    let _ = writeln!(out, "    unsigned int votes[{}] = {{0}};", forest.n_classes());
+    for i in 0..forest.n_trees() {
+        let _ = writeln!(
+            out,
+            "    votes[predict_tree_{i}_{}_f64(pX)] += 1u;",
+            variant.suffix()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "    unsigned int best = 0u;\n    for (size_t c = 1; c < {}; ++c) {{\n        if (votes[c] > votes[best]) best = (unsigned int)c;\n    }}\n    return best;",
+        forest.n_classes()
+    );
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_forest::example_tree;
+
+    #[test]
+    fn standard_condition_matches_listing1_idiom() {
+        let c = condition(3, f32::from_bits(0x4121_3087), CVariant::Standard);
+        assert!(c.starts_with("pX[3] <= (float)10.074347"), "{c}");
+    }
+
+    #[test]
+    fn flint_condition_matches_listing2_idiom() {
+        let c = condition(3, f32::from_bits(0x4121_3087), CVariant::Flint);
+        assert_eq!(c, "(*(((int*)(pX))+3)) <= ((int)(0x41213087))");
+    }
+
+    #[test]
+    fn flint_negative_condition_matches_listing4_idiom() {
+        let c = condition(125, f32::from_bits(0xc03b_ddde), CVariant::Flint);
+        assert_eq!(
+            c,
+            "((int)(0x403bddde)) <= ((*(((int*)(pX))+125)) ^ (0b1<<31))"
+        );
+    }
+
+    #[test]
+    fn negative_zero_split_emits_positive_zero_immediate() {
+        let c = condition(0, -0.0, CVariant::Flint);
+        assert_eq!(c, "(*(((int*)(pX))+0)) <= ((int)(0x00000000))");
+    }
+
+    #[test]
+    fn tree_emission_is_balanced() {
+        let tree = example_tree();
+        for variant in [CVariant::Standard, CVariant::Flint] {
+            let code = emit_tree_c(&tree, 0, variant);
+            assert_eq!(
+                code.matches('{').count(),
+                code.matches('}').count(),
+                "unbalanced braces in {variant:?}"
+            );
+            assert_eq!(code.matches("return").count(), tree.n_leaves());
+            assert_eq!(code.matches("if (").count(), tree.n_nodes() - tree.n_leaves());
+        }
+    }
+
+    #[test]
+    fn forest_emission_contains_all_trees_and_vote() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::ForestConfig;
+        let data = SynthSpec::new(80, 3, 2).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(3, 4)).expect("trainable");
+        let code = emit_forest_c(&forest, CVariant::Flint);
+        for i in 0..3 {
+            assert!(code.contains(&format!("predict_tree_{i}_flint")), "tree {i}");
+        }
+        assert!(code.contains("predict_forest_flint"));
+        assert!(code.contains("votes["));
+    }
+
+    #[test]
+    fn flint_trees_never_mention_float_comparisons() {
+        let tree = example_tree();
+        let code = emit_tree_c(&tree, 0, CVariant::Flint);
+        assert!(
+            !code.contains("(float)"),
+            "FLInt code must not contain float casts:\n{code}"
+        );
+    }
+
+    #[test]
+    fn f64_flint_condition_uses_64bit_immediates() {
+        // 10.074347... as f64 (widened exactly from the f32 pattern).
+        let split = f32::from_bits(0x4121_3087);
+        let want_key = f64::from(split).to_bits();
+        let c = condition_f64(3, split, CVariant::Flint);
+        assert!(c.contains(&format!("0x{want_key:016x}LL")), "{c}");
+        assert!(c.contains("long long"), "{c}");
+    }
+
+    #[test]
+    fn f64_negative_split_uses_63bit_sign_flip() {
+        let split = f32::from_bits(0xc03b_ddde); // -2.935417
+        let c = condition_f64(125, split, CVariant::Flint);
+        assert!(c.contains("(1LL<<63)"), "{c}");
+        // Immediate is the sign-cleared 64-bit pattern of |split|.
+        let want_key = f64::from(-split).to_bits();
+        assert!(c.contains(&format!("0x{want_key:016x}LL")), "{c}");
+    }
+
+    #[test]
+    fn f64_tree_emission_is_balanced() {
+        let tree = example_tree();
+        for variant in [CVariant::Standard, CVariant::Flint] {
+            let code = emit_tree_c_f64(&tree, 0, variant);
+            assert_eq!(code.matches('{').count(), code.matches('}').count());
+            assert_eq!(code.matches("return").count(), tree.n_leaves());
+            assert!(code.contains("const double* pX"));
+        }
+        let flint = emit_tree_c_f64(&tree, 0, CVariant::Flint);
+        assert!(!flint.contains("(double)"), "{flint}");
+    }
+
+    #[test]
+    fn f64_forest_unit_contains_vote() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::ForestConfig;
+        let data = SynthSpec::new(60, 3, 2).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(2, 3)).expect("trainable");
+        let code = emit_forest_c_f64(&forest, CVariant::Flint);
+        assert!(code.contains("predict_forest_flint_f64"));
+        assert!(code.contains("predict_tree_1_flint_f64"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # flint-codegen — if-else-tree code generation (arch-forest stage)
+//!
+//! The paper integrates FLInt into the arch-forest framework's code
+//! generation: trained trees become nested if-else blocks in C
+//! (Listings 1–4) or direct X86/ARMv8 assembly (Listing 5). This crate
+//! reproduces that stage:
+//!
+//! * [`c_emitter`] — C translation units in both the standard float and
+//!   the FLInt integer idiom, byte-faithful to the paper's listings;
+//! * [`asm_emitter`] — ARMv8 and X86 assembly text with the `ldrsw` /
+//!   `movz` / `movk` / `cmp` / `b.gt` sequence of Listing 5 (and the
+//!   `eor` sign-flip for negative splits);
+//! * [`rust_emitter`] — the same trees as compilable Rust, demonstrating
+//!   Section IV-C's "any language with bit reinterpretation" claim;
+//! * [`vm`] — an integer-only tree bytecode VM whose instructions map
+//!   one-to-one onto the assembly listing, serving as the *executable*
+//!   assembly backend (and instruction-count source for `flint-sim`).
+//!
+//! ```
+//! use flint_forest::example_tree;
+//! use flint_codegen::{c_emitter::{emit_tree_c, CVariant}, vm::{VmProgram, VmVariant}};
+//!
+//! # fn main() -> Result<(), flint_codegen::vm::VmError> {
+//! let tree = example_tree();
+//! let c = emit_tree_c(&tree, 0, CVariant::Flint);
+//! assert!(c.contains("(int*)"));
+//!
+//! let program = VmProgram::compile(&tree, VmVariant::Flint);
+//! let (class, stats) = program.run(&[1.0, 0.0])?;
+//! assert_eq!(class, tree.predict(&[1.0, 0.0]));
+//! assert!(program.is_fpu_free() && stats.cmp_float == 0);
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod asm_emitter;
+pub mod c_emitter;
+pub mod rust_emitter;
+pub mod vm;
+
+pub use asm_emitter::{emit_tree_asm, emit_tree_asm_f64, AsmTarget};
+pub use c_emitter::{
+    c_float_literal, emit_forest_c, emit_forest_c_f64, emit_tree_c, emit_tree_c_f64, CVariant,
+};
+pub use rust_emitter::{emit_forest_rust, emit_tree_rust, RustVariant};
+pub use vm::{ExecStats, Instr, VmError, VmForest, VmProgram, VmVariant};

@@ -1,0 +1,956 @@
+//! An integer-only tree virtual machine — the executable stand-in for
+//! the paper's direct assembly implementation.
+//!
+//! We cannot JIT the emitted assembly text inside a portable library,
+//! so trees are compiled to a tiny bytecode whose instructions map
+//! one-to-one onto the machine instructions of Listing 5:
+//! [`Instr::LoadWord`] ↔ `ldrsw`, [`Instr::Movz`]/[`Instr::Movk`] ↔
+//! immediate materialization, [`Instr::EorSign`] ↔ `eor`,
+//! [`Instr::Cmp`] ↔ `cmp`, [`Instr::BranchGt`]/[`Instr::BranchLt`] ↔
+//! `b.gt`/`b.lt`, [`Instr::Ret`] ↔ the leaf's return. Executing a
+//! program therefore performs *exactly* the instruction sequence the
+//! assembly backend would, which is what the cost-model simulator in
+//! `flint-sim` charges per machine profile.
+//!
+//! Three compilation variants cover the evaluation's comparison axes:
+//!
+//! * [`VmVariant::Flint`] — integer loads, integer compares (no float
+//!   instruction in the program at all);
+//! * [`VmVariant::NativeFloat`] — float load + float-constant load +
+//!   `fcmp` (machines *with* an FPU running the naive trees);
+//! * [`VmVariant::SoftFloat`] — float bits loaded as integers but
+//!   compared by a software-float comparison call (machines *without*
+//!   an FPU running naive trees).
+
+use flint_core::PreparedThreshold;
+use flint_forest::{DecisionTree, Node, NodeId, RandomForest};
+use flint_softfloat::soft_le;
+
+/// Register index (the VM has 4 integer and 4 float registers; the
+/// generated code only ever uses two of each, like the listings).
+pub type Reg = u8;
+
+/// One VM instruction. Each variant corresponds to one machine
+/// instruction of the respective backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Integer load of the feature word at `offset` (in words) from the
+    /// feature vector — `ldrsw x, [base, #off]`.
+    LoadWord {
+        /// Destination integer register.
+        dst: Reg,
+        /// Feature index.
+        offset: u32,
+    },
+    /// Float load of the feature at `offset` — `ldr s, [base, #off]`
+    /// (requires an FPU).
+    LoadFloat {
+        /// Destination float register.
+        dst: Reg,
+        /// Feature index.
+        offset: u32,
+    },
+    /// Materialize the low 16 bits of an immediate — `movz`.
+    Movz {
+        /// Destination integer register.
+        dst: Reg,
+        /// Low half of the immediate.
+        imm: u16,
+    },
+    /// Materialize 16 bits of an immediate at a shifted position —
+    /// `movk …, lsl <shift>` (shift 16 for `f32` keys; 16/32/48 for the
+    /// four-part `f64` keys of the double precision backend).
+    Movk {
+        /// Destination integer register.
+        dst: Reg,
+        /// The 16-bit half/quarter of the immediate.
+        imm: u16,
+        /// Bit position (16, 32 or 48).
+        shift: u8,
+    },
+    /// 64-bit integer load of the feature doubleword at `offset` — the
+    /// `ldr x, [base, #off]` of the double precision backend.
+    LoadDword {
+        /// Destination integer register.
+        dst: Reg,
+        /// Feature index.
+        offset: u32,
+    },
+    /// Load a float constant from the literal pool — `ldr s, =const`
+    /// (data-memory access; requires an FPU).
+    LoadFloatConst {
+        /// Destination float register.
+        dst: Reg,
+        /// The constant.
+        value: f32,
+    },
+    /// Load a double constant from the literal pool (double precision
+    /// naive backend; requires an FPU).
+    LoadDoubleConst {
+        /// Destination float register.
+        dst: Reg,
+        /// The constant.
+        value: f64,
+    },
+    /// Float load of the double at `offset` — `ldr d, [base, #off]`.
+    LoadDouble {
+        /// Destination float register.
+        dst: Reg,
+        /// Feature index.
+        offset: u32,
+    },
+    /// Flip the sign bit of a 32-bit register — `eor w, w, #0x80000000`.
+    EorSign {
+        /// Register to flip.
+        dst: Reg,
+    },
+    /// Flip bit 63 of a 64-bit register — `eor x, x, #1<<63`.
+    EorSign64 {
+        /// Register to flip.
+        dst: Reg,
+    },
+    /// Signed 32-bit integer compare, sets flags — `cmp w, w`.
+    Cmp {
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Signed 64-bit integer compare, sets flags — `cmp x, x`.
+    Cmp64 {
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Software float comparison of two 64-bit registers holding f64
+    /// patterns (double precision softfloat backend).
+    SoftCmp64 {
+        /// Left operand (bit pattern).
+        a: Reg,
+        /// Right operand (bit pattern).
+        b: Reg,
+    },
+    /// Hardware float compare, sets flags — `fcmp` (requires an FPU).
+    Fcmp {
+        /// Left float operand.
+        a: Reg,
+        /// Right float operand.
+        b: Reg,
+    },
+    /// Software float comparison of two integer registers holding float
+    /// bit patterns; sets flags as if `fcmp` ran. Models a call into a
+    /// softfloat runtime (`__aeabi_cfcmple` and friends).
+    SoftCmp {
+        /// Left operand (bit pattern).
+        a: Reg,
+        /// Right operand (bit pattern).
+        b: Reg,
+    },
+    /// Branch to `target` when flags say "greater than" — `b.gt`.
+    BranchGt {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Branch to `target` when flags say "less than" — `b.lt`.
+    BranchLt {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Unconditional branch — `b`.
+    Jump {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Return the class in the instruction — leaf epilogue.
+    Ret {
+        /// Predicted class.
+        class: u32,
+    },
+}
+
+/// Comparison idiom a program was compiled with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmVariant {
+    /// FLInt: integer loads and compares only.
+    Flint,
+    /// Native float instructions (FPU machines, naive trees).
+    NativeFloat,
+    /// Software float comparison calls (FPU-less machines, naive trees).
+    SoftFloat,
+}
+
+/// Per-instruction-kind execution counts of one program run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Integer feature loads (32-bit).
+    pub load_word: u64,
+    /// Integer feature loads (64-bit, double precision programs).
+    pub load_dword: u64,
+    /// Float feature loads.
+    pub load_float: u64,
+    /// Float constant loads (literal pool / data memory).
+    pub load_float_const: u64,
+    /// `movz` immediate materializations.
+    pub movz: u64,
+    /// `movk` immediate materializations.
+    pub movk: u64,
+    /// Sign-flip XORs.
+    pub eor: u64,
+    /// Integer compares.
+    pub cmp_int: u64,
+    /// Hardware float compares.
+    pub cmp_float: u64,
+    /// Software float comparison calls.
+    pub soft_cmp: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Of those, how many were taken.
+    pub branches_taken: u64,
+    /// Unconditional jumps.
+    pub jumps: u64,
+    /// Returns.
+    pub rets: u64,
+}
+
+impl ExecStats {
+    /// Total instructions executed.
+    pub fn total(&self) -> u64 {
+        self.load_word
+            + self.load_dword
+            + self.load_float
+            + self.load_float_const
+            + self.movz
+            + self.movk
+            + self.eor
+            + self.cmp_int
+            + self.cmp_float
+            + self.soft_cmp
+            + self.branches
+            + self.jumps
+            + self.rets
+    }
+
+    /// Accumulates another run's counts.
+    pub fn add(&mut self, other: &ExecStats) {
+        self.load_word += other.load_word;
+        self.load_dword += other.load_dword;
+        self.load_float += other.load_float;
+        self.load_float_const += other.load_float_const;
+        self.movz += other.movz;
+        self.movk += other.movk;
+        self.eor += other.eor;
+        self.cmp_int += other.cmp_int;
+        self.cmp_float += other.cmp_float;
+        self.soft_cmp += other.soft_cmp;
+        self.branches += other.branches;
+        self.branches_taken += other.branches_taken;
+        self.jumps += other.jumps;
+        self.rets += other.rets;
+    }
+}
+
+/// Error raised by the VM interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// The program ran past its end without returning.
+    FellOffEnd,
+    /// A feature offset exceeded the feature vector.
+    FeatureOutOfRange {
+        /// The offending offset.
+        offset: u32,
+    },
+    /// Instruction budget exhausted (cycle in a malformed program).
+    BudgetExhausted,
+}
+
+impl core::fmt::Display for VmError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::FellOffEnd => write!(f, "program ended without a return"),
+            Self::FeatureOutOfRange { offset } => {
+                write!(f, "feature offset {offset} outside the feature vector")
+            }
+            Self::BudgetExhausted => write!(f, "instruction budget exhausted (malformed program)"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// A compiled tree program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmProgram {
+    instrs: Vec<Instr>,
+    variant: VmVariant,
+}
+
+impl VmProgram {
+    /// Compiles `tree` under the given comparison variant.
+    ///
+    /// The emitted instruction sequence per split node matches
+    /// Listing 5: load, (flip,) materialize immediate, compare,
+    /// conditional branch to the else block; leaves return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree contains NaN thresholds (prevented by tree
+    /// validation).
+    pub fn compile(tree: &DecisionTree, variant: VmVariant) -> Self {
+        let mut instrs = Vec::new();
+        compile_node(&mut instrs, tree, NodeId::ROOT, variant);
+        Self { instrs, variant }
+    }
+
+    /// Compiles `tree` as a **double precision** program: 64-bit loads
+    /// (`ldr x`), four-part immediate materialization (`movz` + three
+    /// `movk`), bit-63 sign flips and 64-bit compares. Thresholds widen
+    /// exactly from the trained `f32` values; run it with
+    /// [`run_f64`](Self::run_f64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree contains NaN thresholds.
+    pub fn compile_f64(tree: &DecisionTree, variant: VmVariant) -> Self {
+        let mut instrs = Vec::new();
+        compile_node_f64(&mut instrs, tree, NodeId::ROOT, variant);
+        Self { instrs, variant }
+    }
+
+    /// The compiled instruction stream.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The comparison variant this program uses.
+    pub fn variant(&self) -> VmVariant {
+        self.variant
+    }
+
+    /// `true` if no instruction in the program needs an FPU.
+    pub fn is_fpu_free(&self) -> bool {
+        !self.instrs.iter().any(|i| {
+            matches!(
+                i,
+                Instr::LoadFloat { .. } | Instr::LoadFloatConst { .. } | Instr::Fcmp { .. }
+            )
+        })
+    }
+
+    /// Executes a single precision program on `f32` features.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError`] on malformed programs or out-of-range feature
+    /// offsets. Programs produced by [`VmProgram::compile`] on
+    /// validated trees with matching feature vectors never fail.
+    pub fn run(&self, features: &[f32]) -> Result<(u32, ExecStats), VmError> {
+        self.exec(FeatureBank::Single(features))
+    }
+
+    /// Executes a double precision program (from
+    /// [`VmProgram::compile_f64`]) on `f64` features.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`run`](Self::run).
+    pub fn run_f64(&self, features: &[f64]) -> Result<(u32, ExecStats), VmError> {
+        self.exec(FeatureBank::Double(features))
+    }
+
+    fn exec(&self, features: FeatureBank<'_>) -> Result<(u32, ExecStats), VmError> {
+        let mut stats = ExecStats::default();
+        // Integer registers are raw 64-bit containers; 32-bit
+        // instructions address their low words like `wN` views of `xN`.
+        let mut int_regs = [0i64; 4];
+        let mut float_regs = [0f64; 4];
+        let mut flag_gt = false;
+        let mut flag_lt = false;
+        let mut pc = 0usize;
+        let budget = self.instrs.len() as u64 * 4 + 16;
+        let mut executed = 0u64;
+        loop {
+            if executed > budget {
+                return Err(VmError::BudgetExhausted);
+            }
+            executed += 1;
+            let instr = *self.instrs.get(pc).ok_or(VmError::FellOffEnd)?;
+            pc += 1;
+            match instr {
+                Instr::LoadWord { dst, offset } => {
+                    stats.load_word += 1;
+                    int_regs[dst as usize] = i64::from(features.bits32(offset)?);
+                }
+                Instr::LoadDword { dst, offset } => {
+                    stats.load_dword += 1;
+                    int_regs[dst as usize] = features.bits64(offset)? as i64;
+                }
+                Instr::LoadFloat { dst, offset } => {
+                    stats.load_float += 1;
+                    float_regs[dst as usize] = f64::from(f32::from_bits(features.bits32(offset)?));
+                }
+                Instr::LoadDouble { dst, offset } => {
+                    stats.load_float += 1;
+                    float_regs[dst as usize] = f64::from_bits(features.bits64(offset)?);
+                }
+                Instr::Movz { dst, imm } => {
+                    stats.movz += 1;
+                    // movz zero-extends the 16-bit immediate.
+                    int_regs[dst as usize] = i64::from(imm);
+                }
+                Instr::Movk { dst, imm, shift } => {
+                    stats.movk += 1;
+                    let mask = 0xffffu64 << shift;
+                    let old = int_regs[dst as usize] as u64;
+                    int_regs[dst as usize] =
+                        ((old & !mask) | (u64::from(imm) << shift)) as i64;
+                }
+                Instr::LoadFloatConst { dst, value } => {
+                    stats.load_float_const += 1;
+                    float_regs[dst as usize] = f64::from(value);
+                }
+                Instr::LoadDoubleConst { dst, value } => {
+                    stats.load_float_const += 1;
+                    float_regs[dst as usize] = value;
+                }
+                Instr::EorSign { dst } => {
+                    stats.eor += 1;
+                    // 32-bit eor on the low word.
+                    int_regs[dst as usize] ^= 0x8000_0000;
+                }
+                Instr::EorSign64 { dst } => {
+                    stats.eor += 1;
+                    int_regs[dst as usize] ^= i64::MIN;
+                }
+                Instr::Cmp { a, b } => {
+                    stats.cmp_int += 1;
+                    let x = int_regs[a as usize] as u32 as i32;
+                    let y = int_regs[b as usize] as u32 as i32;
+                    flag_gt = x > y;
+                    flag_lt = x < y;
+                }
+                Instr::Cmp64 { a, b } => {
+                    stats.cmp_int += 1;
+                    let (x, y) = (int_regs[a as usize], int_regs[b as usize]);
+                    flag_gt = x > y;
+                    flag_lt = x < y;
+                }
+                Instr::Fcmp { a, b } => {
+                    stats.cmp_float += 1;
+                    let (x, y) = (float_regs[a as usize], float_regs[b as usize]);
+                    flag_gt = x > y;
+                    flag_lt = x < y;
+                }
+                Instr::SoftCmp { a, b } => {
+                    stats.soft_cmp += 1;
+                    let x = f32::from_bits(int_regs[a as usize] as u32);
+                    let y = f32::from_bits(int_regs[b as usize] as u32);
+                    // Software comparison routine — integer-only inside.
+                    let le = soft_le(x, y);
+                    let eq = flint_softfloat::soft_eq(x, y);
+                    flag_gt = !le;
+                    flag_lt = le && !eq;
+                }
+                Instr::SoftCmp64 { a, b } => {
+                    stats.soft_cmp += 1;
+                    let x = f64::from_bits(int_regs[a as usize] as u64);
+                    let y = f64::from_bits(int_regs[b as usize] as u64);
+                    let le = soft_le(x, y);
+                    let eq = flint_softfloat::soft_eq(x, y);
+                    flag_gt = !le;
+                    flag_lt = le && !eq;
+                }
+                Instr::BranchGt { target } => {
+                    stats.branches += 1;
+                    if flag_gt {
+                        stats.branches_taken += 1;
+                        pc = target as usize;
+                    }
+                }
+                Instr::BranchLt { target } => {
+                    stats.branches += 1;
+                    if flag_lt {
+                        stats.branches_taken += 1;
+                        pc = target as usize;
+                    }
+                }
+                Instr::Jump { target } => {
+                    stats.jumps += 1;
+                    pc = target as usize;
+                }
+                Instr::Ret { class } => {
+                    stats.rets += 1;
+                    return Ok((class, stats));
+                }
+            }
+        }
+    }
+}
+
+/// The feature vector a program executes against: `f32` rows for single
+/// precision programs, `f64` rows for double precision ones.
+#[derive(Debug, Clone, Copy)]
+enum FeatureBank<'a> {
+    Single(&'a [f32]),
+    Double(&'a [f64]),
+}
+
+impl FeatureBank<'_> {
+    /// 32-bit pattern of feature `offset` (single precision banks only;
+    /// a double bank narrows exactly when the value is representable —
+    /// programs never mix widths, so this path is single-bank only in
+    /// practice and narrowing is a defensive fallback).
+    fn bits32(self, offset: u32) -> Result<u32, VmError> {
+        match self {
+            FeatureBank::Single(f) => f
+                .get(offset as usize)
+                .map(|v| v.to_bits())
+                .ok_or(VmError::FeatureOutOfRange { offset }),
+            FeatureBank::Double(f) => f
+                .get(offset as usize)
+                .map(|v| (*v as f32).to_bits())
+                .ok_or(VmError::FeatureOutOfRange { offset }),
+        }
+    }
+
+    /// 64-bit pattern of feature `offset` (single banks widen exactly).
+    fn bits64(self, offset: u32) -> Result<u64, VmError> {
+        match self {
+            FeatureBank::Single(f) => f
+                .get(offset as usize)
+                .map(|v| f64::from(*v).to_bits())
+                .ok_or(VmError::FeatureOutOfRange { offset }),
+            FeatureBank::Double(f) => f
+                .get(offset as usize)
+                .map(|v| v.to_bits())
+                .ok_or(VmError::FeatureOutOfRange { offset }),
+        }
+    }
+}
+
+fn compile_node(instrs: &mut Vec<Instr>, tree: &DecisionTree, id: NodeId, variant: VmVariant) {
+    match &tree.nodes()[id.index()] {
+        Node::Leaf { class, .. } => instrs.push(Instr::Ret { class: *class }),
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            match variant {
+                VmVariant::Flint => {
+                    let prepared = PreparedThreshold::new(*threshold)
+                        .expect("validated trees have no NaN thresholds");
+                    let key = prepared.key() as u32;
+                    instrs.push(Instr::LoadWord {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    if prepared.flips_sign() {
+                        instrs.push(Instr::EorSign { dst: 1 });
+                    }
+                    instrs.push(Instr::Movz {
+                        dst: 2,
+                        imm: (key & 0xffff) as u16,
+                    });
+                    instrs.push(Instr::Movk {
+                        dst: 2,
+                        imm: (key >> 16) as u16,
+                        shift: 16,
+                    });
+                    instrs.push(Instr::Cmp { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    // Placeholder target patched after the left subtree.
+                    if prepared.flips_sign() {
+                        instrs.push(Instr::BranchLt { target: 0 });
+                    } else {
+                        instrs.push(Instr::BranchGt { target: 0 });
+                    }
+                    compile_node(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } | Instr::BranchLt { target } => {
+                            *target = else_target
+                        }
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node(instrs, tree, *right, variant);
+                }
+                VmVariant::NativeFloat => {
+                    instrs.push(Instr::LoadFloat {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    instrs.push(Instr::LoadFloatConst {
+                        dst: 2,
+                        value: *threshold,
+                    });
+                    instrs.push(Instr::Fcmp { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    instrs.push(Instr::BranchGt { target: 0 });
+                    compile_node(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } => *target = else_target,
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node(instrs, tree, *right, variant);
+                }
+                VmVariant::SoftFloat => {
+                    let bits = threshold.to_bits();
+                    instrs.push(Instr::LoadWord {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    instrs.push(Instr::Movz {
+                        dst: 2,
+                        imm: (bits & 0xffff) as u16,
+                    });
+                    instrs.push(Instr::Movk {
+                        dst: 2,
+                        imm: (bits >> 16) as u16,
+                        shift: 16,
+                    });
+                    instrs.push(Instr::SoftCmp { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    instrs.push(Instr::BranchGt { target: 0 });
+                    compile_node(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } => *target = else_target,
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node(instrs, tree, *right, variant);
+                }
+            }
+        }
+    }
+}
+
+fn compile_node_f64(instrs: &mut Vec<Instr>, tree: &DecisionTree, id: NodeId, variant: VmVariant) {
+    match &tree.nodes()[id.index()] {
+        Node::Leaf { class, .. } => instrs.push(Instr::Ret { class: *class }),
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let wide = f64::from(*threshold);
+            let emit_imm64 = |instrs: &mut Vec<Instr>, key: u64| {
+                instrs.push(Instr::Movz {
+                    dst: 2,
+                    imm: (key & 0xffff) as u16,
+                });
+                for shift in [16u8, 32, 48] {
+                    instrs.push(Instr::Movk {
+                        dst: 2,
+                        imm: ((key >> shift) & 0xffff) as u16,
+                        shift,
+                    });
+                }
+            };
+            match variant {
+                VmVariant::Flint => {
+                    let prepared = PreparedThreshold::new(wide)
+                        .expect("validated trees have no NaN thresholds");
+                    instrs.push(Instr::LoadDword {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    if prepared.flips_sign() {
+                        instrs.push(Instr::EorSign64 { dst: 1 });
+                    }
+                    emit_imm64(instrs, prepared.key() as u64);
+                    instrs.push(Instr::Cmp64 { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    if prepared.flips_sign() {
+                        instrs.push(Instr::BranchLt { target: 0 });
+                    } else {
+                        instrs.push(Instr::BranchGt { target: 0 });
+                    }
+                    compile_node_f64(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } | Instr::BranchLt { target } => {
+                            *target = else_target
+                        }
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node_f64(instrs, tree, *right, variant);
+                }
+                VmVariant::NativeFloat => {
+                    instrs.push(Instr::LoadDouble {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    instrs.push(Instr::LoadDoubleConst {
+                        dst: 2,
+                        value: wide,
+                    });
+                    instrs.push(Instr::Fcmp { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    instrs.push(Instr::BranchGt { target: 0 });
+                    compile_node_f64(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } => *target = else_target,
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node_f64(instrs, tree, *right, variant);
+                }
+                VmVariant::SoftFloat => {
+                    instrs.push(Instr::LoadDword {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    emit_imm64(instrs, wide.to_bits());
+                    instrs.push(Instr::SoftCmp64 { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    instrs.push(Instr::BranchGt { target: 0 });
+                    compile_node_f64(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } => *target = else_target,
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node_f64(instrs, tree, *right, variant);
+                }
+            }
+        }
+    }
+}
+
+/// A forest compiled to VM programs with majority-vote aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmForest {
+    programs: Vec<VmProgram>,
+    n_classes: usize,
+}
+
+impl VmForest {
+    /// Compiles every tree of `forest` under `variant`.
+    pub fn compile(forest: &RandomForest, variant: VmVariant) -> Self {
+        Self {
+            programs: forest
+                .trees()
+                .iter()
+                .map(|t| VmProgram::compile(t, variant))
+                .collect(),
+            n_classes: forest.n_classes(),
+        }
+    }
+
+    /// The per-tree programs.
+    pub fn programs(&self) -> &[VmProgram] {
+        &self.programs
+    }
+
+    /// Majority-vote prediction plus accumulated instruction counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from any tree program.
+    pub fn run(&self, features: &[f32]) -> Result<(u32, ExecStats), VmError> {
+        let mut votes = vec![0u32; self.n_classes];
+        let mut stats = ExecStats::default();
+        for p in &self.programs {
+            let (class, s) = p.run(features)?;
+            votes[class as usize] += 1;
+            stats.add(&s);
+        }
+        let class = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+            .expect("n_classes >= 1");
+        Ok((class, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_forest::example_tree;
+
+    #[test]
+    fn flint_program_matches_reference_tree() {
+        let tree = example_tree();
+        let program = VmProgram::compile(&tree, VmVariant::Flint);
+        for input in [
+            [0.0f32, -2.0],
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.5, -1.25],
+            [-1.0, -0.0],
+        ] {
+            let (class, _) = program.run(&input).expect("runs");
+            assert_eq!(class, tree.predict(&input), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn all_variants_agree() {
+        let tree = example_tree();
+        let flint = VmProgram::compile(&tree, VmVariant::Flint);
+        let float = VmProgram::compile(&tree, VmVariant::NativeFloat);
+        let soft = VmProgram::compile(&tree, VmVariant::SoftFloat);
+        for input in [[0.3f32, -1.3], [0.6, 2.0], [0.5, -1.25], [-7.0, 0.0]] {
+            let want = tree.predict(&input);
+            assert_eq!(flint.run(&input).expect("runs").0, want);
+            assert_eq!(float.run(&input).expect("runs").0, want);
+            assert_eq!(soft.run(&input).expect("runs").0, want);
+        }
+    }
+
+    #[test]
+    fn flint_programs_are_fpu_free() {
+        let tree = example_tree();
+        assert!(VmProgram::compile(&tree, VmVariant::Flint).is_fpu_free());
+        assert!(VmProgram::compile(&tree, VmVariant::SoftFloat).is_fpu_free());
+        assert!(!VmProgram::compile(&tree, VmVariant::NativeFloat).is_fpu_free());
+    }
+
+    #[test]
+    fn instruction_counts_match_listing_shape() {
+        let tree = example_tree();
+        let program = VmProgram::compile(&tree, VmVariant::Flint);
+        // Path [1.0, 0.0]: root (positive split, no eor) then right leaf:
+        // ldrsw + movz + movk + cmp + b.gt(taken) + ret = 6 instructions.
+        let (_, stats) = program.run(&[1.0, 0.0]).expect("runs");
+        assert_eq!(stats.load_word, 1);
+        assert_eq!(stats.movz, 1);
+        assert_eq!(stats.movk, 1);
+        assert_eq!(stats.cmp_int, 1);
+        assert_eq!(stats.branches, 1);
+        assert_eq!(stats.branches_taken, 1);
+        assert_eq!(stats.eor, 0);
+        assert_eq!(stats.rets, 1);
+        assert_eq!(stats.total(), 6);
+        // Path [0.0, 0.0]: root (no eor) + inner (-1.25 split: eor) then
+        // leaf — the eor fires exactly once.
+        let (_, stats) = program.run(&[0.0, 0.0]).expect("runs");
+        assert_eq!(stats.eor, 1);
+        assert_eq!(stats.cmp_int, 2);
+    }
+
+    #[test]
+    fn native_variant_counts_float_instructions() {
+        let tree = example_tree();
+        let program = VmProgram::compile(&tree, VmVariant::NativeFloat);
+        let (_, stats) = program.run(&[1.0, 0.0]).expect("runs");
+        assert_eq!(stats.load_float, 1);
+        assert_eq!(stats.load_float_const, 1);
+        assert_eq!(stats.cmp_float, 1);
+        assert_eq!(stats.cmp_int, 0);
+    }
+
+    #[test]
+    fn soft_variant_counts_softcmp() {
+        let tree = example_tree();
+        let program = VmProgram::compile(&tree, VmVariant::SoftFloat);
+        let (_, stats) = program.run(&[1.0, 0.0]).expect("runs");
+        assert_eq!(stats.soft_cmp, 1);
+        assert_eq!(stats.cmp_float, 0);
+    }
+
+    #[test]
+    fn feature_out_of_range_is_reported() {
+        let tree = example_tree();
+        let program = VmProgram::compile(&tree, VmVariant::Flint);
+        // [0.0] goes left at the root into the node testing feature 1,
+        // which is outside the truncated feature vector.
+        assert_eq!(
+            program.run(&[0.0]).unwrap_err(),
+            VmError::FeatureOutOfRange { offset: 1 }
+        );
+    }
+
+    #[test]
+    fn f64_programs_match_reference_on_all_variants() {
+        let tree = example_tree();
+        let flint = VmProgram::compile_f64(&tree, VmVariant::Flint);
+        let float = VmProgram::compile_f64(&tree, VmVariant::NativeFloat);
+        let soft = VmProgram::compile_f64(&tree, VmVariant::SoftFloat);
+        assert!(flint.is_fpu_free());
+        assert!(soft.is_fpu_free());
+        for input in [
+            [0.3f32, -1.3],
+            [0.6, 2.0],
+            [0.5, -1.25],
+            [-7.0, 0.0],
+            [0.5, -0.0],
+        ] {
+            let wide: Vec<f64> = input.iter().map(|&v| f64::from(v)).collect();
+            let want = tree.predict(&input);
+            assert_eq!(flint.run_f64(&wide).expect("runs").0, want, "{input:?}");
+            assert_eq!(float.run_f64(&wide).expect("runs").0, want, "{input:?}");
+            assert_eq!(soft.run_f64(&wide).expect("runs").0, want, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn f64_flint_uses_four_part_immediates() {
+        let tree = example_tree();
+        let program = VmProgram::compile_f64(&tree, VmVariant::Flint);
+        // Path [1.0, 0.0]: one split — ldr x + movz + 3×movk + cmp +
+        // branch + ret = 8 instructions.
+        let (_, stats) = program.run_f64(&[1.0, 0.0]).expect("runs");
+        assert_eq!(stats.load_dword, 1);
+        assert_eq!(stats.load_word, 0);
+        assert_eq!(stats.movz, 1);
+        assert_eq!(stats.movk, 3);
+        assert_eq!(stats.cmp_int, 1);
+        assert_eq!(stats.total(), 8);
+    }
+
+    #[test]
+    fn f64_inputs_between_f32_values() {
+        // A double strictly between adjacent f32 values must route per
+        // exact f64 comparison against the widened threshold.
+        let tree = example_tree(); // root split 0.5
+        let program = VmProgram::compile_f64(&tree, VmVariant::Flint);
+        let above = 0.5f64 + f64::EPSILON;
+        assert_eq!(program.run_f64(&[above, 0.0]).expect("runs").0, 2);
+        let below = 0.5f64 - f64::EPSILON;
+        assert_ne!(program.run_f64(&[below, 0.0]).expect("runs").0, 2);
+    }
+
+    #[test]
+    fn forest_vm_majority_vote() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::{ForestConfig, RandomForest};
+        let data = SynthSpec::new(150, 4, 3).seed(6).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 6)).expect("trainable");
+        let vm = VmForest::compile(&forest, VmVariant::Flint);
+        assert_eq!(vm.programs().len(), 5);
+        // Agreement with the exec backends' majority vote on samples.
+        use flint_exec_shim::majority_reference;
+        for i in 0..data.n_samples() {
+            let (class, stats) = vm.run(data.sample(i)).expect("runs");
+            assert_eq!(class, majority_reference(&forest, data.sample(i)));
+            assert!(stats.total() > 0);
+        }
+    }
+
+    /// Local reimplementation of the exec crate's majority vote (this
+    /// crate cannot depend on flint-exec without a cycle).
+    mod flint_exec_shim {
+        use flint_forest::RandomForest;
+
+        pub fn majority_reference(forest: &RandomForest, features: &[f32]) -> u32 {
+            let mut votes = vec![0u32; forest.n_classes()];
+            for tree in forest.trees() {
+                votes[tree.predict(features) as usize] += 1;
+            }
+            votes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
+                .map(|(i, _)| i as u32)
+                .expect("non-empty")
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the code generation stage: the VM and the
+//! textual emitters must stay faithful to the reference trees for
+//! arbitrary trained models and arbitrary (non-NaN) inputs.
+
+use flint_codegen::{
+    emit_tree_asm, emit_tree_c, emit_tree_rust, AsmTarget, CVariant, RustVariant, VmProgram,
+    VmVariant,
+};
+use flint_data::synth::SynthSpec;
+use flint_forest::train::{train_tree, TrainConfig};
+use flint_forest::DecisionTree;
+use proptest::prelude::*;
+
+fn trained_tree(seed: u64, depth: usize) -> DecisionTree {
+    let data = SynthSpec::new(130, 4, 3)
+        .cluster_std(1.1)
+        .negative_fraction(0.5)
+        .seed(seed)
+        .generate();
+    train_tree(&data, &TrainConfig::with_max_depth(depth)).expect("trains")
+}
+
+fn features() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        any::<u32>()
+            .prop_map(f32::from_bits)
+            .prop_filter("NaN", |v| !v.is_nan()),
+        4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All three VM variants predict like the reference traversal on
+    /// arbitrary bit-pattern inputs.
+    #[test]
+    fn vm_variants_match_reference(seed in 0u64..64, depth in 1usize..8, x in features()) {
+        let tree = trained_tree(seed, depth);
+        let want = tree.predict(&x);
+        for variant in [VmVariant::Flint, VmVariant::NativeFloat, VmVariant::SoftFloat] {
+            let program = VmProgram::compile(&tree, variant);
+            let (got, stats) = program.run(&x).expect("runs");
+            prop_assert_eq!(got, want, "{:?}", variant);
+            prop_assert_eq!(stats.rets, 1);
+        }
+    }
+
+    /// Program size is linear in the tree: every split contributes at
+    /// most 6 instructions (FLInt) and every leaf exactly one.
+    #[test]
+    fn program_size_is_linear(seed in 0u64..64, depth in 1usize..8) {
+        let tree = trained_tree(seed, depth);
+        let program = VmProgram::compile(&tree, VmVariant::Flint);
+        let splits = tree.n_nodes() - tree.n_leaves();
+        let upper = splits * 6 + tree.n_leaves();
+        let lower = splits * 5 + tree.n_leaves();
+        let len = program.instrs().len();
+        prop_assert!((lower..=upper).contains(&len), "{len} not in [{lower}, {upper}]");
+    }
+
+    /// The FLInt VM executes at most `depth+1` compares per inference
+    /// and exactly one eor per negative-split node on the path.
+    #[test]
+    fn instruction_counts_bounded_by_depth(seed in 0u64..64, depth in 1usize..8, x in features()) {
+        let tree = trained_tree(seed, depth);
+        let program = VmProgram::compile(&tree, VmVariant::Flint);
+        let (_, stats) = program.run(&x).expect("runs");
+        prop_assert!(stats.cmp_int as usize <= tree.depth());
+        prop_assert!(stats.eor <= stats.cmp_int);
+        prop_assert_eq!(stats.movz, stats.cmp_int);
+        prop_assert_eq!(stats.movk, stats.cmp_int);
+        prop_assert_eq!(stats.load_word, stats.cmp_int);
+    }
+
+    /// Emitted C is structurally sound for every tree: balanced braces,
+    /// one return per leaf, one condition per split, and the FLInt
+    /// variant never mentions floats.
+    #[test]
+    fn emitted_c_is_structurally_sound(seed in 0u64..64, depth in 1usize..7) {
+        let tree = trained_tree(seed, depth);
+        for variant in [CVariant::Standard, CVariant::Flint] {
+            let code = emit_tree_c(&tree, 0, variant);
+            prop_assert_eq!(code.matches('{').count(), code.matches('}').count());
+            prop_assert_eq!(code.matches("return").count(), tree.n_leaves());
+            prop_assert_eq!(code.matches("if (").count(), tree.n_nodes() - tree.n_leaves());
+        }
+        let flint_code = emit_tree_c(&tree, 0, CVariant::Flint);
+        prop_assert!(!flint_code.contains("float)1") && !flint_code.contains("(float)"));
+    }
+
+    /// Emitted Rust mirrors the same structural properties.
+    #[test]
+    fn emitted_rust_is_structurally_sound(seed in 0u64..64, depth in 1usize..7) {
+        let tree = trained_tree(seed, depth);
+        for variant in [RustVariant::Standard, RustVariant::Flint] {
+            let code = emit_tree_rust(&tree, 0, variant);
+            prop_assert_eq!(code.matches('{').count(), code.matches('}').count());
+            prop_assert_eq!(code.matches("return").count(), tree.n_leaves());
+        }
+        let flint_code = emit_tree_rust(&tree, 0, RustVariant::Flint);
+        prop_assert!(flint_code.contains("to_bits") || tree.n_leaves() == tree.n_nodes());
+    }
+
+    /// Emitted assembly: one compare per split, one eor per negative
+    /// split, labels balanced, for both targets.
+    #[test]
+    fn emitted_asm_instruction_census(seed in 0u64..64, depth in 1usize..7) {
+        let tree = trained_tree(seed, depth);
+        let splits = tree.n_nodes() - tree.n_leaves();
+        // -0.0 thresholds are rewritten to +0.0 (no flip), so only
+        // strictly negative values emit a sign-flip instruction.
+        let negative_splits = tree
+            .thresholds()
+            .filter(|t| t.is_sign_negative() && *t != 0.0)
+            .count();
+        let arm = emit_tree_asm(&tree, 0, AsmTarget::Armv8);
+        prop_assert_eq!(arm.matches("cmp ").count(), splits);
+        prop_assert_eq!(arm.matches("eor ").count(), negative_splits);
+        prop_assert_eq!(arm.matches("movz").count(), splits);
+        prop_assert_eq!(arm.matches("movk").count(), splits);
+        let x86 = emit_tree_asm(&tree, 0, AsmTarget::X86);
+        prop_assert_eq!(x86.matches("cmpl").count(), splits);
+        prop_assert_eq!(x86.matches("xorl").count(), negative_splits);
+    }
+}

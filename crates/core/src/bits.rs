@@ -1,0 +1,441 @@
+//! Bit-level interpretations of IEEE-754 floating point formats.
+//!
+//! This module is the Rust rendering of Section III-A of the paper: a
+//! fixed-width bit vector `B ∈ {0,1}^k` can be interpreted as an unsigned
+//! integer `UI(B)`, a two's complement signed integer `SI(B)`, or an
+//! IEEE-754 floating point number `FP(B)` (Definition 1). The
+//! [`FloatBits`] trait exposes all three interpretations plus the
+//! sign/exponent/mantissa decomposition of Definition 3 for `f32`
+//! (k = 32, j = 8, x = 23) and `f64` (k = 64, j = 11, x = 52).
+//!
+//! All conversions are free bit reinterpretations (`to_bits`/`from_bits`
+//! and integer casts); nothing here touches floating point arithmetic.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+use core::ops::{BitAnd, BitOr, BitXor, Not, Shl, Shr};
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for crate::half::Half {}
+}
+
+/// Minimal integer capabilities required by the FLInt operators.
+///
+/// Implemented for the signed and unsigned bit-pattern carriers of the
+/// supported float widths (`i32`/`u32`, `i64`/`u64`). This is a sealed
+/// implementation detail of [`FloatBits`]; it exists so the comparison
+/// code in [`crate::compare`] can be written once, generically over the
+/// float width.
+pub trait BitInt:
+    Copy
+    + Ord
+    + Eq
+    + Hash
+    + Debug
+    + BitXor<Output = Self>
+    + BitAnd<Output = Self>
+    + BitOr<Output = Self>
+    + Not<Output = Self>
+    + Shl<u32, Output = Self>
+    + Shr<u32, Output = Self>
+{
+    /// The additive identity (`0`).
+    const ZERO: Self;
+    /// The multiplicative identity (`1`).
+    const ONE: Self;
+}
+
+macro_rules! impl_bit_int {
+    ($($t:ty),*) => {$(
+        impl BitInt for $t {
+            const ZERO: Self = 0;
+            const ONE: Self = 1;
+        }
+    )*};
+}
+impl_bit_int!(i16, u16, i32, u32, i64, u64);
+
+/// A floating point type whose bit pattern can be reinterpreted as a
+/// two's complement signed integer of the same width.
+///
+/// The trait mirrors Definitions 1–4 of the paper:
+///
+/// * [`to_signed_bits`](FloatBits::to_signed_bits) is `SI(B)` for the bit
+///   vector `B` of `self`,
+/// * [`to_unsigned_bits`](FloatBits::to_unsigned_bits) is `UI(B)`,
+/// * `self` itself is `FP(B)`,
+/// * [`abs_bits`](FloatBits::abs_bits) clears the sign bit, yielding the
+///   pattern of `|FP(B)|` (Definition 4).
+///
+/// The trait is sealed: exactly `f32` and `f64` implement it, matching
+/// the single- and double-precision instances of the generic k-bit
+/// format used throughout the paper.
+///
+/// # Examples
+///
+/// ```
+/// use flint_core::FloatBits;
+///
+/// // The example constant from Listing 1/2 of the paper:
+/// let split = <f32 as FloatBits>::from_unsigned_bits(0x4121_3087);
+/// assert!((split - 10.074347).abs() < 1e-5);
+/// assert_eq!(split.to_unsigned_bits(), 0x4121_3087);
+/// ```
+pub trait FloatBits: Copy + PartialOrd + PartialEq + Debug + sealed::Sealed {
+    /// Signed two's complement carrier of the bit pattern (`i32`/`i64`).
+    type Signed: BitInt;
+    /// Unsigned carrier of the bit pattern (`u32`/`u64`).
+    type Unsigned: BitInt;
+
+    /// Total bit width `k` of the format (32 or 64).
+    const TOTAL_BITS: u32;
+    /// Exponent field width `j` (8 for `f32`, 11 for `f64`).
+    const EXPONENT_BITS: u32;
+    /// Mantissa field width `x` (23 for `f32`, 52 for `f64`).
+    const MANTISSA_BITS: u32;
+    /// Exponent bias `2^(j-1) - 1` (127 for `f32`, 1023 for `f64`).
+    const BIAS: i32;
+    /// The sign bit as a signed pattern (`1 << (k-1)`, i.e. `iN::MIN`).
+    const SIGN_MASK_SIGNED: Self::Signed;
+    /// The sign bit as an unsigned pattern (`1 << (k-1)`).
+    const SIGN_MASK_UNSIGNED: Self::Unsigned;
+
+    /// Reinterprets the bit pattern as a two's complement signed integer
+    /// — the paper's `SI(B)`.
+    fn to_signed_bits(self) -> Self::Signed;
+    /// Reinterprets the bit pattern as an unsigned integer — `UI(B)`.
+    fn to_unsigned_bits(self) -> Self::Unsigned;
+    /// Reconstructs the float whose bit pattern equals `bits` — the
+    /// inverse of [`to_signed_bits`](FloatBits::to_signed_bits).
+    fn from_signed_bits(bits: Self::Signed) -> Self;
+    /// Reconstructs the float whose bit pattern equals `bits` — the
+    /// inverse of [`to_unsigned_bits`](FloatBits::to_unsigned_bits).
+    fn from_unsigned_bits(bits: Self::Unsigned) -> Self;
+
+    /// `true` if the value is a NaN pattern (exponent all ones, mantissa
+    /// non-zero). FLInt operators are only *meaningful* on non-NaN input.
+    fn is_nan_value(self) -> bool;
+
+    /// The sign bit: `true` for negative patterns, including `-0.0`.
+    #[inline]
+    fn sign_bit(self) -> bool {
+        self.to_unsigned_bits() & Self::SIGN_MASK_UNSIGNED != Self::Unsigned::ZERO
+    }
+
+    /// The biased exponent field `UI(e_{j-1}, …, e_0)` of Definition 3.
+    fn biased_exponent(self) -> u32;
+
+    /// The raw mantissa field `(m_{x-1}, …, m_0)` as an unsigned integer.
+    fn mantissa_field(self) -> u64;
+
+    /// `true` if the pattern is denormalized (biased exponent 0 and
+    /// non-zero mantissa) — the sub-`2^-bias` extension of Definition 3.
+    #[inline]
+    fn is_denormal(self) -> bool {
+        self.biased_exponent() == 0 && self.mantissa_field() != 0
+    }
+
+    /// Bit pattern of `|FP(B)|` — clears the sign bit (Definition 4).
+    #[inline]
+    fn abs_bits(self) -> Self::Unsigned {
+        self.to_unsigned_bits() & !Self::SIGN_MASK_UNSIGNED
+    }
+
+    /// Bit pattern of `-FP(B)` — flips the sign bit. This is the
+    /// "multiply by −1" of Theorem 2 and the `eor`/`^ (1<<31)` of
+    /// Listings 4 and 5; it costs one XOR and no float hardware.
+    #[inline]
+    fn negated_bits(self) -> Self::Signed
+    where
+        Self::Signed: BitXor<Output = Self::Signed>,
+    {
+        self.to_signed_bits() ^ Self::SIGN_MASK_SIGNED
+    }
+}
+
+impl FloatBits for f32 {
+    type Signed = i32;
+    type Unsigned = u32;
+
+    const TOTAL_BITS: u32 = 32;
+    const EXPONENT_BITS: u32 = 8;
+    const MANTISSA_BITS: u32 = 23;
+    const BIAS: i32 = 127;
+    const SIGN_MASK_SIGNED: i32 = i32::MIN;
+    const SIGN_MASK_UNSIGNED: u32 = 0x8000_0000;
+
+    #[inline]
+    fn to_signed_bits(self) -> i32 {
+        self.to_bits() as i32
+    }
+    #[inline]
+    fn to_unsigned_bits(self) -> u32 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_signed_bits(bits: i32) -> Self {
+        f32::from_bits(bits as u32)
+    }
+    #[inline]
+    fn from_unsigned_bits(bits: u32) -> Self {
+        f32::from_bits(bits)
+    }
+    #[inline]
+    fn is_nan_value(self) -> bool {
+        // Expressed on the bit level so a no-FPU build needs no float ops:
+        // NaN <=> exponent all ones and mantissa non-zero.
+        let bits = self.to_bits();
+        (bits & 0x7f80_0000) == 0x7f80_0000 && (bits & 0x007f_ffff) != 0
+    }
+    #[inline]
+    fn biased_exponent(self) -> u32 {
+        (self.to_bits() >> 23) & 0xff
+    }
+    #[inline]
+    fn mantissa_field(self) -> u64 {
+        u64::from(self.to_bits() & 0x007f_ffff)
+    }
+}
+
+impl FloatBits for f64 {
+    type Signed = i64;
+    type Unsigned = u64;
+
+    const TOTAL_BITS: u32 = 64;
+    const EXPONENT_BITS: u32 = 11;
+    const MANTISSA_BITS: u32 = 52;
+    const BIAS: i32 = 1023;
+    const SIGN_MASK_SIGNED: i64 = i64::MIN;
+    const SIGN_MASK_UNSIGNED: u64 = 0x8000_0000_0000_0000;
+
+    #[inline]
+    fn to_signed_bits(self) -> i64 {
+        self.to_bits() as i64
+    }
+    #[inline]
+    fn to_unsigned_bits(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_signed_bits(bits: i64) -> Self {
+        f64::from_bits(bits as u64)
+    }
+    #[inline]
+    fn from_unsigned_bits(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+    #[inline]
+    fn is_nan_value(self) -> bool {
+        let bits = self.to_bits();
+        (bits & 0x7ff0_0000_0000_0000) == 0x7ff0_0000_0000_0000
+            && (bits & 0x000f_ffff_ffff_ffff) != 0
+    }
+    #[inline]
+    fn biased_exponent(self) -> u32 {
+        ((self.to_bits() >> 52) & 0x7ff) as u32
+    }
+    #[inline]
+    fn mantissa_field(self) -> u64 {
+        self.to_bits() & 0x000f_ffff_ffff_ffff
+    }
+}
+
+/// Decodes a bit pattern according to Definition 3 of the paper, from
+/// first principles — without relying on the hardware float semantics of
+/// the host.
+///
+/// Returns the mathematical value `FP(B)` as an `f64` (exact for every
+/// finite `f32` pattern). Special patterns decode to `±inf`/NaN as in
+/// IEEE-754. Used by tests to validate that the host float types agree
+/// with the paper's format definition, and by the Fig. 2 data series.
+///
+/// # Examples
+///
+/// ```
+/// use flint_core::bits::decode_f32_definition;
+///
+/// assert_eq!(
+///     decode_f32_definition(0x4121_3087),
+///     f64::from(f32::from_bits(0x4121_3087))
+/// );
+/// assert_eq!(decode_f32_definition(0x0000_0000), 0.0);
+/// assert!(decode_f32_definition(0x8000_0000).is_sign_negative()); // -0.0
+/// ```
+pub fn decode_f32_definition(bits: u32) -> f64 {
+    let sign = if bits & 0x8000_0000 != 0 { -1.0 } else { 1.0 };
+    let exp = (bits >> 23) & 0xff;
+    let man = bits & 0x007f_ffff;
+    if exp == 0xff {
+        return if man == 0 {
+            sign * f64::INFINITY
+        } else {
+            f64::NAN
+        };
+    }
+    // Definition 3 with the denormal extension: exponent 0 means the
+    // exponent is interpreted as -bias + 1 and the implicit 1 is dropped.
+    let (unbiased, implicit) = if exp == 0 {
+        (1 - 127, 0.0)
+    } else {
+        (exp as i32 - 127, 1.0)
+    };
+    let mantissa = implicit + (man as f64) / (1u64 << 23) as f64;
+    sign * mantissa * pow2(unbiased)
+}
+
+/// `2^e` for `e` within the normal f64 exponent range, built directly
+/// from the bit pattern (`powi` is unavailable in `no_std`).
+fn pow2(e: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&e));
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing_constants_round_trip() {
+        // The immediates from Listings 1/2 of the paper decode to the
+        // printed split values (the paper prints the floats rounded to
+        // 6 decimals, so compare with that tolerance).
+        for (bits, printed) in [
+            (0x4121_3087u32, 10.074347f64),
+            (0x413f_986e, 11.974715),
+            (0x4622_fa08, 10430.507324),
+        ] {
+            let v = f64::from(f32::from_unsigned_bits(bits));
+            // The paper prints values at ~7 significant digits; compare
+            // with a relative tolerance.
+            assert!((v - printed).abs() / printed < 1e-6, "{bits:#010x} -> {v}");
+            assert_eq!(f32::from_unsigned_bits(bits).to_unsigned_bits(), bits);
+        }
+        // The negative split from Listings 3/4: -2.935417, whose
+        // sign-flipped pattern is the 0x403bddde immediate.
+        let neg = f32::from_unsigned_bits(0x403b_ddde ^ 0x8000_0000);
+        assert!((f64::from(neg) + 2.935417).abs() < 1e-5);
+    }
+
+    #[test]
+    fn signed_unsigned_views_agree() {
+        for v in [0.0f32, -0.0, 1.5, -1.5, f32::MAX, f32::MIN_POSITIVE] {
+            assert_eq!(v.to_signed_bits() as u32, v.to_unsigned_bits());
+            assert_eq!(f32::from_signed_bits(v.to_signed_bits()), v);
+            assert_eq!(f32::from_unsigned_bits(v.to_unsigned_bits()), v);
+        }
+        for v in [0.0f64, -0.0, 1.5, -1.5, f64::MAX, f64::MIN_POSITIVE] {
+            assert_eq!(v.to_signed_bits() as u64, v.to_unsigned_bits());
+            assert_eq!(f64::from_signed_bits(v.to_signed_bits()), v);
+        }
+    }
+
+    #[test]
+    fn sign_bit_detection() {
+        assert!(!0.0f32.sign_bit());
+        assert!((-0.0f32).sign_bit());
+        assert!((-1.0f32).sign_bit());
+        assert!(!1.0f32.sign_bit());
+        assert!((-0.0f64).sign_bit());
+        assert!(f64::NEG_INFINITY.sign_bit());
+    }
+
+    #[test]
+    fn exponent_and_mantissa_fields() {
+        // 1.0f32 = sign 0, exponent 127, mantissa 0.
+        assert_eq!(1.0f32.biased_exponent(), 127);
+        assert_eq!(1.0f32.mantissa_field(), 0);
+        // 1.5f32 has the top mantissa bit set.
+        assert_eq!(1.5f32.mantissa_field(), 1 << 22);
+        // f64: 1.0 = exponent 1023.
+        assert_eq!(1.0f64.biased_exponent(), 1023);
+        assert_eq!(2.0f64.biased_exponent(), 1024);
+    }
+
+    #[test]
+    fn denormal_classification() {
+        let denorm = f32::from_bits(0x0000_0001);
+        assert!(denorm.is_denormal());
+        assert!(!0.0f32.is_denormal()); // zero is not *denormal* per se
+        assert!(!1.0f32.is_denormal());
+        let denorm64 = f64::from_bits(1);
+        assert!(denorm64.is_denormal());
+    }
+
+    #[test]
+    fn nan_detection_bitwise() {
+        assert!(f32::NAN.is_nan_value());
+        assert!(!f32::INFINITY.is_nan_value());
+        assert!(!f32::NEG_INFINITY.is_nan_value());
+        assert!(!0.0f32.is_nan_value());
+        assert!(f64::NAN.is_nan_value());
+        assert!(!f64::INFINITY.is_nan_value());
+        // A quiet NaN with payload.
+        assert!(f32::from_bits(0x7fc0_dead).is_nan_value());
+        // Signalling NaN pattern.
+        assert!(f32::from_bits(0xff80_0001).is_nan_value());
+    }
+
+    #[test]
+    fn abs_and_negate_bits() {
+        assert_eq!((-1.5f32).abs_bits(), 1.5f32.to_unsigned_bits());
+        assert_eq!(
+            f32::from_signed_bits((-1.5f32).negated_bits()),
+            1.5f32
+        );
+        assert_eq!(f32::from_signed_bits(1.5f32.negated_bits()), -1.5f32);
+        // Negating +0.0 yields -0.0 (distinct pattern).
+        assert_eq!(
+            f32::from_signed_bits(0.0f32.negated_bits()).to_unsigned_bits(),
+            0x8000_0000
+        );
+    }
+
+    #[test]
+    fn definition_decoder_matches_hardware() {
+        // Spot patterns incl. denormals, zero, powers of two, the listing
+        // constants, and max/min magnitudes.
+        let patterns: [u32; 12] = [
+            0x0000_0000,
+            0x8000_0000,
+            0x0000_0001,
+            0x0080_0000,
+            0x3f80_0000,
+            0x4121_3087,
+            0x413f_986e,
+            0x4622_fa08,
+            0xc03b_ddde,
+            0x7f7f_ffff,
+            0xff7f_ffff,
+            0x8000_0001,
+        ];
+        for bits in patterns {
+            let hw = f32::from_bits(bits) as f64;
+            let def = decode_f32_definition(bits);
+            assert_eq!(hw.to_bits(), def.to_bits(), "pattern {bits:#010x}");
+        }
+    }
+
+    #[test]
+    fn definition_decoder_specials() {
+        assert_eq!(decode_f32_definition(0x7f80_0000), f64::INFINITY);
+        assert_eq!(decode_f32_definition(0xff80_0000), f64::NEG_INFINITY);
+        assert!(decode_f32_definition(0x7fc0_0000).is_nan());
+    }
+
+    #[test]
+    fn format_constants() {
+        assert_eq!(<f32 as FloatBits>::BIAS, 127);
+        assert_eq!(<f64 as FloatBits>::BIAS, 1023);
+        assert_eq!(
+            <f32 as FloatBits>::EXPONENT_BITS + <f32 as FloatBits>::MANTISSA_BITS + 1,
+            <f32 as FloatBits>::TOTAL_BITS
+        );
+        assert_eq!(
+            <f64 as FloatBits>::EXPONENT_BITS + <f64 as FloatBits>::MANTISSA_BITS + 1,
+            <f64 as FloatBits>::TOTAL_BITS
+        );
+    }
+}

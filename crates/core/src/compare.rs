@@ -1,0 +1,433 @@
+//! The FLInt comparison operators (Section III-C of the paper).
+//!
+//! Three equivalent formulations are provided, mirroring the paper's
+//! development:
+//!
+//! * [`ge_bits_cases`] — the two-case reference form of **Corollary 1**
+//!   (used as the oracle in tests and the ablation benchmark),
+//! * [`ge_bits`] — the branch-free XOR form of **Theorem 1**,
+//! * [`ge_bits_sign_flip`] — the operand-exchange form of **Theorem 2**,
+//!   which checks only the sign of one operand and otherwise flips both
+//!   sign bits; this is the form resolved offline by
+//!   [`crate::threshold::PreparedThreshold`].
+//!
+//! All functions operate on the *signed bit patterns* (`SI(B)` in the
+//! paper) and use only integer comparison and logic operations. The
+//! float-typed wrappers [`flint_ge`] etc. do nothing but the free
+//! `to_bits` reinterpretation before delegating.
+//!
+//! # NaN
+//!
+//! The operators are total functions on bit patterns; on NaN patterns
+//! they return the ordering of the patterns themselves, which does *not*
+//! match IEEE-754's unordered NaN semantics. Random forest inference
+//! never compares NaN (the paper, Section III-A), and
+//! [`crate::PreparedThreshold`] enforces this at model preparation time.
+
+use crate::bits::{BitInt, FloatBits};
+
+/// Theorem 1: `FP(X) >= FP(Y)` computed as
+/// `(SI(X) >= SI(Y)) XOR (SI(X) < 0 && SI(Y) < 0 && SI(X) != SI(Y))`.
+///
+/// Uses one integer comparison for `u`, two sign tests, one inequality
+/// and one XOR — no floating point operations whatsoever.
+///
+/// # Examples
+///
+/// ```
+/// use flint_core::compare::ge_bits;
+/// use flint_core::FloatBits;
+///
+/// let x = 10.5f32.to_signed_bits();
+/// let y = (-3.25f32).to_signed_bits();
+/// assert!(ge_bits::<f32>(x, y));
+/// assert!(!ge_bits::<f32>(y, x));
+/// ```
+#[inline]
+pub fn ge_bits<F: FloatBits>(x: F::Signed, y: F::Signed) -> bool {
+    let u = x >= y;
+    let v = x < F::Signed::ZERO && y < F::Signed::ZERO && x != y;
+    u ^ v
+}
+
+/// Corollary 1: the two-case reference formulation.
+///
+/// ```text
+/// FP(X) >= FP(Y) <=> SI(X) <  SI(Y)  if both negative and unequal
+///                    SI(X) >= SI(Y)  otherwise
+/// ```
+///
+/// Semantically identical to [`ge_bits`]; kept as the executable
+/// statement of the corollary and as the oracle for the equivalence
+/// property tests.
+#[inline]
+pub fn ge_bits_cases<F: FloatBits>(x: F::Signed, y: F::Signed) -> bool {
+    let both_negative = x < F::Signed::ZERO && y < F::Signed::ZERO;
+    if both_negative && x != y {
+        x < y
+    } else {
+        x >= y
+    }
+}
+
+/// Theorem 2: `FP(X) >= FP(Y)` with a single runtime sign test on `X`.
+///
+/// If `SI(X) < 0`, both operands have their sign bit flipped (one XOR
+/// each — the bit-level "multiply by −1") and the comparison is
+/// reversed; at that point at least one operand is non-negative, so the
+/// plain signed comparison is order-preserving. This is the form whose
+/// sign test a code generator resolves *offline* when one operand is a
+/// constant.
+///
+/// # Examples
+///
+/// ```
+/// use flint_core::compare::{ge_bits, ge_bits_sign_flip};
+/// use flint_core::FloatBits;
+///
+/// for (a, b) in [(1.5f32, -2.0f32), (-2.0, -7.125), (0.0, -0.0)] {
+///     let (x, y) = (a.to_signed_bits(), b.to_signed_bits());
+///     assert_eq!(ge_bits_sign_flip::<f32>(x, y), ge_bits::<f32>(x, y));
+/// }
+/// ```
+#[inline]
+pub fn ge_bits_sign_flip<F: FloatBits>(x: F::Signed, y: F::Signed) -> bool {
+    if x < F::Signed::ZERO {
+        // -1 * SI(Y) >= -1 * SI(X), realized as sign-bit XORs.
+        (y ^ F::SIGN_MASK_SIGNED) >= (x ^ F::SIGN_MASK_SIGNED)
+    } else {
+        x >= y
+    }
+}
+
+/// `FP(X) >= FP(Y)` on float values, via [`ge_bits`].
+///
+/// This is the user-facing FLInt operator. For repeated comparisons
+/// against a fixed threshold (decision tree nodes), prefer
+/// [`crate::PreparedThreshold`], which hoists the sign handling offline.
+///
+/// Under the paper's total-order convention, `flint_ge(0.0, -0.0)` is
+/// `true` while `flint_ge(-0.0, 0.0)` is `false` (IEEE would call them
+/// equal).
+///
+/// # Examples
+///
+/// ```
+/// use flint_core::flint_ge;
+///
+/// assert!(flint_ge(2.0f32, 1.0f32));
+/// assert!(flint_ge(-1.0f64, -2.0f64));
+/// assert!(flint_ge(1.0f32, 1.0f32));
+/// assert!(!flint_ge(-0.0f32, 0.0f32)); // -0.0 < +0.0 in FLInt's order
+/// ```
+#[inline]
+pub fn flint_ge<F: FloatBits>(x: F, y: F) -> bool {
+    ge_bits::<F>(x.to_signed_bits(), y.to_signed_bits())
+}
+
+/// `FP(X) <= FP(Y)` — [`flint_ge`] with exchanged operands
+/// (Section IV-A of the paper).
+///
+/// # Examples
+///
+/// ```
+/// assert!(flint_core::flint_le(1.0f32, 2.0f32));
+/// assert!(flint_core::flint_le(-0.0f64, 0.0f64));
+/// ```
+#[inline]
+pub fn flint_le<F: FloatBits>(x: F, y: F) -> bool {
+    ge_bits::<F>(y.to_signed_bits(), x.to_signed_bits())
+}
+
+/// `FP(X) > FP(Y)` — the negation of [`flint_le`].
+///
+/// # Examples
+///
+/// ```
+/// assert!(flint_core::flint_gt(3.0f32, 2.0f32));
+/// assert!(!flint_core::flint_gt(2.0f32, 2.0f32));
+/// ```
+#[inline]
+pub fn flint_gt<F: FloatBits>(x: F, y: F) -> bool {
+    !flint_le(x, y)
+}
+
+/// `FP(X) < FP(Y)` — the negation of [`flint_ge`].
+///
+/// # Examples
+///
+/// ```
+/// assert!(flint_core::flint_lt(-1.0f64, 1.0f64));
+/// assert!(flint_core::flint_lt(-0.0f32, 0.0f32));
+/// ```
+#[inline]
+pub fn flint_lt<F: FloatBits>(x: F, y: F) -> bool {
+    !flint_ge(x, y)
+}
+
+/// `FP(X) == FP(Y)` — by Lemma 1, float equality of non-NaN patterns is
+/// exactly bit equality, i.e. one integer comparison.
+///
+/// Distinguishes `-0.0` from `+0.0` (the paper's convention).
+///
+/// # Examples
+///
+/// ```
+/// assert!(flint_core::flint_eq(1.5f32, 1.5f32));
+/// assert!(!flint_core::flint_eq(-0.0f32, 0.0f32));
+/// ```
+#[inline]
+pub fn flint_eq<F: FloatBits>(x: F, y: F) -> bool {
+    x.to_signed_bits() == y.to_signed_bits()
+}
+
+/// The larger of two floats under the paper's total order — integer
+/// comparisons only. Unlike `f32::max`, `flint_max(-0.0, 0.0)` is
+/// deterministically `+0.0`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flint_core::flint_max(1.0f32, 2.0f32), 2.0);
+/// assert_eq!(flint_core::flint_max(-0.0f32, 0.0f32).to_bits(), 0);
+/// ```
+#[inline]
+pub fn flint_max<F: FloatBits>(x: F, y: F) -> F {
+    if flint_ge(x, y) {
+        x
+    } else {
+        y
+    }
+}
+
+/// The smaller of two floats under the paper's total order — integer
+/// comparisons only.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flint_core::flint_min(1.0f32, 2.0f32), 1.0);
+/// assert!(flint_core::flint_min(-0.0f32, 0.0f32).is_sign_negative());
+/// ```
+#[inline]
+pub fn flint_min<F: FloatBits>(x: F, y: F) -> F {
+    if flint_le(x, y) {
+        x
+    } else {
+        y
+    }
+}
+
+/// Clamps `x` into `[lo, hi]` under the paper's total order.
+///
+/// # Panics
+///
+/// Debug-asserts `lo <= hi` in the FLInt order.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flint_core::flint_clamp(5.0f32, -1.0, 1.0), 1.0);
+/// assert_eq!(flint_core::flint_clamp(0.25f32, -1.0, 1.0), 0.25);
+/// ```
+#[inline]
+pub fn flint_clamp<F: FloatBits>(x: F, lo: F, hi: F) -> F {
+    debug_assert!(flint_le(lo, hi), "clamp bounds must be ordered");
+    flint_min(flint_max(x, lo), hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Values covering every structural case: ±0, denormals (min and
+    /// mid), normals across exponents, the listing constants, extremes
+    /// and infinities.
+    fn probe_values_f32() -> [f32; 22] {
+        [
+            0.0,
+            -0.0,
+            f32::from_bits(1),              // smallest positive denormal
+            -f32::from_bits(1),             // largest negative denormal
+            f32::from_bits(0x0040_0000),    // mid denormal
+            f32::MIN_POSITIVE,              // smallest normal
+            -f32::MIN_POSITIVE,
+            1.0,
+            -1.0,
+            1.5,
+            -1.5,
+            2.0,
+            -2.0,
+            10.074347,
+            11.974715,
+            10430.507324,
+            -2.935417,
+            f32::MAX,
+            f32::MIN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            core::f32::consts::PI,
+        ]
+    }
+
+    fn probe_values_f64() -> [f64; 16] {
+        [
+            0.0,
+            -0.0,
+            f64::from_bits(1),
+            -f64::from_bits(1),
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            1.0,
+            -1.0,
+            10.074347,
+            -2.935417,
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            core::f64::consts::E,
+            -core::f64::consts::E,
+        ]
+    }
+
+    /// The paper's order: IEEE order except -0.0 < +0.0.
+    fn paper_ge_f32(x: f32, y: f32) -> bool {
+        if x == 0.0 && y == 0.0 {
+            // Only the zero pair differs from IEEE: use the sign bits.
+            // x >= y unless x is -0.0 and y is +0.0.
+            !(x.is_sign_negative() && y.is_sign_positive())
+        } else {
+            x >= y
+        }
+    }
+
+    fn paper_ge_f64(x: f64, y: f64) -> bool {
+        if x == 0.0 && y == 0.0 {
+            !(x.is_sign_negative() && y.is_sign_positive())
+        } else {
+            x >= y
+        }
+    }
+
+    #[test]
+    fn theorem1_matches_paper_order_f32() {
+        for &x in &probe_values_f32() {
+            for &y in &probe_values_f32() {
+                assert_eq!(
+                    flint_ge(x, y),
+                    paper_ge_f32(x, y),
+                    "ge({x}, {y}) [bits {:#010x}, {:#010x}]",
+                    x.to_bits(),
+                    y.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem1_matches_paper_order_f64() {
+        for &x in &probe_values_f64() {
+            for &y in &probe_values_f64() {
+                assert_eq!(flint_ge(x, y), paper_ge_f64(x, y), "ge({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn three_formulations_agree() {
+        for &x in &probe_values_f32() {
+            for &y in &probe_values_f32() {
+                let (xb, yb) = (x.to_signed_bits(), y.to_signed_bits());
+                let t1 = ge_bits::<f32>(xb, yb);
+                assert_eq!(t1, ge_bits_cases::<f32>(xb, yb), "cases({x},{y})");
+                assert_eq!(t1, ge_bits_sign_flip::<f32>(xb, yb), "flip({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn derived_relations_are_consistent() {
+        for &x in &probe_values_f32() {
+            for &y in &probe_values_f32() {
+                assert_eq!(flint_le(x, y), flint_ge(y, x));
+                assert_eq!(flint_gt(x, y), !flint_le(x, y));
+                assert_eq!(flint_lt(x, y), !flint_ge(x, y));
+                // Totality: exactly one of <, ==, > holds.
+                let ways =
+                    u8::from(flint_lt(x, y)) + u8::from(flint_eq(x, y)) + u8::from(flint_gt(x, y));
+                assert_eq!(ways, 1, "trichotomy for ({x}, {y})");
+            }
+        }
+    }
+
+    #[test]
+    fn equality_is_bit_equality() {
+        assert!(flint_eq(1.5f32, 1.5f32));
+        assert!(!flint_eq(-0.0f32, 0.0f32));
+        assert!(flint_eq(f32::INFINITY, f32::INFINITY));
+        // Lemma 1 both directions on probes.
+        for &x in &probe_values_f32() {
+            for &y in &probe_values_f32() {
+                assert_eq!(flint_eq(x, y), x.to_bits() == y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn infinities_order_as_extremes() {
+        assert!(flint_ge(f32::INFINITY, f32::MAX));
+        assert!(flint_le(f32::NEG_INFINITY, f32::MIN));
+        assert!(flint_lt(f32::NEG_INFINITY, f32::INFINITY));
+    }
+
+    #[test]
+    fn negative_order_inversion_lemma6() {
+        // Lemma 6: for both-negative unequal patterns, FP order is the
+        // reverse of SI order.
+        let pairs = [(-1.0f32, -2.0f32), (-0.5, -1.5), (-2.935417, -10430.5)];
+        for (a, b) in pairs {
+            assert!(a > b);
+            // SI order inverted:
+            assert!(a.to_signed_bits() < b.to_signed_bits());
+            assert!(flint_gt(a, b));
+        }
+    }
+
+    #[test]
+    fn mixed_sign_lemma5() {
+        assert!(flint_ge(f32::from_bits(1), -f32::MAX));
+        assert!(flint_lt(-f32::from_bits(1), f32::from_bits(1)));
+        assert!(flint_gt(0.0f32, -1.0f32));
+    }
+
+    #[test]
+    fn min_max_match_ieee_on_distinct_values() {
+        for &x in &probe_values_f32() {
+            for &y in &probe_values_f32() {
+                if x != y {
+                    assert_eq!(flint_max(x, y), x.max(y), "max({x}, {y})");
+                    assert_eq!(flint_min(x, y), x.min(y), "min({x}, {y})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_refine_signed_zero() {
+        assert_eq!(flint_max(-0.0f32, 0.0).to_bits(), 0);
+        assert_eq!(flint_max(0.0f32, -0.0).to_bits(), 0);
+        assert_eq!(flint_min(-0.0f32, 0.0).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(flint_min(0.0f32, -0.0).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn clamp_behaviour() {
+        assert_eq!(flint_clamp(5.0f32, -1.0, 1.0), 1.0);
+        assert_eq!(flint_clamp(-5.0f32, -1.0, 1.0), -1.0);
+        assert_eq!(flint_clamp(0.25f32, -1.0, 1.0), 0.25);
+        assert_eq!(flint_clamp(0.5f64, 0.0, 1.0), 0.5);
+        // Degenerate interval.
+        assert_eq!(flint_clamp(7.0f32, 2.0, 2.0), 2.0);
+    }
+}

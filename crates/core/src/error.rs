@@ -1,0 +1,32 @@
+//! Error types for threshold preparation.
+
+use core::fmt;
+
+/// Error preparing a decision tree split value for FLInt evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use flint_core::{PreparedThreshold, PrepareThresholdError};
+///
+/// let err = PreparedThreshold::new(f32::NAN).unwrap_err();
+/// assert_eq!(err, PrepareThresholdError::NanSplit);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PrepareThresholdError {
+    /// The split value is NaN; NaN has no ordering and cannot be
+    /// produced by CART training on non-NaN data.
+    NanSplit,
+}
+
+impl fmt::Display for PrepareThresholdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NanSplit => write!(f, "split value is NaN and cannot be ordered"),
+        }
+    }
+}
+
+#[cfg(feature = "std")]
+impl std::error::Error for PrepareThresholdError {}

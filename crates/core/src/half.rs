@@ -1,0 +1,306 @@
+//! IEEE-754 binary16 ("half precision") support.
+//!
+//! The paper defines its float format generically for any bit width
+//! (Definition 3); `f32` and `f64` are the instances it evaluates.
+//! Embedded ML increasingly stores features and thresholds as binary16
+//! to halve memory — and since FLInt needs *no arithmetic*, only
+//! ordering, a half type without any conversion support suffices for
+//! forest inference. [`Half`] is that type: a `u16` bit pattern with
+//! the [`FloatBits`] instance (j = 5, x = 10, bias 15), usable with
+//! every comparator and [`crate::PreparedThreshold`] in the crate.
+//!
+//! ```
+//! use flint_core::{flint_ge, half::Half, PreparedThreshold};
+//!
+//! # fn main() -> Result<(), flint_core::PrepareThresholdError> {
+//! let a = Half::from_f32(1.5);
+//! let b = Half::from_f32(-2.0);
+//! assert!(flint_ge(a, b));
+//!
+//! let node = PreparedThreshold::new(Half::from_f32(0.25))?;
+//! assert!(node.le(Half::from_f32(0.25)));
+//! assert!(!node.le(Half::from_f32(0.26)));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::bits::FloatBits;
+use crate::compare::ge_bits;
+
+/// An IEEE-754 binary16 value stored as its raw bit pattern.
+///
+/// Ordering-complete (everything FLInt needs) but deliberately
+/// arithmetic-free: converting in and out goes through
+/// [`from_f32`](Half::from_f32) / [`to_f32`](Half::to_f32), which are
+/// exact in the `Half -> f32` direction and round-to-nearest-even in
+/// the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Half(u16);
+
+impl Half {
+    /// Positive zero.
+    pub const ZERO: Half = Half(0x0000);
+    /// Negative zero (distinct pattern; FLInt orders it below
+    /// [`Half::ZERO`]).
+    pub const NEG_ZERO: Half = Half(0x8000);
+    /// Positive infinity.
+    pub const INFINITY: Half = Half(0x7c00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: Half = Half(0xfc00);
+    /// Largest finite value (65504).
+    pub const MAX: Half = Half(0x7bff);
+    /// Smallest positive subnormal.
+    pub const MIN_POSITIVE_SUBNORMAL: Half = Half(0x0001);
+
+    /// Wraps a raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        Half(bits)
+    }
+
+    /// The raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even (values beyond
+    /// ±65504 become infinities; NaN stays NaN).
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let man = bits & 0x007f_ffff;
+        if exp == 0xff {
+            // Inf / NaN.
+            return Half(sign | 0x7c00 | u16::from(man != 0) << 9 | ((man >> 14) as u16 & 0x1ff));
+        }
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            return Half(sign | 0x7c00); // overflow -> inf
+        }
+        if unbiased >= -14 {
+            // Normal half: 10 mantissa bits, round the 13 dropped bits.
+            let half_exp = (unbiased + 15) as u16;
+            let mut half_man = (man >> 13) as u16;
+            let dropped = man & 0x1fff;
+            if dropped > 0x1000 || (dropped == 0x1000 && half_man & 1 == 1) {
+                half_man += 1; // may carry into the exponent — correct
+            }
+            return Half(sign.wrapping_add((half_exp << 10).wrapping_add(half_man)));
+        }
+        if unbiased >= -25 {
+            // Subnormal half: half_man = full * 2^(unbiased + 1), i.e.
+            // shift the 24-bit significand right by -(unbiased) - 1.
+            let shift = (-unbiased - 1) as u32;
+            let full = man | 0x0080_0000;
+            let half_man = (full >> shift) as u16;
+            let dropped = full & ((1 << shift) - 1);
+            let halfway = 1u32 << (shift - 1);
+            let rounded = if dropped > halfway || (dropped == halfway && half_man & 1 == 1) {
+                half_man + 1
+            } else {
+                half_man
+            };
+            return Half(sign | rounded);
+        }
+        Half(sign) // underflow -> signed zero
+    }
+
+    /// Converts to `f32` (exact — every binary16 value is an `f32`).
+    pub fn to_f32(self) -> f32 {
+        let sign = u32::from(self.0 >> 15) << 31;
+        let exp = u32::from(self.0 >> 10) & 0x1f;
+        let man = u32::from(self.0) & 0x3ff;
+        let bits = if exp == 0x1f {
+            sign | 0x7f80_0000 | (man << 13) // inf / NaN
+        } else if exp == 0 {
+            if man == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: renormalize. A subnormal with its most
+                // significant bit at position p encodes 2^(p-24) times a
+                // normalized mantissa, i.e. f32 exponent 103 + p where
+                // p = 10 - lead.
+                let lead = man.leading_zeros() - 21; // zeros above bit 10
+                // Shift the MSB up to the implicit-one position (bit
+                // 10); the remaining low 10 bits are the fraction.
+                let shifted = (man << lead) & 0x3ff;
+                let new_exp = 127 - 14 - lead;
+                sign | (new_exp << 23) | (shifted << 13)
+            }
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (man << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// `true` for NaN patterns.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7c00) == 0x7c00 && (self.0 & 0x03ff) != 0
+    }
+}
+
+impl PartialOrd for Half {
+    /// IEEE-style partial order via the FLInt comparator (NaN is
+    /// unordered; `-0.0 < +0.0` per the paper's convention).
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        let (x, y) = (self.to_signed_bits(), other.to_signed_bits());
+        Some(if x == y {
+            core::cmp::Ordering::Equal
+        } else if ge_bits::<Half>(x, y) {
+            core::cmp::Ordering::Greater
+        } else {
+            core::cmp::Ordering::Less
+        })
+    }
+}
+
+impl FloatBits for Half {
+    type Signed = i16;
+    type Unsigned = u16;
+
+    const TOTAL_BITS: u32 = 16;
+    const EXPONENT_BITS: u32 = 5;
+    const MANTISSA_BITS: u32 = 10;
+    const BIAS: i32 = 15;
+    const SIGN_MASK_SIGNED: i16 = i16::MIN;
+    const SIGN_MASK_UNSIGNED: u16 = 0x8000;
+
+    #[inline]
+    fn to_signed_bits(self) -> i16 {
+        self.0 as i16
+    }
+    #[inline]
+    fn to_unsigned_bits(self) -> u16 {
+        self.0
+    }
+    #[inline]
+    fn from_signed_bits(bits: i16) -> Self {
+        Half(bits as u16)
+    }
+    #[inline]
+    fn from_unsigned_bits(bits: u16) -> Self {
+        Half(bits)
+    }
+    #[inline]
+    fn is_nan_value(self) -> bool {
+        self.is_nan()
+    }
+    #[inline]
+    fn biased_exponent(self) -> u32 {
+        u32::from(self.0 >> 10) & 0x1f
+    }
+    #[inline]
+    fn mantissa_field(self) -> u64 {
+        u64::from(self.0 & 0x3ff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{flint_eq, flint_ge, PreparedThreshold};
+
+    #[test]
+    fn conversion_round_trips_all_finite_halves() {
+        // Half -> f32 -> Half must be the identity for every non-NaN
+        // pattern (f32 represents all binary16 values exactly).
+        for bits in 0u16..=u16::MAX {
+            let h = Half::from_bits(bits);
+            if h.is_nan() {
+                assert!(h.to_f32().is_nan());
+                continue;
+            }
+            let back = Half::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "pattern {bits:#06x} -> {}", h.to_f32());
+        }
+    }
+
+    #[test]
+    fn flint_order_matches_f32_order_exhaustively() {
+        // All ~6e8 ordered pairs is too much; sweep a structured subset:
+        // every 97th pattern plus all exponent boundaries.
+        let mut patterns: Vec<u16> = (0u16..=u16::MAX).step_by(97).collect();
+        for exp in 0u16..=30 {
+            patterns.push(exp << 10);
+            patterns.push((exp << 10) | 0x3ff);
+            patterns.push(0x8000 | (exp << 10));
+        }
+        patterns.retain(|&b| !Half::from_bits(b).is_nan());
+        for &xb in &patterns {
+            for &yb in &patterns {
+                let (x, y) = (Half::from_bits(xb), Half::from_bits(yb));
+                let (xf, yf) = (x.to_f32(), y.to_f32());
+                let want = if xf == yf && xf == 0.0 {
+                    !(xb & 0x8000 != 0 && yb & 0x8000 == 0)
+                } else {
+                    xf >= yf
+                };
+                assert_eq!(flint_ge(x, y), want, "ge({xf}, {yf})");
+                assert_eq!(flint_eq(x, y), xb == yb);
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_thresholds_work_on_halves() {
+        let patterns: Vec<u16> = (0u16..=u16::MAX)
+            .step_by(251)
+            .filter(|&b| !Half::from_bits(b).is_nan())
+            .collect();
+        for &tb in &patterns {
+            let split = Half::from_bits(tb);
+            let t = PreparedThreshold::new(split).expect("non-NaN");
+            for &xb in &patterns {
+                let x = Half::from_bits(xb);
+                assert_eq!(
+                    t.le(x),
+                    x.to_f32() <= split.to_f32(),
+                    "le({}) vs split {}",
+                    x.to_f32(),
+                    split.to_f32()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nan_handling() {
+        let nan = Half::from_bits(0x7e00);
+        assert!(nan.is_nan());
+        assert!(PreparedThreshold::new(nan).is_err());
+        assert_eq!(nan.partial_cmp(&Half::ZERO), None);
+    }
+
+    #[test]
+    fn constants_decode_correctly() {
+        assert_eq!(Half::ZERO.to_f32(), 0.0);
+        assert!(Half::NEG_ZERO.to_f32().is_sign_negative());
+        assert_eq!(Half::MAX.to_f32(), 65504.0);
+        assert_eq!(Half::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(Half::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+        assert_eq!(Half::MIN_POSITIVE_SUBNORMAL.to_f32(), 2f32.powi(-24));
+    }
+
+    #[test]
+    fn from_f32_rounds_to_nearest_even() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and the next half:
+        // ties to even (1.0).
+        let halfway = 1.0 + 2f32.powi(-11);
+        assert_eq!(Half::from_f32(halfway).to_f32(), 1.0);
+        // Slightly above the halfway rounds up.
+        let above = 1.0 + 2f32.powi(-11) + 2f32.powi(-20);
+        assert_eq!(Half::from_f32(above).to_f32(), 1.0 + 2f32.powi(-10));
+        // Overflow saturates to infinity.
+        assert_eq!(Half::from_f32(1e6), Half::INFINITY);
+        assert_eq!(Half::from_f32(-1e6), Half::NEG_INFINITY);
+        // Deep underflow flushes to signed zero.
+        assert_eq!(Half::from_f32(1e-10).to_bits(), 0);
+        assert_eq!(Half::from_f32(-1e-10).to_bits(), 0x8000);
+    }
+}

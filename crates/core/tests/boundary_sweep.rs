@@ -1,0 +1,74 @@
+//! Structured exhaustive-ish sweep: every f32 exponent value crossed
+//! with extreme mantissas and both signs — ~2.3 million ordered pairs
+//! covering all normal/denormal/zero/infinity boundaries, validated
+//! against the paper's order.
+
+use flint_core::{flint_eq, flint_ge, PreparedThreshold};
+
+/// All exponent fields 0..=254 (255 = NaN/inf band handled separately)
+/// with mantissa in {0, 1, max} and both signs, plus infinities.
+fn boundary_values() -> Vec<f32> {
+    let mut values = Vec::with_capacity(255 * 3 * 2 + 2);
+    for exp in 0u32..=254 {
+        for man in [0u32, 1, 0x007f_ffff] {
+            let bits = (exp << 23) | man;
+            values.push(f32::from_bits(bits));
+            values.push(f32::from_bits(bits | 0x8000_0000));
+        }
+    }
+    values.push(f32::INFINITY);
+    values.push(f32::NEG_INFINITY);
+    values
+}
+
+/// The paper's order on non-NaN floats.
+fn paper_ge(x: f32, y: f32) -> bool {
+    if x == y && x == 0.0 {
+        !(x.is_sign_negative() && y.is_sign_positive())
+    } else {
+        x >= y
+    }
+}
+
+#[test]
+fn flint_ge_on_all_boundary_pairs() {
+    let values = boundary_values();
+    for &x in &values {
+        for &y in &values {
+            assert_eq!(
+                flint_ge(x, y),
+                paper_ge(x, y),
+                "ge({x:e} [{:#010x}], {y:e} [{:#010x}])",
+                x.to_bits(),
+                y.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn flint_eq_on_all_boundary_pairs() {
+    let values = boundary_values();
+    for &x in &values {
+        for &y in &values {
+            assert_eq!(flint_eq(x, y), x.to_bits() == y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn prepared_thresholds_on_all_boundary_pairs() {
+    // The full IEEE-agreement guarantee over the boundary lattice.
+    let values = boundary_values();
+    for &split in &values {
+        let t = PreparedThreshold::new(split).expect("non-NaN");
+        for &x in &values {
+            assert_eq!(
+                t.le(x),
+                x <= split,
+                "le({x:e}) vs split {split:e} [{:#010x}]",
+                split.to_bits()
+            );
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! The in-memory dataset representation shared by the whole workspace.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense classification dataset: row-major `f32` feature matrix plus
+/// one integer class label per row.
+///
+/// Features are `f32` throughout the reproduction because that is the
+/// datatype the paper's evaluation uses (scikit-learn float split values
+/// compiled to 32-bit immediates).
+///
+/// # Examples
+///
+/// ```
+/// use flint_data::Dataset;
+///
+/// let ds = Dataset::from_rows(2, 2, vec![
+///     (vec![0.0, 1.0], 0),
+///     (vec![1.0, 0.0], 1),
+/// ]).expect("consistent rows");
+/// assert_eq!(ds.n_samples(), 2);
+/// assert_eq!(ds.sample(1), &[1.0, 0.0]);
+/// assert_eq!(ds.label(1), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    n_features: usize,
+    n_classes: usize,
+    features: Vec<f32>,
+    labels: Vec<u32>,
+    name: String,
+}
+
+/// Error constructing a [`Dataset`] from inconsistent parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildDatasetError {
+    /// A row's feature count differs from `n_features`.
+    RowLength {
+        /// Index of the offending row.
+        row: usize,
+        /// Its actual length.
+        got: usize,
+        /// The expected length.
+        want: usize,
+    },
+    /// A label is `>= n_classes`.
+    LabelRange {
+        /// Index of the offending row.
+        row: usize,
+        /// The out-of-range label.
+        label: u32,
+    },
+    /// Feature and label buffer lengths are inconsistent.
+    LengthMismatch,
+}
+
+impl core::fmt::Display for BuildDatasetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::RowLength { row, got, want } => {
+                write!(f, "row {row} has {got} features, expected {want}")
+            }
+            Self::LabelRange { row, label } => {
+                write!(f, "row {row} has out-of-range label {label}")
+            }
+            Self::LengthMismatch => write!(f, "feature and label buffers are inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for BuildDatasetError {}
+
+impl Dataset {
+    /// Builds a dataset from per-row `(features, label)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildDatasetError::RowLength`] if any row length differs from
+    /// `n_features`; [`BuildDatasetError::LabelRange`] if any label is
+    /// `>= n_classes`.
+    pub fn from_rows(
+        n_features: usize,
+        n_classes: usize,
+        rows: Vec<(Vec<f32>, u32)>,
+    ) -> Result<Self, BuildDatasetError> {
+        let mut features = Vec::with_capacity(rows.len() * n_features);
+        let mut labels = Vec::with_capacity(rows.len());
+        for (i, (row, label)) in rows.into_iter().enumerate() {
+            if row.len() != n_features {
+                return Err(BuildDatasetError::RowLength {
+                    row: i,
+                    got: row.len(),
+                    want: n_features,
+                });
+            }
+            if label as usize >= n_classes {
+                return Err(BuildDatasetError::LabelRange { row: i, label });
+            }
+            features.extend_from_slice(&row);
+            labels.push(label);
+        }
+        Ok(Self {
+            n_features,
+            n_classes,
+            features,
+            labels,
+            name: String::new(),
+        })
+    }
+
+    /// Builds a dataset from flat row-major storage.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildDatasetError::LengthMismatch`] if `features.len()` is not
+    /// `labels.len() * n_features`; [`BuildDatasetError::LabelRange`]
+    /// for out-of-range labels.
+    pub fn from_flat(
+        n_features: usize,
+        n_classes: usize,
+        features: Vec<f32>,
+        labels: Vec<u32>,
+    ) -> Result<Self, BuildDatasetError> {
+        if features.len() != labels.len() * n_features {
+            return Err(BuildDatasetError::LengthMismatch);
+        }
+        if let Some((row, &label)) = labels
+            .iter()
+            .enumerate()
+            .find(|(_, &l)| l as usize >= n_classes)
+        {
+            return Err(BuildDatasetError::LabelRange { row, label });
+        }
+        Ok(Self {
+            n_features,
+            n_classes,
+            features,
+            labels,
+            name: String::new(),
+        })
+    }
+
+    /// Attaches a human-readable name (dataset identifier in reports).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The dataset name ("" if unnamed).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of samples (rows).
+    pub fn n_samples(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of features (columns).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of distinct classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The feature row of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_samples()`.
+    pub fn sample(&self, i: usize) -> &[f32] {
+        &self.features[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// The label of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_samples()`.
+    pub fn label(&self, i: usize) -> u32 {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// The flat row-major feature buffer.
+    pub fn features_flat(&self) -> &[f32] {
+        &self.features
+    }
+
+    /// Iterator over `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f32], u32)> + '_ {
+        self.features
+            .chunks_exact(self.n_features.max(1))
+            .zip(self.labels.iter().copied())
+    }
+
+    /// A new dataset containing only the given sample indices (indices
+    /// may repeat — used for bootstrap resampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let mut features = Vec::with_capacity(indices.len() * self.n_features);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            features.extend_from_slice(self.sample(i));
+            labels.push(self.labels[i]);
+        }
+        Self {
+            n_features: self.n_features,
+            n_classes: self.n_classes,
+            features,
+            labels,
+            name: self.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::from_rows(
+            2,
+            3,
+            vec![
+                (vec![0.0, 1.0], 0),
+                (vec![1.0, 0.0], 1),
+                (vec![2.0, 2.0], 2),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = tiny().with_name("tiny");
+        assert_eq!(ds.n_samples(), 3);
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.n_classes(), 3);
+        assert_eq!(ds.sample(2), &[2.0, 2.0]);
+        assert_eq!(ds.label(0), 0);
+        assert_eq!(ds.name(), "tiny");
+        assert_eq!(ds.iter().count(), 3);
+    }
+
+    #[test]
+    fn row_length_validation() {
+        let err = Dataset::from_rows(2, 2, vec![(vec![1.0], 0)]).unwrap_err();
+        assert_eq!(
+            err,
+            BuildDatasetError::RowLength {
+                row: 0,
+                got: 1,
+                want: 2
+            }
+        );
+    }
+
+    #[test]
+    fn label_range_validation() {
+        let err = Dataset::from_rows(1, 2, vec![(vec![1.0], 5)]).unwrap_err();
+        assert_eq!(err, BuildDatasetError::LabelRange { row: 0, label: 5 });
+        let err = Dataset::from_flat(1, 2, vec![1.0], vec![7]).unwrap_err();
+        assert!(matches!(err, BuildDatasetError::LabelRange { .. }));
+    }
+
+    #[test]
+    fn flat_length_validation() {
+        let err = Dataset::from_flat(2, 2, vec![1.0, 2.0, 3.0], vec![0]).unwrap_err();
+        assert_eq!(err, BuildDatasetError::LengthMismatch);
+    }
+
+    #[test]
+    fn subset_with_repeats() {
+        let ds = tiny();
+        let sub = ds.subset(&[2, 2, 0]);
+        assert_eq!(sub.n_samples(), 3);
+        assert_eq!(sub.sample(0), &[2.0, 2.0]);
+        assert_eq!(sub.sample(1), &[2.0, 2.0]);
+        assert_eq!(sub.label(2), 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = BuildDatasetError::RowLength {
+            row: 3,
+            got: 1,
+            want: 2,
+        };
+        assert!(err.to_string().contains("row 3"));
+    }
+}

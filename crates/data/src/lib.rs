@@ -1,0 +1,29 @@
+//! # flint-data — dataset substrate for the FLInt reproduction
+//!
+//! The paper evaluates on five UCI datasets (EEG Eye State, Gas Sensor
+//! Array Drift, MAGIC Gamma Telescope, Sensorless Drive Diagnosis, Wine
+//! Quality). Those files cannot be redistributed, so this crate provides
+//! deterministic synthetic stand-ins with the same feature/class shape
+//! ([`uci`]), a general Gaussian-cluster generator ([`synth`]), the
+//! paper's 75/25 train/test split ([`split`]) and CSV persistence
+//! ([`csv`]) for users who do have the real files.
+//!
+//! ```
+//! use flint_data::{uci::{Scale, UciDataset}, split::train_test_split};
+//!
+//! let ds = UciDataset::Wine.generate(Scale::Tiny);
+//! let split = train_test_split(&ds, 0.25, 0);
+//! assert!(split.train.n_samples() > split.test.n_samples());
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod csv;
+pub mod dataset;
+pub mod split;
+pub mod synth;
+pub mod uci;
+
+pub use dataset::{BuildDatasetError, Dataset};
+pub use split::{train_test_split, TrainTestSplit};

@@ -1,0 +1,100 @@
+//! Train/test splitting (the paper uses a 75 %/25 % split).
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A train/test partition of a dataset.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// The training portion.
+    pub train: Dataset,
+    /// The held-out test portion.
+    pub test: Dataset,
+}
+
+/// Splits `dataset` into train and test portions with a seeded shuffle.
+///
+/// `test_fraction` is clamped to `[0, 1]`; the paper's setting is
+/// `0.25`. The split is deterministic for a given `(dataset, fraction,
+/// seed)` triple.
+///
+/// # Examples
+///
+/// ```
+/// use flint_data::{synth::SynthSpec, split::train_test_split};
+///
+/// let ds = SynthSpec::new(100, 4, 2).generate();
+/// let split = train_test_split(&ds, 0.25, 0);
+/// assert_eq!(split.train.n_samples(), 75);
+/// assert_eq!(split.test.n_samples(), 25);
+/// ```
+pub fn train_test_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> TrainTestSplit {
+    let frac = test_fraction.clamp(0.0, 1.0);
+    let n = dataset.n_samples();
+    let n_test = ((n as f64) * frac).round() as usize;
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let (test_idx, train_idx) = indices.split_at(n_test.min(n));
+    TrainTestSplit {
+        train: dataset.subset(train_idx),
+        test: dataset.subset(test_idx),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthSpec;
+
+    #[test]
+    fn paper_split_75_25() {
+        let ds = SynthSpec::new(1000, 3, 2).generate();
+        let s = train_test_split(&ds, 0.25, 42);
+        assert_eq!(s.train.n_samples(), 750);
+        assert_eq!(s.test.n_samples(), 250);
+        assert_eq!(s.train.n_features(), 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = SynthSpec::new(100, 3, 2).generate();
+        let a = train_test_split(&ds, 0.25, 7);
+        let b = train_test_split(&ds, 0.25, 7);
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = train_test_split(&ds, 0.25, 8);
+        assert_ne!(a.test, c.test);
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_complete() {
+        let ds = SynthSpec::new(60, 2, 2).generate();
+        let s = train_test_split(&ds, 0.5, 1);
+        assert_eq!(s.train.n_samples() + s.test.n_samples(), 60);
+        // Every original row appears exactly once across the two parts.
+        let mut rows: Vec<Vec<u32>> = Vec::new();
+        for part in [&s.train, &s.test] {
+            for i in 0..part.n_samples() {
+                rows.push(part.sample(i).iter().map(|f| f.to_bits()).collect());
+            }
+        }
+        rows.sort();
+        let mut orig: Vec<Vec<u32>> = (0..60)
+            .map(|i| ds.sample(i).iter().map(|f| f.to_bits()).collect())
+            .collect();
+        orig.sort();
+        assert_eq!(rows, orig);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let ds = SynthSpec::new(10, 2, 2).generate();
+        assert_eq!(train_test_split(&ds, 0.0, 0).test.n_samples(), 0);
+        assert_eq!(train_test_split(&ds, 1.0, 0).train.n_samples(), 0);
+        // Out-of-range fractions clamp.
+        assert_eq!(train_test_split(&ds, 2.0, 0).train.n_samples(), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! Compilation of arena trees into flat, layout-ordered node arrays.
+//!
+//! This is the runtime analog of arch-forest's code generation step:
+//! every tree becomes a dense array of 16-byte nodes placed in the
+//! order a [`TreeLayout`] dictates, with child pointers remapped to
+//! positions in that order. The comparison mode decides what each node
+//! stores:
+//!
+//! * [`FloatNode`] — the split value as `f32`; the runtime test is the
+//!   native float `<=` (the paper's naive/CAGS configurations);
+//! * [`IntNode`] — the split value preprocessed by
+//!   [`flint_core::PreparedThreshold`] into an integer key plus a
+//!   sign-flip bit (Theorem 2 resolved offline); the runtime test is a
+//!   signed integer comparison, optionally preceded by one XOR (the
+//!   paper's FLInt configurations).
+
+use flint_core::{FloatBits, PreparedThreshold};
+use flint_forest::{DecisionTree, Node, NodeId};
+use flint_layout::TreeLayout;
+
+/// Marker stored in the `feature` word of leaf nodes.
+pub const LEAF_MARKER: u32 = u32::MAX;
+
+/// Bit flagging "flip the feature's sign bit before comparing" in
+/// [`IntNode::feature_and_flip`]. Real feature indices must stay below
+/// this bit, which any practical model satisfies.
+pub const FLIP_BIT: u32 = 1 << 31;
+
+/// A flat node with a native float threshold (naive configurations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatNode {
+    /// Feature index, or [`LEAF_MARKER`] for leaves.
+    pub feature: u32,
+    /// Split value (unused for leaves).
+    pub threshold: f32,
+    /// Flat position of the left child; for leaves, the class.
+    pub left: u32,
+    /// Flat position of the right child (unused for leaves).
+    pub right: u32,
+}
+
+/// A flat node with the FLInt-prepared integer threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntNode {
+    /// Feature index with [`FLIP_BIT`] possibly set, or [`LEAF_MARKER`]
+    /// for leaves.
+    pub feature_and_flip: u32,
+    /// The prepared integer immediate ([`PreparedThreshold::key`]).
+    pub key: i32,
+    /// Flat position of the left child; for leaves, the class.
+    pub left: u32,
+    /// Flat position of the right child (unused for leaves).
+    pub right: u32,
+}
+
+/// A tree compiled to a flat float-comparison array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloatTree {
+    nodes: Vec<FloatNode>,
+}
+
+/// A tree compiled to a flat FLInt integer-comparison array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntTree {
+    nodes: Vec<IntNode>,
+}
+
+/// Error compiling a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileTreeError {
+    /// A split value was NaN (cannot be FLInt-prepared; also rejected
+    /// by tree validation, so this is defensive).
+    NanThreshold {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A feature index collides with the flip bit encoding.
+    FeatureTooLarge {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl core::fmt::Display for CompileTreeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NanThreshold { node } => write!(f, "node {node} has a NaN split value"),
+            Self::FeatureTooLarge { node } => {
+                write!(f, "node {node} has a feature index colliding with the flip bit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileTreeError {}
+
+impl FloatTree {
+    /// Compiles `tree` in the order given by `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` does not cover `tree`.
+    pub fn compile(tree: &DecisionTree, layout: &TreeLayout) -> Self {
+        assert_eq!(layout.len(), tree.n_nodes(), "layout must cover the tree");
+        let nodes = (0..layout.len())
+            .map(|k| {
+                let id = layout.node_at(k);
+                match &tree.nodes()[id.index()] {
+                    Node::Leaf { class, .. } => FloatNode {
+                        feature: LEAF_MARKER,
+                        threshold: 0.0,
+                        left: *class,
+                        right: 0,
+                    },
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => FloatNode {
+                        feature: *feature,
+                        threshold: *threshold,
+                        left: layout.position_of(*left),
+                        right: layout.position_of(*right),
+                    },
+                }
+            })
+            .collect();
+        Self { nodes }
+    }
+
+    /// Predicts the class of `features` with native float comparisons.
+    #[inline]
+    pub fn predict(&self, features: &[f32]) -> u32 {
+        let mut idx = 0u32;
+        loop {
+            let node = &self.nodes[idx as usize];
+            if node.feature == LEAF_MARKER {
+                return node.left;
+            }
+            idx = if features[node.feature as usize] <= node.threshold {
+                node.left
+            } else {
+                node.right
+            };
+        }
+    }
+
+    /// Predicts with *software float* comparisons (the no-FPU baseline;
+    /// same decisions, much more per-node work).
+    #[inline]
+    pub fn predict_softfloat(&self, features: &[f32]) -> u32 {
+        let mut idx = 0u32;
+        loop {
+            let node = &self.nodes[idx as usize];
+            if node.feature == LEAF_MARKER {
+                return node.left;
+            }
+            idx = if flint_softfloat::soft_le(features[node.feature as usize], node.threshold) {
+                node.left
+            } else {
+                node.right
+            };
+        }
+    }
+
+    /// The flat node array.
+    pub fn nodes(&self) -> &[FloatNode] {
+        &self.nodes
+    }
+}
+
+impl IntTree {
+    /// Compiles `tree` in the order given by `layout`, resolving every
+    /// threshold offline per Theorem 2.
+    ///
+    /// # Errors
+    ///
+    /// [`CompileTreeError::NanThreshold`] for NaN split values,
+    /// [`CompileTreeError::FeatureTooLarge`] if a feature index would
+    /// collide with the flip-bit encoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` does not cover `tree`.
+    pub fn compile(tree: &DecisionTree, layout: &TreeLayout) -> Result<Self, CompileTreeError> {
+        assert_eq!(layout.len(), tree.n_nodes(), "layout must cover the tree");
+        let mut nodes = Vec::with_capacity(layout.len());
+        for k in 0..layout.len() {
+            let id = layout.node_at(k);
+            let node = match &tree.nodes()[id.index()] {
+                Node::Leaf { class, .. } => IntNode {
+                    feature_and_flip: LEAF_MARKER,
+                    key: 0,
+                    left: *class,
+                    right: 0,
+                },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if feature & FLIP_BIT != 0 {
+                        return Err(CompileTreeError::FeatureTooLarge { node: id });
+                    }
+                    let prepared = PreparedThreshold::new(*threshold)
+                        .map_err(|_| CompileTreeError::NanThreshold { node: id })?;
+                    let flip = if prepared.flips_sign() { FLIP_BIT } else { 0 };
+                    IntNode {
+                        feature_and_flip: feature | flip,
+                        key: prepared.key(),
+                        left: layout.position_of(*left),
+                        right: layout.position_of(*right),
+                    }
+                }
+            };
+            nodes.push(node);
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Predicts the class of `features` using integer comparisons only.
+    ///
+    /// Per node: one leaf check, one bit-pattern load, at most one XOR
+    /// and exactly one signed integer comparison — the runtime shape of
+    /// Listings 2 and 4.
+    #[inline]
+    pub fn predict(&self, features: &[f32]) -> u32 {
+        let mut idx = 0u32;
+        loop {
+            let node = &self.nodes[idx as usize];
+            if node.feature_and_flip == LEAF_MARKER {
+                return node.left;
+            }
+            let feature = (node.feature_and_flip & !FLIP_BIT) as usize;
+            let bits = features[feature].to_signed_bits();
+            let go_left = if node.feature_and_flip & FLIP_BIT != 0 {
+                node.key <= (bits ^ i32::MIN)
+            } else {
+                bits <= node.key
+            };
+            idx = if go_left { node.left } else { node.right };
+        }
+    }
+
+    /// The flat node array.
+    pub fn nodes(&self) -> &[IntNode] {
+        &self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_forest::example_tree;
+    use flint_layout::{LayoutStrategy, TreeProfile};
+
+    fn layouts(tree: &DecisionTree) -> Vec<TreeLayout> {
+        let profile = TreeProfile::uniform(tree);
+        [
+            LayoutStrategy::ArenaOrder,
+            LayoutStrategy::BreadthFirst,
+            LayoutStrategy::HotPathDfs,
+            LayoutStrategy::Cags { block_nodes: 2 },
+        ]
+        .iter()
+        .map(|&s| TreeLayout::compute(tree, &profile, s))
+        .collect()
+    }
+
+    #[test]
+    fn float_tree_matches_reference_under_all_layouts() {
+        let tree = example_tree();
+        let inputs = [
+            [0.0f32, -2.0],
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.5, -1.25],
+            [-3.0, 7.0],
+        ];
+        for layout in layouts(&tree) {
+            let compiled = FloatTree::compile(&tree, &layout);
+            for input in &inputs {
+                assert_eq!(compiled.predict(input), tree.predict(input));
+                assert_eq!(compiled.predict_softfloat(input), tree.predict(input));
+            }
+        }
+    }
+
+    #[test]
+    fn int_tree_matches_reference_under_all_layouts() {
+        let tree = example_tree();
+        let inputs = [
+            [0.0f32, -2.0],
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.5, -1.25],
+            [-3.0, 7.0],
+            [0.5, -0.0],
+        ];
+        for layout in layouts(&tree) {
+            let compiled = IntTree::compile(&tree, &layout).expect("compilable");
+            for input in &inputs {
+                assert_eq!(compiled.predict(input), tree.predict(input), "{input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn negative_thresholds_set_flip_bit() {
+        let tree = example_tree(); // has threshold -1.25
+        let profile = TreeProfile::uniform(&tree);
+        let layout = TreeLayout::compute(&tree, &profile, LayoutStrategy::ArenaOrder);
+        let compiled = IntTree::compile(&tree, &layout).expect("compilable");
+        let flips: Vec<bool> = compiled
+            .nodes()
+            .iter()
+            .filter(|n| n.feature_and_flip != LEAF_MARKER)
+            .map(|n| n.feature_and_flip & FLIP_BIT != 0)
+            .collect();
+        assert_eq!(flips, vec![false, true]); // 0.5 direct, -1.25 flipped
+    }
+
+    #[test]
+    fn node_sizes_stay_compact() {
+        // The paper's point about memory layout only holds if nodes are
+        // actually dense: both node types must stay 16 bytes.
+        assert_eq!(core::mem::size_of::<FloatNode>(), 16);
+        assert_eq!(core::mem::size_of::<IntNode>(), 16);
+    }
+
+    #[test]
+    fn leaf_positions_encode_classes() {
+        let tree = example_tree();
+        let profile = TreeProfile::uniform(&tree);
+        let layout = TreeLayout::compute(&tree, &profile, LayoutStrategy::ArenaOrder);
+        let compiled = FloatTree::compile(&tree, &layout);
+        let leaf_classes: Vec<u32> = compiled
+            .nodes()
+            .iter()
+            .filter(|n| n.feature == LEAF_MARKER)
+            .map(|n| n.left)
+            .collect();
+        assert_eq!(leaf_classes, vec![2, 0, 1]); // arena order of example_tree
+    }
+}

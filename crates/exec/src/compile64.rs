@@ -1,0 +1,246 @@
+//! Double-precision flat trees (Section IV-C: the generator "supports
+//! single precision (float) and double precision (double) datatypes").
+//!
+//! Models are trained on `f32` data; widening both features and
+//! thresholds to `f64` is exact and order-preserving, so these backends
+//! serve `f64` feature vectors (the common case when the data source
+//! emits doubles) with predictions identical to the `f32` pipeline.
+
+use crate::compile::{CompileTreeError, FLIP_BIT, LEAF_MARKER};
+use flint_core::{FloatBits, PreparedThreshold};
+use flint_forest::{DecisionTree, Node};
+use flint_layout::TreeLayout;
+
+/// A flat node with a native `f64` threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloatNode64 {
+    /// Feature index, or [`LEAF_MARKER`] for leaves.
+    pub feature: u32,
+    /// Flat position of the left child; for leaves, the class.
+    pub left: u32,
+    /// Flat position of the right child (unused for leaves).
+    pub right: u32,
+    /// Split value widened to `f64` (unused for leaves).
+    pub threshold: f64,
+}
+
+/// A flat node with the FLInt-prepared 64-bit integer threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntNode64 {
+    /// Feature index with [`FLIP_BIT`] possibly set, or [`LEAF_MARKER`].
+    pub feature_and_flip: u32,
+    /// Flat position of the left child; for leaves, the class.
+    pub left: u32,
+    /// Flat position of the right child (unused for leaves).
+    pub right: u32,
+    /// The prepared 64-bit integer immediate.
+    pub key: i64,
+}
+
+/// A tree compiled to `f64` float comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloatTree64 {
+    nodes: Vec<FloatNode64>,
+}
+
+/// A tree compiled to FLInt 64-bit integer comparisons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntTree64 {
+    nodes: Vec<IntNode64>,
+}
+
+impl FloatTree64 {
+    /// Compiles `tree` in layout order with thresholds widened to `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` does not cover `tree`.
+    pub fn compile(tree: &DecisionTree, layout: &TreeLayout) -> Self {
+        assert_eq!(layout.len(), tree.n_nodes(), "layout must cover the tree");
+        let nodes = (0..layout.len())
+            .map(|k| match &tree.nodes()[layout.node_at(k).index()] {
+                Node::Leaf { class, .. } => FloatNode64 {
+                    feature: LEAF_MARKER,
+                    threshold: 0.0,
+                    left: *class,
+                    right: 0,
+                },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => FloatNode64 {
+                    feature: *feature,
+                    threshold: f64::from(*threshold),
+                    left: layout.position_of(*left),
+                    right: layout.position_of(*right),
+                },
+            })
+            .collect();
+        Self { nodes }
+    }
+
+    /// Predicts the class of an `f64` feature vector.
+    #[inline]
+    pub fn predict(&self, features: &[f64]) -> u32 {
+        let mut idx = 0u32;
+        loop {
+            let node = &self.nodes[idx as usize];
+            if node.feature == LEAF_MARKER {
+                return node.left;
+            }
+            idx = if features[node.feature as usize] <= node.threshold {
+                node.left
+            } else {
+                node.right
+            };
+        }
+    }
+
+    /// The flat node array.
+    pub fn nodes(&self) -> &[FloatNode64] {
+        &self.nodes
+    }
+}
+
+impl IntTree64 {
+    /// Compiles `tree` in layout order, resolving each widened
+    /// threshold offline per Theorem 2 (64-bit instance).
+    ///
+    /// # Errors
+    ///
+    /// [`CompileTreeError`] as in the 32-bit pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout` does not cover `tree`.
+    pub fn compile(tree: &DecisionTree, layout: &TreeLayout) -> Result<Self, CompileTreeError> {
+        assert_eq!(layout.len(), tree.n_nodes(), "layout must cover the tree");
+        let mut nodes = Vec::with_capacity(layout.len());
+        for k in 0..layout.len() {
+            let id = layout.node_at(k);
+            let node = match &tree.nodes()[id.index()] {
+                Node::Leaf { class, .. } => IntNode64 {
+                    feature_and_flip: LEAF_MARKER,
+                    key: 0,
+                    left: *class,
+                    right: 0,
+                },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    if feature & FLIP_BIT != 0 {
+                        return Err(CompileTreeError::FeatureTooLarge { node: id });
+                    }
+                    let prepared = PreparedThreshold::new(f64::from(*threshold))
+                        .map_err(|_| CompileTreeError::NanThreshold { node: id })?;
+                    let flip = if prepared.flips_sign() { FLIP_BIT } else { 0 };
+                    IntNode64 {
+                        feature_and_flip: feature | flip,
+                        key: prepared.key(),
+                        left: layout.position_of(*left),
+                        right: layout.position_of(*right),
+                    }
+                }
+            };
+            nodes.push(node);
+        }
+        Ok(Self { nodes })
+    }
+
+    /// Predicts the class of an `f64` feature vector using 64-bit
+    /// integer comparisons only.
+    #[inline]
+    pub fn predict(&self, features: &[f64]) -> u32 {
+        let mut idx = 0u32;
+        loop {
+            let node = &self.nodes[idx as usize];
+            if node.feature_and_flip == LEAF_MARKER {
+                return node.left;
+            }
+            let feature = (node.feature_and_flip & !FLIP_BIT) as usize;
+            let bits = features[feature].to_signed_bits();
+            let go_left = if node.feature_and_flip & FLIP_BIT != 0 {
+                node.key <= (bits ^ i64::MIN)
+            } else {
+                bits <= node.key
+            };
+            idx = if go_left { node.left } else { node.right };
+        }
+    }
+
+    /// The flat node array.
+    pub fn nodes(&self) -> &[IntNode64] {
+        &self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_forest::example_tree;
+    use flint_layout::{LayoutStrategy, TreeLayout, TreeProfile};
+
+    fn layout_of(tree: &DecisionTree) -> TreeLayout {
+        TreeLayout::compute(tree, &TreeProfile::uniform(tree), LayoutStrategy::ArenaOrder)
+    }
+
+    #[test]
+    fn f64_trees_match_f32_reference() {
+        let tree = example_tree();
+        let layout = layout_of(&tree);
+        let ft = FloatTree64::compile(&tree, &layout);
+        let it = IntTree64::compile(&tree, &layout).expect("compiles");
+        let inputs = [
+            [0.0f32, -2.0],
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.5, -1.25],
+            [-3.0, 7.0],
+            [0.5, -0.0],
+        ];
+        for input in inputs {
+            let wide: Vec<f64> = input.iter().map(|&v| f64::from(v)).collect();
+            let want = tree.predict(&input);
+            assert_eq!(ft.predict(&wide), want, "{input:?}");
+            assert_eq!(it.predict(&wide), want, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn f64_inputs_between_f32_values_resolve_correctly() {
+        // The widened threshold is exact, so an f64 feature strictly
+        // between two adjacent f32 values must compare exactly.
+        let tree = example_tree(); // root split 0.5
+        let layout = layout_of(&tree);
+        let it = IntTree64::compile(&tree, &layout).expect("compiles");
+        let just_above = 0.5f64 + f64::EPSILON; // > 0.5 in f64, rounds to 0.5 in f32
+        assert_eq!(it.predict(&[just_above, 0.0]), 2); // goes right
+        let just_below = 0.5f64 - f64::EPSILON;
+        assert_ne!(it.predict(&[just_below, 0.0]), 2); // goes left subtree
+    }
+
+    #[test]
+    fn negative_threshold_flips_in_64_bits() {
+        let tree = example_tree(); // contains -1.25
+        let layout = layout_of(&tree);
+        let it = IntTree64::compile(&tree, &layout).expect("compiles");
+        let flip_keys: Vec<i64> = it
+            .nodes()
+            .iter()
+            .filter(|n| n.feature_and_flip != LEAF_MARKER && n.feature_and_flip & FLIP_BIT != 0)
+            .map(|n| n.key)
+            .collect();
+        assert_eq!(flip_keys, vec![1.25f64.to_bits() as i64]);
+    }
+
+    #[test]
+    fn node_layout_is_dense() {
+        assert_eq!(core::mem::size_of::<FloatNode64>(), 24);
+        assert_eq!(core::mem::size_of::<IntNode64>(), 24);
+    }
+}

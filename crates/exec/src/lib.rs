@@ -1,0 +1,40 @@
+//! # flint-exec — random forest inference backends
+//!
+//! The paper's evaluation measures four configurations (Fig. 3):
+//! standard if-else trees ("Naive"), cache-aware CAGS trees, FLInt
+//! trees, and CAGS+FLInt trees. This crate compiles a trained
+//! [`flint_forest::RandomForest`] into flat, layout-ordered node arrays
+//! for each configuration and executes them:
+//!
+//! * [`compile::FloatTree`] / [`compile::IntNode`] — the 16-byte node
+//!   formats (float threshold vs FLInt-prepared integer key + flip bit);
+//! * [`backend::CompiledForest`] — the forest-level backends with
+//!   majority-vote aggregation, identical across configurations so the
+//!   "accuracy unchanged" claim is testable bit-for-bit;
+//! * a software float backend as the no-FPU motivational baseline.
+//!
+//! ```
+//! use flint_data::synth::SynthSpec;
+//! use flint_exec::{BackendKind, CompiledForest};
+//! use flint_forest::{ForestConfig, RandomForest};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = SynthSpec::new(100, 3, 2).generate();
+//! let forest = RandomForest::fit(&data, &ForestConfig::grid(3, 5))?;
+//! let backend = CompiledForest::compile(&forest, BackendKind::Flint, None)?;
+//! let class = backend.predict(data.sample(0));
+//! assert!(class < 2);
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod backend;
+pub mod compile;
+pub mod compile64;
+
+pub use backend::{BackendKind, CompareMode, CompiledForest};
+pub use compile::{CompileTreeError, FloatNode, FloatTree, IntNode, IntTree};
+pub use compile64::{FloatNode64, FloatTree64, IntNode64, IntTree64};

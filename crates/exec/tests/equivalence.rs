@@ -1,0 +1,140 @@
+//! The paper's central correctness claim, tested at forest scale:
+//! replacing float comparisons with FLInt integer comparisons (and
+//! re-laying out nodes with CAGS) changes **no prediction**, on any
+//! input, including adversarial bit patterns.
+
+use flint_data::synth::SynthSpec;
+use flint_data::uci::{Scale, UciDataset};
+use flint_exec::{BackendKind, CompiledForest};
+use flint_forest::{ForestConfig, RandomForest};
+use proptest::prelude::*;
+
+#[test]
+fn all_backends_agree_on_all_uci_datasets() {
+    for ds in UciDataset::ALL {
+        let data = ds.generate(Scale::Tiny);
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 10)).expect("trainable");
+        let backends: Vec<CompiledForest> = [
+            BackendKind::Naive,
+            BackendKind::Cags,
+            BackendKind::Flint,
+            BackendKind::CagsFlint,
+            BackendKind::SoftFloat,
+        ]
+        .iter()
+        .map(|&k| CompiledForest::compile(&forest, k, Some(&data)).expect("compilable"))
+        .collect();
+        let reference = backends[0].predict_dataset(&data);
+        for b in &backends[1..] {
+            assert_eq!(
+                b.predict_dataset(&data),
+                reference,
+                "{} diverges on {}",
+                b.kind().name(),
+                ds.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn accuracy_is_bit_identical_across_backends() {
+    use flint_forest::metrics::accuracy;
+    let data = UciDataset::Magic.generate(Scale::Tiny);
+    let split = flint_data::train_test_split(&data, 0.25, 0);
+    let forest = RandomForest::fit(&split.train, &ForestConfig::grid(10, 15)).expect("trainable");
+    let mut accs = Vec::new();
+    for kind in BackendKind::PAPER_SET {
+        let b = CompiledForest::compile(&forest, kind, Some(&split.train)).expect("compilable");
+        let preds = b.predict_dataset(&split.test);
+        accs.push(accuracy(&preds, split.test.labels()));
+    }
+    assert!(accs.windows(2).all(|w| w[0] == w[1]), "accuracies {accs:?}");
+}
+
+/// Feature vectors drawn over raw bit patterns (excluding NaN): zeros of
+/// both signs, denormals and infinities all appear.
+fn bit_level_features(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        any::<u32>()
+            .prop_map(f32::from_bits)
+            .prop_filter("NaN", |v| !v.is_nan()),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn backends_agree_on_adversarial_bit_patterns(
+        seed in 0u64..32,
+        features in bit_level_features(4),
+    ) {
+        let data = SynthSpec::new(120, 4, 3)
+            .negative_fraction(0.6)
+            .seed(seed)
+            .generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 12)).expect("trainable");
+        let naive = CompiledForest::compile(&forest, BackendKind::Naive, None).expect("compilable");
+        let flint = CompiledForest::compile(&forest, BackendKind::Flint, None).expect("compilable");
+        let cags_flint =
+            CompiledForest::compile(&forest, BackendKind::CagsFlint, Some(&data)).expect("compilable");
+        let want = naive.predict(&features);
+        prop_assert_eq!(flint.predict(&features), want);
+        prop_assert_eq!(cags_flint.predict(&features), want);
+    }
+
+    /// The double-precision pair must agree with each other on
+    /// arbitrary f64 bit patterns — the FLInt 64-bit instance against
+    /// the native f64 comparison, same thresholds.
+    #[test]
+    fn f64_float_and_int_trees_agree(
+        seed in 0u64..16,
+        raw in proptest::collection::vec(any::<u64>(), 3),
+    ) {
+        use flint_exec::{FloatTree64, IntTree64};
+        use flint_layout::{LayoutStrategy, TreeLayout, TreeProfile};
+        let features: Vec<f64> = raw
+            .iter()
+            .map(|&b| {
+                let v = f64::from_bits(b);
+                if v.is_nan() { 0.0 } else { v }
+            })
+            .collect();
+        let data = SynthSpec::new(90, 3, 2).negative_fraction(0.5).seed(seed).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(1, 8)).expect("trainable");
+        let tree = &forest.trees()[0];
+        let layout = TreeLayout::compute(tree, &TreeProfile::uniform(tree), LayoutStrategy::ArenaOrder);
+        let ft = FloatTree64::compile(tree, &layout);
+        let it = IntTree64::compile(tree, &layout).expect("compilable");
+        prop_assert_eq!(ft.predict(&features), it.predict(&features));
+    }
+
+    #[test]
+    fn per_tree_decisions_agree_with_arena_reference(
+        seed in 0u64..16,
+        features in bit_level_features(3),
+    ) {
+        use flint_exec::{FloatTree, IntTree};
+        use flint_layout::{LayoutStrategy, TreeLayout, TreeProfile};
+        let data = SynthSpec::new(90, 3, 2).seed(seed).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(1, 10)).expect("trainable");
+        let tree = &forest.trees()[0];
+        let profile = TreeProfile::collect(tree, &data);
+        for strategy in [
+            LayoutStrategy::ArenaOrder,
+            LayoutStrategy::BreadthFirst,
+            LayoutStrategy::HotPathDfs,
+            LayoutStrategy::Cags { block_nodes: 4 },
+        ] {
+            let layout = TreeLayout::compute(tree, &profile, strategy);
+            let ft = FloatTree::compile(tree, &layout);
+            let it = IntTree::compile(tree, &layout).expect("compilable");
+            let want = tree.predict(&features);
+            prop_assert_eq!(ft.predict(&features), want);
+            prop_assert_eq!(it.predict(&features), want);
+            prop_assert_eq!(ft.predict_softfloat(&features), want);
+        }
+    }
+}

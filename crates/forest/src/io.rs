@@ -1,0 +1,336 @@
+//! Plain-text model persistence.
+//!
+//! No serde *format* crate is in the sanctioned dependency set, so
+//! models are stored in a small line-oriented text format. Thresholds
+//! are written as the hexadecimal `f32` bit pattern, which both
+//! round-trips exactly and matches how the paper's code generator
+//! embeds split values as integer immediates.
+//!
+//! ```text
+//! flint-forest v1
+//! forest n_features=2 n_classes=3 n_trees=1
+//! tree n_nodes=3
+//! split feature=0 bits=3f000000 left=1 right=2
+//! leaf class=0 counts=8,2,0
+//! leaf class=2 counts=0,0,10
+//! end
+//! ```
+
+use crate::node::{Node, NodeId};
+use crate::tree::DecisionTree;
+use crate::RandomForest;
+use std::io::{BufRead, BufWriter, Write};
+
+/// Error reading a model file.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ReadModelError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural or syntactic problem at a line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// The reconstructed tree failed validation.
+    InvalidTree(crate::tree::ValidateTreeError),
+}
+
+impl core::fmt::Display for ReadModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error reading model: {e}"),
+            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::InvalidTree(e) => write!(f, "model decodes to an invalid tree: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::InvalidTree(e) => Some(e),
+            Self::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReadModelError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes a forest in the v1 text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// use flint_forest::{io, ForestConfig, RandomForest};
+/// use flint_data::synth::SynthSpec;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = SynthSpec::new(80, 3, 2).generate();
+/// let forest = RandomForest::fit(&data, &ForestConfig::grid(2, 4))?;
+/// let mut buf = Vec::new();
+/// io::write_forest(&forest, &mut buf)?;
+/// let back = io::read_forest(&buf[..])?;
+/// assert_eq!(back, forest);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_forest<W: Write>(forest: &RandomForest, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "flint-forest v1")?;
+    writeln!(
+        w,
+        "forest n_features={} n_classes={} n_trees={}",
+        forest.n_features(),
+        forest.n_classes(),
+        forest.n_trees()
+    )?;
+    for tree in forest.trees() {
+        writeln!(w, "tree n_nodes={}", tree.n_nodes())?;
+        for node in tree.nodes() {
+            match node {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => writeln!(
+                    w,
+                    "split feature={feature} bits={:08x} left={} right={}",
+                    threshold.to_bits(),
+                    left.0,
+                    right.0
+                )?,
+                Node::Leaf { class, counts } => {
+                    let counts_text: Vec<String> =
+                        counts.iter().map(|c| c.to_string()).collect();
+                    writeln!(w, "leaf class={class} counts={}", counts_text.join(","))?
+                }
+            }
+        }
+    }
+    writeln!(w, "end")?;
+    w.flush()
+}
+
+/// Reads a forest written by [`write_forest`].
+///
+/// # Errors
+///
+/// [`ReadModelError`] on I/O failure, malformed syntax, or trees that
+/// fail structural validation.
+pub fn read_forest<R: BufRead>(reader: R) -> Result<RandomForest, ReadModelError> {
+    let mut lines = reader.lines().enumerate();
+    let mut next_line = || -> Result<(usize, String), ReadModelError> {
+        loop {
+            match lines.next() {
+                None => {
+                    return Err(ReadModelError::Syntax {
+                        line: 0,
+                        message: "unexpected end of file".into(),
+                    })
+                }
+                Some((i, line)) => {
+                    let line = line?;
+                    if !line.trim().is_empty() {
+                        return Ok((i + 1, line));
+                    }
+                }
+            }
+        }
+    };
+    let syntax = |line: usize, message: &str| ReadModelError::Syntax {
+        line,
+        message: message.to_owned(),
+    };
+
+    let (ln, header) = next_line()?;
+    if header.trim() != "flint-forest v1" {
+        return Err(syntax(ln, "expected header `flint-forest v1`"));
+    }
+    let (ln, forest_line) = next_line()?;
+    let fields = parse_fields(&forest_line, "forest").ok_or_else(|| {
+        syntax(ln, "expected `forest n_features=.. n_classes=.. n_trees=..`")
+    })?;
+    let n_features = get_usize(&fields, "n_features").ok_or_else(|| syntax(ln, "n_features"))?;
+    let n_classes = get_usize(&fields, "n_classes").ok_or_else(|| syntax(ln, "n_classes"))?;
+    let n_trees = get_usize(&fields, "n_trees").ok_or_else(|| syntax(ln, "n_trees"))?;
+
+    let mut trees = Vec::with_capacity(n_trees);
+    for _ in 0..n_trees {
+        let (ln, tree_line) = next_line()?;
+        let fields = parse_fields(&tree_line, "tree")
+            .ok_or_else(|| syntax(ln, "expected `tree n_nodes=..`"))?;
+        let n_nodes = get_usize(&fields, "n_nodes").ok_or_else(|| syntax(ln, "n_nodes"))?;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (ln, node_line) = next_line()?;
+            let trimmed = node_line.trim();
+            if let Some(fields) = parse_fields(trimmed, "split") {
+                let feature =
+                    get_usize(&fields, "feature").ok_or_else(|| syntax(ln, "feature"))? as u32;
+                let bits = fields
+                    .iter()
+                    .find(|(k, _)| *k == "bits")
+                    .and_then(|(_, v)| u32::from_str_radix(v, 16).ok())
+                    .ok_or_else(|| syntax(ln, "bits"))?;
+                let left = get_usize(&fields, "left").ok_or_else(|| syntax(ln, "left"))? as u32;
+                let right = get_usize(&fields, "right").ok_or_else(|| syntax(ln, "right"))? as u32;
+                nodes.push(Node::Split {
+                    feature,
+                    threshold: f32::from_bits(bits),
+                    left: NodeId(left),
+                    right: NodeId(right),
+                });
+            } else if let Some(fields) = parse_fields(trimmed, "leaf") {
+                let class = get_usize(&fields, "class").ok_or_else(|| syntax(ln, "class"))? as u32;
+                let counts_text = fields
+                    .iter()
+                    .find(|(k, _)| *k == "counts")
+                    .map(|(_, v)| *v)
+                    .ok_or_else(|| syntax(ln, "counts"))?;
+                let counts: Option<Vec<u32>> =
+                    counts_text.split(',').map(|c| c.parse().ok()).collect();
+                let counts = counts.ok_or_else(|| syntax(ln, "counts must be integers"))?;
+                nodes.push(Node::Leaf { class, counts });
+            } else {
+                return Err(syntax(ln, "expected `split ...` or `leaf ...`"));
+            }
+        }
+        trees.push(
+            DecisionTree::new(nodes, n_features, n_classes).map_err(ReadModelError::InvalidTree)?,
+        );
+    }
+    let (ln, end) = next_line()?;
+    if end.trim() != "end" {
+        return Err(syntax(ln, "expected trailing `end`"));
+    }
+    if trees.is_empty() {
+        return Err(syntax(ln, "a forest needs at least one tree"));
+    }
+    Ok(RandomForest::from_trees(trees))
+}
+
+/// Parses `tag k1=v1 k2=v2 ...` into key/value pairs; `None` if the tag
+/// doesn't match.
+fn parse_fields<'a>(line: &'a str, tag: &str) -> Option<Vec<(&'a str, &'a str)>> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != tag {
+        return None;
+    }
+    let mut fields = Vec::new();
+    for part in parts {
+        let (k, v) = part.split_once('=')?;
+        fields.push((k, v));
+    }
+    Some(fields)
+}
+
+fn get_usize(fields: &[(&str, &str)], key: &str) -> Option<usize> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+    use flint_data::synth::SynthSpec;
+
+    fn forest() -> RandomForest {
+        let data = SynthSpec::new(120, 4, 3).seed(1).generate();
+        RandomForest::fit(&data, &ForestConfig::grid(3, 6)).expect("trainable")
+    }
+
+    #[test]
+    fn round_trip_exact() {
+        let f = forest();
+        let mut buf = Vec::new();
+        write_forest(&f, &mut buf).expect("write");
+        let back = read_forest(&buf[..]).expect("read");
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn negative_and_special_thresholds_round_trip() {
+        // Hand-built tree with a negative and a subnormal threshold.
+        let tree = DecisionTree::new(
+            vec![
+                Node::Split {
+                    feature: 0,
+                    threshold: -2.935417,
+                    left: NodeId(1),
+                    right: NodeId(2),
+                },
+                Node::Split {
+                    feature: 0,
+                    threshold: f32::from_bits(1),
+                    left: NodeId(3),
+                    right: NodeId(4),
+                },
+                Node::Leaf { class: 1, counts: vec![0, 5] },
+                Node::Leaf { class: 0, counts: vec![5, 0] },
+                Node::Leaf { class: 1, counts: vec![1, 2] },
+            ],
+            1,
+            2,
+        )
+        .expect("valid");
+        let f = RandomForest::from_trees(vec![tree]);
+        let mut buf = Vec::new();
+        write_forest(&f, &mut buf).expect("write");
+        let back = read_forest(&buf[..]).expect("read");
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_forest("not a model\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadModelError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let f = forest();
+        let mut buf = Vec::new();
+        write_forest(&f, &mut buf).expect("write");
+        let cut = buf.len() / 2;
+        let err = read_forest(&buf[..cut]).unwrap_err();
+        assert!(matches!(err, ReadModelError::Syntax { .. }));
+    }
+
+    #[test]
+    fn rejects_garbage_node_line() {
+        let text = "flint-forest v1\nforest n_features=1 n_classes=2 n_trees=1\ntree n_nodes=1\nbogus stuff\nend\n";
+        let err = read_forest(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadModelError::Syntax { line: 4, .. }));
+    }
+
+    #[test]
+    fn rejects_structurally_invalid_tree() {
+        // Dangling child pointer.
+        let text = "flint-forest v1\nforest n_features=1 n_classes=2 n_trees=1\ntree n_nodes=1\nsplit feature=0 bits=3f800000 left=5 right=6\nend\n";
+        let err = read_forest(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadModelError::InvalidTree(_)));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers() {
+        let text = "flint-forest v1\nforest n_features=1 n_classes=2 n_trees=1\ntree n_nodes=1\nleaf class=0 counts=a,b\nend\n";
+        let err = read_forest(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 4"), "{err}");
+    }
+}

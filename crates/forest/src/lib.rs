@@ -1,0 +1,40 @@
+//! # flint-forest — decision tree and random forest substrate
+//!
+//! The FLInt paper trains its models with scikit-learn; this crate is
+//! the Rust replacement: CART decision trees (Gini criterion, midpoint
+//! thresholds, depth caps) in [`train`], bootstrap-bagged random
+//! forests in [`forest`], reference (naive float) inference on
+//! [`tree::DecisionTree`], evaluation [`metrics`] and a text model
+//! format in [`io`].
+//!
+//! Reference inference here uses plain `f32` comparisons — this is the
+//! paper's *naive baseline*. The FLInt and CAGS execution backends live
+//! in `flint-exec`, and all backends are tested to agree with this one
+//! prediction-for-prediction.
+//!
+//! ```
+//! use flint_forest::{ForestConfig, RandomForest};
+//! use flint_data::synth::SynthSpec;
+//!
+//! # fn main() -> Result<(), flint_forest::train::TrainError> {
+//! let data = SynthSpec::new(200, 4, 2).cluster_std(0.4).generate();
+//! let forest = RandomForest::fit(&data, &ForestConfig::grid(10, 8))?;
+//! let predicted = forest.predict(data.sample(0));
+//! assert!(predicted < 2);
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod forest;
+pub mod io;
+pub mod metrics;
+pub mod node;
+pub mod train;
+pub mod tree;
+
+pub use forest::{ForestConfig, RandomForest};
+pub use node::{Node, NodeId};
+pub use tree::{example_tree, DecisionTree, ValidateTreeError};

@@ -1,0 +1,109 @@
+//! Classification metrics (accuracy parity between backends is the
+//! paper's correctness claim: FLInt "keeps the model accuracy
+//! unchanged").
+
+/// Fraction of predictions equal to the true labels.
+///
+/// Returns 1.0 for empty inputs (vacuous truth keeps aggregate code
+/// simple).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use flint_forest::metrics::accuracy;
+///
+/// assert_eq!(accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+/// ```
+pub fn accuracy(predictions: &[u32], labels: &[u32]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    if predictions.is_empty() {
+        return 1.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Confusion matrix: `matrix[true][predicted]` counts.
+///
+/// # Panics
+///
+/// Panics on length mismatch or labels/predictions `>= n_classes`.
+///
+/// # Examples
+///
+/// ```
+/// use flint_forest::metrics::confusion_matrix;
+///
+/// let m = confusion_matrix(&[0, 1, 1], &[0, 1, 0], 2);
+/// assert_eq!(m[0][0], 1); // true 0 predicted 0
+/// assert_eq!(m[0][1], 1); // true 0 predicted 1
+/// assert_eq!(m[1][1], 1);
+/// ```
+pub fn confusion_matrix(predictions: &[u32], labels: &[u32], n_classes: usize) -> Vec<Vec<u32>> {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    let mut matrix = vec![vec![0u32; n_classes]; n_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        matrix[l as usize][p as usize] += 1;
+    }
+    matrix
+}
+
+/// Per-class recall: `matrix[c][c] / Σ_k matrix[c][k]` (NaN-free: empty
+/// classes report 0).
+pub fn per_class_recall(matrix: &[Vec<u32>]) -> Vec<f64> {
+    matrix
+        .iter()
+        .enumerate()
+        .map(|(c, row)| {
+            let total: u32 = row.iter().sum();
+            if total == 0 {
+                0.0
+            } else {
+                f64::from(row[c]) / f64::from(total)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_bounds() {
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+        assert_eq!(accuracy(&[0, 0], &[1, 1]), 0.0);
+        assert_eq!(accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_length_check() {
+        let _ = accuracy(&[1], &[1, 2]);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal() {
+        let m = confusion_matrix(&[0, 1, 2], &[0, 1, 2], 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m[i][j], u32::from(i == j));
+            }
+        }
+    }
+
+    #[test]
+    fn recall_handles_empty_classes() {
+        let m = confusion_matrix(&[0, 0], &[0, 0], 2);
+        let r = per_class_recall(&m);
+        assert_eq!(r, vec![1.0, 0.0]);
+    }
+}

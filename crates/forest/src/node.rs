@@ -1,0 +1,102 @@
+//! Tree node representation (Section IV-A of the paper).
+//!
+//! The paper models a decision tree as a node set where every node
+//! carries a feature index `FI(n)`, split value `SP(n)`, child pointers
+//! `LC(n)`/`RC(n)` and (for leaves) a prediction `PR(n)`. We store the
+//! nodes in an arena (`Vec<Node>`) addressed by [`NodeId`]; the
+//! execution crates flatten this arena into cache-conscious layouts.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within its tree's arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The root node of every tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// The arena index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One decision tree node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Inner node: `feature <= threshold` goes left, else right.
+    Split {
+        /// Feature index `FI(n)` tested by this node.
+        feature: u32,
+        /// Split value `SP(n)` (an `f32`, as produced by training).
+        threshold: f32,
+        /// Left child `LC(n)` — taken when `x[feature] <= threshold`.
+        left: NodeId,
+        /// Right child `RC(n)` — taken otherwise.
+        right: NodeId,
+    },
+    /// Leaf node carrying the class distribution of its training
+    /// samples. The prediction `PR(n)` is the argmax class.
+    Leaf {
+        /// Majority class.
+        class: u32,
+        /// Per-class sample counts observed at training time (used for
+        /// probability averaging across a forest).
+        counts: Vec<u32>,
+    },
+}
+
+impl Node {
+    /// `true` for leaf nodes.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// The leaf's class, or `None` for split nodes.
+    pub fn leaf_class(&self) -> Option<u32> {
+        match self {
+            Node::Leaf { class, .. } => Some(*class),
+            Node::Split { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_basics() {
+        assert_eq!(NodeId::ROOT.index(), 0);
+        assert_eq!(NodeId(5).index(), 5);
+        assert_eq!(NodeId(5).to_string(), "n5");
+        assert!(NodeId(1) < NodeId(2));
+    }
+
+    #[test]
+    fn leaf_accessors() {
+        let leaf = Node::Leaf {
+            class: 2,
+            counts: vec![0, 1, 5],
+        };
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.leaf_class(), Some(2));
+        let split = Node::Split {
+            feature: 0,
+            threshold: 1.5,
+            left: NodeId(1),
+            right: NodeId(2),
+        };
+        assert!(!split.is_leaf());
+        assert_eq!(split.leaf_class(), None);
+    }
+}

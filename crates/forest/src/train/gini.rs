@@ -1,0 +1,100 @@
+//! Gini impurity — the split criterion of CART (and scikit-learn's
+//! default, which the paper uses).
+
+/// Gini impurity of a class-count histogram: `1 - Σ p_c²`.
+///
+/// Returns 0.0 for an empty histogram (an empty node is pure by
+/// convention).
+///
+/// # Examples
+///
+/// ```
+/// use flint_forest::train::gini::gini;
+///
+/// assert_eq!(gini(&[10, 0]), 0.0);          // pure
+/// assert_eq!(gini(&[5, 5]), 0.5);           // maximally mixed, 2 classes
+/// assert!((gini(&[1, 1, 1]) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn gini(counts: &[u32]) -> f64 {
+    let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total_f = total as f64;
+    let sum_sq: f64 = counts
+        .iter()
+        .map(|&c| {
+            let p = f64::from(c) / total_f;
+            p * p
+        })
+        .sum();
+    1.0 - sum_sq
+}
+
+/// Weighted Gini impurity of a binary partition — the quantity CART
+/// minimizes over candidate splits.
+///
+/// # Examples
+///
+/// ```
+/// use flint_forest::train::gini::weighted_gini;
+///
+/// // A perfect split of a mixed parent has impurity 0.
+/// assert_eq!(weighted_gini(&[4, 0], &[0, 4]), 0.0);
+/// // A useless split keeps the parent's impurity.
+/// assert_eq!(weighted_gini(&[2, 2], &[2, 2]), 0.5);
+/// ```
+pub fn weighted_gini(left: &[u32], right: &[u32]) -> f64 {
+    let nl: u64 = left.iter().map(|&c| u64::from(c)).sum();
+    let nr: u64 = right.iter().map(|&c| u64::from(c)).sum();
+    let n = (nl + nr) as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    (nl as f64 / n) * gini(left) + (nr as f64 / n) * gini(right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_nodes_have_zero_impurity() {
+        assert_eq!(gini(&[7]), 0.0);
+        assert_eq!(gini(&[0, 0, 12]), 0.0);
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn uniform_distribution_maximizes() {
+        // k classes uniform: gini = 1 - 1/k, the maximum for k classes.
+        for k in 2..6u32 {
+            let counts = vec![10u32; k as usize];
+            let expected = 1.0 - 1.0 / f64::from(k);
+            assert!((gini(&counts) - expected).abs() < 1e-12);
+            // Any skew reduces impurity.
+            let mut skewed = counts.clone();
+            skewed[0] += 10;
+            assert!(gini(&skewed) < gini(&counts));
+        }
+    }
+
+    #[test]
+    fn weighted_gini_respects_sizes() {
+        // Left is pure and large, right mixed and small: closer to 0
+        // than the even mix.
+        let a = weighted_gini(&[90, 0], &[5, 5]);
+        let b = weighted_gini(&[50, 0], &[45, 5]);
+        assert!(a < b);
+        assert_eq!(weighted_gini(&[0, 0], &[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn splitting_never_increases_impurity_for_best_split() {
+        // Sanity for the CART criterion: the trivial "all left" split
+        // equals the parent impurity.
+        let parent = [6u32, 4];
+        assert!((weighted_gini(&parent, &[0, 0]) - gini(&parent)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,8 @@
+//! CART training (the substrate the paper delegates to scikit-learn).
+
+pub mod builder;
+pub mod gini;
+pub mod splitter;
+
+pub use builder::{train_tree, MaxFeatures, TrainConfig, TrainError};
+pub use splitter::{best_split, BestSplit};

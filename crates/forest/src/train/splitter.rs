@@ -1,0 +1,179 @@
+//! Best-split search over candidate features (the inner loop of CART).
+
+use super::gini::weighted_gini;
+use flint_data::Dataset;
+
+/// A candidate split chosen by the search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestSplit {
+    /// Feature index to test.
+    pub feature: u32,
+    /// Threshold (midpoint between adjacent distinct values, like
+    /// scikit-learn).
+    pub threshold: f32,
+    /// Weighted Gini impurity of the partition this split induces.
+    pub impurity: f64,
+}
+
+/// Finds the impurity-minimizing `(feature, threshold)` over the given
+/// `samples` (indices into `data`) and `features` (candidate feature
+/// indices, already subsampled by the caller for random forests).
+///
+/// Returns `None` when no feature admits a split that actually
+/// separates the samples (all candidate features constant).
+pub fn best_split(
+    data: &Dataset,
+    samples: &[usize],
+    features: &[u32],
+    min_samples_leaf: usize,
+) -> Option<BestSplit> {
+    let n_classes = data.n_classes();
+    let mut best: Option<BestSplit> = None;
+    // Reused buffers.
+    let mut order: Vec<usize> = Vec::with_capacity(samples.len());
+    for &feature in features {
+        order.clear();
+        order.extend_from_slice(samples);
+        let f = feature as usize;
+        order.sort_by(|&a, &b| {
+            data.sample(a)[f]
+                .partial_cmp(&data.sample(b)[f])
+                .expect("training data must not contain NaN")
+        });
+        // Prefix class counts: start all-right, move left one by one.
+        let mut left = vec![0u32; n_classes];
+        let mut right = vec![0u32; n_classes];
+        for &i in order.iter() {
+            right[data.label(i) as usize] += 1;
+        }
+        for cut in 1..order.len() {
+            let moved = order[cut - 1];
+            left[data.label(moved) as usize] += 1;
+            right[data.label(moved) as usize] -= 1;
+            if cut < min_samples_leaf || order.len() - cut < min_samples_leaf {
+                continue;
+            }
+            let lo = data.sample(order[cut - 1])[f];
+            let hi = data.sample(order[cut])[f];
+            if lo == hi {
+                continue; // no boundary between equal values
+            }
+            let impurity = weighted_gini(&left, &right);
+            let candidate_better = match &best {
+                None => true,
+                Some(b) => impurity < b.impurity,
+            };
+            if candidate_better {
+                // Midpoint threshold, computed in f32 like sklearn; if
+                // rounding collapses onto `hi`, fall back to `lo` so the
+                // partition stays non-trivial under `<=`.
+                let mut threshold = lo + (hi - lo) / 2.0;
+                if threshold >= hi {
+                    threshold = lo;
+                }
+                best = Some(BestSplit {
+                    feature,
+                    threshold,
+                    impurity,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_ish_dataset() -> Dataset {
+        // One perfectly separating feature (0) and one useless (1).
+        Dataset::from_rows(
+            2,
+            2,
+            vec![
+                (vec![-2.0, 0.3], 0),
+                (vec![-1.5, 0.9], 0),
+                (vec![-1.0, 0.1], 0),
+                (vec![1.0, 0.2], 1),
+                (vec![1.5, 0.8], 1),
+                (vec![2.0, 0.4], 1),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn finds_the_separating_feature() {
+        let data = xor_ish_dataset();
+        let samples: Vec<usize> = (0..6).collect();
+        let split = best_split(&data, &samples, &[0, 1], 1).expect("separable");
+        assert_eq!(split.feature, 0);
+        assert_eq!(split.impurity, 0.0);
+        // Midpoint of -1.0 and 1.0.
+        assert_eq!(split.threshold, 0.0);
+    }
+
+    #[test]
+    fn respects_feature_subset() {
+        let data = xor_ish_dataset();
+        let samples: Vec<usize> = (0..6).collect();
+        // Only the useless feature offered: split exists but is impure.
+        let split = best_split(&data, &samples, &[1], 1).expect("still splittable");
+        assert_eq!(split.feature, 1);
+        assert!(split.impurity > 0.0);
+    }
+
+    #[test]
+    fn constant_features_yield_none() {
+        let data = Dataset::from_rows(
+            1,
+            2,
+            vec![(vec![3.0], 0), (vec![3.0], 1), (vec![3.0], 0)],
+        )
+        .expect("valid");
+        let samples: Vec<usize> = (0..3).collect();
+        assert_eq!(best_split(&data, &samples, &[0], 1), None);
+    }
+
+    #[test]
+    fn min_samples_leaf_blocks_extreme_cuts() {
+        let data = xor_ish_dataset();
+        let samples: Vec<usize> = (0..6).collect();
+        // With min_samples_leaf = 3 only the 3|3 cut is admissible.
+        let split = best_split(&data, &samples, &[0], 3).expect("3|3 cut exists");
+        assert_eq!(split.threshold, 0.0);
+        // min_samples_leaf = 4 admits no cut of 6 samples.
+        assert_eq!(best_split(&data, &samples, &[0], 4), None);
+    }
+
+    #[test]
+    fn threshold_separates_under_le() {
+        // The returned threshold must route at least one sample left and
+        // one right under `x <= t`.
+        let data = xor_ish_dataset();
+        let samples: Vec<usize> = (0..6).collect();
+        for feats in [&[0u32][..], &[1]] {
+            if let Some(s) = best_split(&data, &samples, feats, 1) {
+                let f = s.feature as usize;
+                let left = samples
+                    .iter()
+                    .filter(|&&i| data.sample(i)[f] <= s.threshold)
+                    .count();
+                assert!(left > 0 && left < samples.len(), "feature {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_float_values_fall_back_to_lower() {
+        // lo and hi adjacent in f32: midpoint rounds to hi; the splitter
+        // must fall back to lo so `<=` still separates.
+        let lo = 1.0f32;
+        let hi = f32::from_bits(lo.to_bits() + 1);
+        let data = Dataset::from_rows(1, 2, vec![(vec![lo], 0), (vec![hi], 1)]).expect("valid");
+        let split = best_split(&data, &[0, 1], &[0], 1).expect("separable");
+        assert_eq!(split.threshold, lo);
+        assert!(lo <= split.threshold && hi > split.threshold);
+    }
+}

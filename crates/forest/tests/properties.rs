@@ -1,0 +1,111 @@
+//! Property-based tests of the training substrate: structural
+//! invariants that must hold for every trained tree and forest.
+
+use flint_data::synth::SynthSpec;
+use flint_data::Dataset;
+use flint_forest::train::{train_tree, MaxFeatures, TrainConfig};
+use flint_forest::{io, ForestConfig, Node, RandomForest};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (2usize..5, 2usize..4, 40usize..160, 0u64..1000).prop_map(|(nf, nc, n, seed)| {
+        SynthSpec::new(n, nf, nc)
+            .cluster_std(1.0)
+            .negative_fraction(0.5)
+            .seed(seed)
+            .generate()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Depth caps hold for every dataset and every cap.
+    #[test]
+    fn trained_depth_never_exceeds_cap(data in dataset_strategy(), cap in 0usize..12) {
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(cap)).expect("trains");
+        prop_assert!(tree.depth() <= cap, "depth {} > cap {cap}", tree.depth());
+    }
+
+    /// Every leaf's class-count histogram sums to a partition of the
+    /// training set: total across leaves equals the sample count.
+    #[test]
+    fn leaf_counts_partition_the_training_set(data in dataset_strategy()) {
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(6)).expect("trains");
+        let total: u32 = tree
+            .nodes()
+            .iter()
+            .filter_map(|n| match n {
+                Node::Leaf { counts, .. } => Some(counts.iter().sum::<u32>()),
+                Node::Split { .. } => None,
+            })
+            .sum();
+        prop_assert_eq!(total as usize, data.n_samples());
+    }
+
+    /// Thresholds always lie strictly between two observed feature
+    /// values (no degenerate splits), and are never NaN.
+    #[test]
+    fn thresholds_are_finite_and_separating(data in dataset_strategy()) {
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(8)).expect("trains");
+        for t in tree.thresholds() {
+            prop_assert!(!t.is_nan());
+            prop_assert!(t.is_finite());
+        }
+        // The root split must route at least one training sample each way.
+        if let Node::Split { feature, threshold, .. } = &tree.nodes()[0] {
+            let f = *feature as usize;
+            let left = (0..data.n_samples())
+                .filter(|&i| data.sample(i)[f] <= *threshold)
+                .count();
+            prop_assert!(left > 0 && left < data.n_samples());
+        }
+    }
+
+    /// Predictions are always valid class indices, for arbitrary
+    /// (non-NaN) inputs — not just training-distribution inputs.
+    #[test]
+    fn predictions_are_valid_classes(
+        data in dataset_strategy(),
+        raw in proptest::collection::vec(any::<u32>(), 8),
+    ) {
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(3, 6)).expect("trains");
+        let features: Vec<f32> = raw
+            .iter()
+            .take(data.n_features())
+            .map(|&b| {
+                let v = f32::from_bits(b);
+                if v.is_nan() { 0.0 } else { v }
+            })
+            .chain(std::iter::repeat(0.0))
+            .take(data.n_features())
+            .collect();
+        let class = forest.predict(&features);
+        prop_assert!((class as usize) < data.n_classes());
+    }
+
+    /// The text model format round-trips every trained forest exactly.
+    #[test]
+    fn model_io_round_trips(data in dataset_strategy(), n_trees in 1usize..5) {
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(n_trees, 5)).expect("trains");
+        let mut buf = Vec::new();
+        io::write_forest(&forest, &mut buf).expect("writes");
+        let back = io::read_forest(&buf[..]).expect("reads");
+        prop_assert_eq!(back, forest);
+    }
+
+    /// Feature subsampling (sqrt) still yields working trees.
+    #[test]
+    fn sqrt_features_trains_valid_trees(data in dataset_strategy(), seed in 0u64..100) {
+        let cfg = TrainConfig {
+            max_depth: Some(6),
+            max_features: MaxFeatures::Sqrt,
+            seed,
+            ..TrainConfig::default()
+        };
+        let tree = train_tree(&data, &cfg).expect("trains");
+        // Every feature index within range is enforced by validation,
+        // which `train_tree` runs; reaching here is the assertion.
+        prop_assert!(tree.n_nodes() >= 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! # flint-layout — CAGS: cache-aware grouping and swapping
+//!
+//! The FLInt paper composes its operator with the CAGS optimization of
+//! Chen et al. (TECS 2022): lay decision tree nodes out in memory
+//! according to empirical branch probabilities collected on the
+//! training set, so the hot path stays within few cache blocks.
+//!
+//! * [`profile::TreeProfile`] — visit/branch counting on training data;
+//! * [`layout::TreeLayout`] — node permutations under four strategies
+//!   (arena order, breadth-first, probability-swapped DFS, full CAGS
+//!   greedy grouping), plus the expected-block-transition cost metric.
+//!
+//! The execution backends in `flint-exec` materialize their flat node
+//! arrays in layout order, making the optimization physically real.
+//!
+//! ```
+//! use flint_forest::example_tree;
+//! use flint_layout::{LayoutStrategy, TreeLayout, TreeProfile};
+//!
+//! let tree = example_tree();
+//! let profile = TreeProfile::uniform(&tree);
+//! let layout = TreeLayout::compute(&tree, &profile, LayoutStrategy::Cags { block_nodes: 4 });
+//! assert_eq!(layout.len(), tree.n_nodes());
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod layout;
+pub mod profile;
+
+pub use layout::{LayoutStrategy, TreeLayout};
+pub use profile::{NodeStats, TreeProfile};

@@ -1,0 +1,170 @@
+//! Empirical branch-probability profiling.
+//!
+//! CAGS (Chen et al., the optimization the paper composes FLInt with)
+//! collects, on the *training* data, how often each node is visited and
+//! how often its left branch is taken. These statistics drive the
+//! swapping (put the likely branch on the fallthrough path) and
+//! grouping (pack hot paths into cache blocks) stages.
+
+use flint_data::Dataset;
+use flint_forest::{DecisionTree, Node, NodeId};
+
+/// Visit statistics of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Number of training samples that reached this node.
+    pub visits: u64,
+    /// Of those, how many took the left (`<=`) branch. Zero for leaves.
+    pub left_taken: u64,
+}
+
+/// Branch statistics for every node of one tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeProfile {
+    stats: Vec<NodeStats>,
+}
+
+impl TreeProfile {
+    /// Runs every sample of `data` through `tree`, recording visits and
+    /// branch decisions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.n_features() != tree.n_features()`.
+    pub fn collect(tree: &DecisionTree, data: &Dataset) -> Self {
+        assert_eq!(
+            data.n_features(),
+            tree.n_features(),
+            "profiling data must match the tree's feature count"
+        );
+        let mut stats = vec![NodeStats::default(); tree.n_nodes()];
+        for (features, _) in data.iter() {
+            let mut id = NodeId::ROOT;
+            loop {
+                stats[id.index()].visits += 1;
+                match &tree.nodes()[id.index()] {
+                    Node::Leaf { .. } => break,
+                    Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        if features[*feature as usize] <= *threshold {
+                            stats[id.index()].left_taken += 1;
+                            id = *left;
+                        } else {
+                            id = *right;
+                        }
+                    }
+                }
+            }
+        }
+        Self { stats }
+    }
+
+    /// A uniform profile (every branch 50/50) for trees without
+    /// profiling data.
+    pub fn uniform(tree: &DecisionTree) -> Self {
+        Self {
+            stats: vec![
+                NodeStats {
+                    visits: 0,
+                    left_taken: 0,
+                };
+                tree.n_nodes()
+            ],
+        }
+    }
+
+    /// The raw statistics of `node`.
+    pub fn stats(&self, node: NodeId) -> NodeStats {
+        self.stats[node.index()]
+    }
+
+    /// Empirical probability that `node`'s left branch is taken, with a
+    /// 0.5 fallback for nodes never visited during profiling.
+    pub fn left_probability(&self, node: NodeId) -> f64 {
+        let s = self.stats[node.index()];
+        if s.visits == 0 {
+            0.5
+        } else {
+            s.left_taken as f64 / s.visits as f64
+        }
+    }
+
+    /// Probability that a sample reaches `node` at all (visits at the
+    /// node over visits at the root; 0.0 when the root was never
+    /// profiled).
+    pub fn reach_probability(&self, node: NodeId) -> f64 {
+        let root = self.stats[NodeId::ROOT.index()].visits;
+        if root == 0 {
+            0.0
+        } else {
+            self.stats[node.index()].visits as f64 / root as f64
+        }
+    }
+
+    /// Number of nodes covered by this profile.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// `true` if the profile covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_data::Dataset;
+    use flint_forest::example_tree;
+
+    fn skewed_data() -> Dataset {
+        // 9 of 10 samples go right at the root (x0 > 0.5).
+        let mut rows = vec![(vec![0.0f32, 0.0f32], 1u32)];
+        for _ in 0..9 {
+            rows.push((vec![1.0, 0.0], 2));
+        }
+        Dataset::from_rows(2, 3, rows).expect("valid")
+    }
+
+    #[test]
+    fn counts_visits_and_branches() {
+        let tree = example_tree();
+        let profile = TreeProfile::collect(&tree, &skewed_data());
+        assert_eq!(profile.stats(NodeId(0)).visits, 10);
+        assert_eq!(profile.stats(NodeId(0)).left_taken, 1);
+        assert_eq!(profile.stats(NodeId(2)).visits, 9); // right leaf
+        assert_eq!(profile.stats(NodeId(1)).visits, 1);
+        assert!((profile.left_probability(NodeId(0)) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reach_probability_is_normalized() {
+        let tree = example_tree();
+        let profile = TreeProfile::collect(&tree, &skewed_data());
+        assert_eq!(profile.reach_probability(NodeId(0)), 1.0);
+        assert!((profile.reach_probability(NodeId(2)) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unvisited_nodes_fall_back_to_half() {
+        let tree = example_tree();
+        let profile = TreeProfile::uniform(&tree);
+        assert_eq!(profile.left_probability(NodeId(0)), 0.5);
+        assert_eq!(profile.reach_probability(NodeId(1)), 0.0);
+        assert_eq!(profile.len(), tree.n_nodes());
+        assert!(!profile.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count")]
+    fn rejects_mismatched_data() {
+        let tree = example_tree();
+        let data = Dataset::from_rows(3, 3, vec![(vec![0.0, 0.0, 0.0], 0)]).expect("valid");
+        let _ = TreeProfile::collect(&tree, &data);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests: every layout strategy yields a valid
+//! permutation with the root first, on arbitrary trained trees, and the
+//! CAGS cost metric never loses to the arena baseline by more than
+//! noise on its own objective.
+
+use flint_data::synth::SynthSpec;
+use flint_forest::train::{train_tree, TrainConfig};
+use flint_layout::{LayoutStrategy, TreeLayout, TreeProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn layouts_are_permutations_with_root_first(
+        seed in 0u64..500,
+        depth in 1usize..8,
+        block in 1usize..8,
+    ) {
+        let data = SynthSpec::new(120, 4, 3).cluster_std(1.0).seed(seed).generate();
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(depth)).expect("trains");
+        let profile = TreeProfile::collect(&tree, &data);
+        for strategy in [
+            LayoutStrategy::ArenaOrder,
+            LayoutStrategy::BreadthFirst,
+            LayoutStrategy::HotPathDfs,
+            LayoutStrategy::Cags { block_nodes: block },
+        ] {
+            let layout = TreeLayout::compute(&tree, &profile, strategy);
+            prop_assert_eq!(layout.len(), tree.n_nodes());
+            prop_assert_eq!(layout.node_at(0), flint_forest::NodeId::ROOT);
+            let mut seen = vec![false; tree.n_nodes()];
+            for k in 0..layout.len() {
+                let id = layout.node_at(k);
+                prop_assert!(!seen[id.index()]);
+                seen[id.index()] = true;
+                prop_assert_eq!(layout.position_of(id) as usize, k);
+            }
+        }
+    }
+
+    /// On its own objective (expected block transitions), the CAGS
+    /// greedy layout never does worse than the arena order.
+    #[test]
+    fn cags_never_worse_than_arena_on_its_objective(
+        seed in 0u64..500,
+        block in 2usize..8,
+    ) {
+        let data = SynthSpec::new(150, 4, 2).cluster_std(1.2).seed(seed).generate();
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(7)).expect("trains");
+        let profile = TreeProfile::collect(&tree, &data);
+        let arena = TreeLayout::compute(&tree, &profile, LayoutStrategy::ArenaOrder);
+        let cags = TreeLayout::compute(&tree, &profile, LayoutStrategy::Cags { block_nodes: block });
+        let a = arena.expected_block_transitions(&tree, &profile, block);
+        let c = cags.expected_block_transitions(&tree, &profile, block);
+        prop_assert!(c <= a + 1e-9, "cags {c} vs arena {a} (block {block})");
+    }
+
+    /// Probabilities from a profile are always within [0, 1] and
+    /// children's reach probabilities sum to their parent's.
+    #[test]
+    fn profile_probabilities_are_consistent(seed in 0u64..500) {
+        use flint_forest::Node;
+        let data = SynthSpec::new(100, 3, 2).seed(seed).generate();
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(6)).expect("trains");
+        let profile = TreeProfile::collect(&tree, &data);
+        for (i, node) in tree.nodes().iter().enumerate() {
+            let id = flint_forest::NodeId(i as u32);
+            let p = profile.left_probability(id);
+            prop_assert!((0.0..=1.0).contains(&p));
+            if let Node::Split { left, right, .. } = node {
+                let reach = profile.reach_probability(id);
+                let sum = profile.reach_probability(*left) + profile.reach_probability(*right);
+                prop_assert!((reach - sum).abs() < 1e-9, "node {id}: {reach} vs {sum}");
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! A fixed-capacity leaf bitset for the QuickScorer traversal.
+//!
+//! QuickScorer maintains, per tree and per input, a bitvector with one
+//! bit per leaf: bit set means "this leaf is still reachable". False
+//! nodes clear the bits of their left subtree (a *contiguous* range in
+//! in-order leaf numbering), and the exit leaf is the lowest surviving
+//! bit. Trees from the paper's depth sweeps can have thousands of
+//! leaves, so the bitset is a `Vec<u64>` rather than the single `u64`
+//! of the original learning-to-rank setting.
+
+/// A bitset over leaf indices `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafBitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl LeafBitset {
+    /// A bitset with all `len` bits set ("every leaf reachable").
+    pub fn all_set(len: usize) -> Self {
+        let n_words = len.div_ceil(64);
+        let mut words = vec![u64::MAX; n_words];
+        // Mask off the bits beyond `len` in the last word.
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        if len == 0 {
+            words.clear();
+        }
+        Self { words, len }
+    }
+
+    /// Number of addressable bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the bitset addresses no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Clears the bit range `[start, end)` — the "left subtree becomes
+    /// unreachable" update of a false node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len()`.
+    pub fn clear_range(&mut self, start: usize, end: usize) {
+        assert!(start <= end && end <= self.len, "range out of bounds");
+        if start == end {
+            return;
+        }
+        let (first_word, first_bit) = (start / 64, start % 64);
+        let (last_word, last_bit) = ((end - 1) / 64, (end - 1) % 64);
+        if first_word == last_word {
+            // Bits first_bit..=last_bit within one word.
+            let width = last_bit - first_bit + 1;
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << width) - 1) << first_bit
+            };
+            self.words[first_word] &= !mask;
+            return;
+        }
+        self.words[first_word] &= (1u64 << first_bit) - 1;
+        for w in &mut self.words[first_word + 1..last_word] {
+            *w = 0;
+        }
+        let tail_mask = if last_bit == 63 {
+            u64::MAX
+        } else {
+            (1u64 << (last_bit + 1)) - 1
+        };
+        self.words[last_word] &= !tail_mask;
+    }
+
+    /// Index of the lowest set bit — QuickScorer's exit leaf.
+    pub fn first_set(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * 64 + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Whether bit `i` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "index out of bounds");
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Resets every bit to set (reuse between inferences without
+    /// reallocating).
+    pub fn reset_all_set(&mut self) {
+        let full = self.len / 64;
+        for w in &mut self.words[..full] {
+            *w = u64::MAX;
+        }
+        if !self.len.is_multiple_of(64) {
+            self.words[full] = (1u64 << (self.len % 64)) - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_set_and_count() {
+        for len in [0usize, 1, 63, 64, 65, 130] {
+            let b = LeafBitset::all_set(len);
+            assert_eq!(b.len(), len);
+            assert_eq!(b.count_ones(), len, "len {len}");
+            assert_eq!(b.first_set(), if len == 0 { None } else { Some(0) });
+        }
+    }
+
+    #[test]
+    fn clear_range_within_one_word() {
+        let mut b = LeafBitset::all_set(64);
+        b.clear_range(3, 7);
+        assert_eq!(b.count_ones(), 60);
+        assert!(b.get(2) && !b.get(3) && !b.get(6) && b.get(7));
+        assert_eq!(b.first_set(), Some(0));
+        b.clear_range(0, 3);
+        assert_eq!(b.first_set(), Some(7));
+    }
+
+    #[test]
+    fn clear_range_across_words() {
+        let mut b = LeafBitset::all_set(200);
+        b.clear_range(60, 140);
+        assert_eq!(b.count_ones(), 200 - 80);
+        assert!(b.get(59) && !b.get(60) && !b.get(139) && b.get(140));
+        b.clear_range(0, 60);
+        assert_eq!(b.first_set(), Some(140));
+    }
+
+    #[test]
+    fn clear_full_and_empty_ranges() {
+        let mut b = LeafBitset::all_set(100);
+        b.clear_range(40, 40); // empty: no-op
+        assert_eq!(b.count_ones(), 100);
+        b.clear_range(0, 100);
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.first_set(), None);
+    }
+
+    #[test]
+    fn clear_exact_word_boundaries() {
+        let mut b = LeafBitset::all_set(192);
+        b.clear_range(64, 128); // exactly the middle word
+        assert!(b.get(63) && !b.get(64) && !b.get(127) && b.get(128));
+        assert_eq!(b.count_ones(), 128);
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let mut b = LeafBitset::all_set(77);
+        b.clear_range(10, 70);
+        assert_ne!(b.count_ones(), 77);
+        b.reset_all_set();
+        assert_eq!(b.count_ones(), 77);
+        // Bits beyond len stay clear (first_set semantics intact).
+        assert_eq!(b.first_set(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "range out of bounds")]
+    fn clear_range_bounds_checked() {
+        let mut b = LeafBitset::all_set(10);
+        b.clear_range(5, 11);
+    }
+}

@@ -1,0 +1,181 @@
+//! Building the QuickScorer representation from a decision tree.
+//!
+//! Leaves are numbered in-order (left to right), so the set of leaves
+//! under any node's left subtree is a contiguous index range. For every
+//! split node we record `(threshold, feature, left-leaf range)`; during
+//! scoring, a node whose test `x[f] <= t` is **false** clears its left
+//! range from the reachability bitset. Conditions are grouped by
+//! feature and sorted by threshold ascending, so scoring one feature is
+//! a linear scan that stops at the first true condition (`t >= x`):
+//! exactly the Lucchese et al. traversal.
+//!
+//! Thresholds are stored twice: as floats and as FLInt order keys
+//! ([`flint_core::FlintOrd::order_key`]), so the scan can run either
+//! with float comparisons or with integer comparisons only — FLInt
+//! applied to a second inference algorithm, as the paper's future work
+//! suggests.
+
+use flint_core::FlintOrd;
+use flint_forest::{DecisionTree, Node, NodeId};
+
+/// One false-node condition of the QuickScorer representation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Condition {
+    /// Split value.
+    pub threshold: f32,
+    /// FLInt order key of the split value (monotone with `threshold`).
+    pub threshold_key: i32,
+    /// First leaf index of the node's left subtree.
+    pub leaf_start: u32,
+    /// One past the last leaf index of the node's left subtree.
+    pub leaf_end: u32,
+}
+
+/// A tree compiled for QuickScorer traversal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QsTree {
+    /// Per feature: conditions sorted by ascending threshold.
+    pub(crate) by_feature: Vec<Vec<Condition>>,
+    /// Class of each leaf, in in-order numbering.
+    pub(crate) leaf_classes: Vec<u32>,
+}
+
+impl QsTree {
+    /// Compiles `tree` into the per-feature sorted-condition form.
+    pub fn build(tree: &DecisionTree) -> Self {
+        let mut by_feature: Vec<Vec<Condition>> = vec![Vec::new(); tree.n_features()];
+        let mut leaf_classes = Vec::with_capacity(tree.n_leaves());
+        collect(tree, NodeId::ROOT, &mut by_feature, &mut leaf_classes);
+        for conditions in &mut by_feature {
+            conditions.sort_by_key(|a| a.threshold_key);
+        }
+        Self {
+            by_feature,
+            leaf_classes,
+        }
+    }
+
+    /// Number of leaves (bits in the traversal bitset).
+    pub fn n_leaves(&self) -> usize {
+        self.leaf_classes.len()
+    }
+
+    /// The class of leaf `i` (in-order numbering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_leaves()`.
+    pub fn leaf_class(&self, i: usize) -> u32 {
+        self.leaf_classes[i]
+    }
+
+    /// The sorted conditions testing `feature`.
+    pub fn conditions(&self, feature: usize) -> &[Condition] {
+        &self.by_feature[feature]
+    }
+}
+
+/// In-order DFS: returns the leaf index range `[start, end)` covered by
+/// the subtree rooted at `id`, appending leaf classes as encountered.
+fn collect(
+    tree: &DecisionTree,
+    id: NodeId,
+    by_feature: &mut [Vec<Condition>],
+    leaf_classes: &mut Vec<u32>,
+) -> (u32, u32) {
+    match &tree.nodes()[id.index()] {
+        Node::Leaf { class, .. } => {
+            let idx = leaf_classes.len() as u32;
+            leaf_classes.push(*class);
+            (idx, idx + 1)
+        }
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let (l_start, l_end) = collect(tree, *left, by_feature, leaf_classes);
+            let (_, r_end) = collect(tree, *right, by_feature, leaf_classes);
+            // -0.0 -> +0.0 rewrite (Section IV-B of the paper): with it,
+            // `key(t) < key(x)` coincides with the IEEE `t < x` the
+            // reference traversal evaluates, for every non-NaN input.
+            let effective = if *threshold == 0.0 { 0.0 } else { *threshold };
+            let key = FlintOrd::try_new(effective)
+                .expect("validated trees have no NaN thresholds")
+                .order_key();
+            by_feature[*feature as usize].push(Condition {
+                threshold: *threshold,
+                threshold_key: key,
+                leaf_start: l_start,
+                leaf_end: l_end,
+            });
+            (l_start, r_end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_forest::example_tree;
+
+    #[test]
+    fn example_tree_structure() {
+        // example_tree leaves in-order: n3 (class 0), n4 (class 1),
+        // n2 (class 2).
+        let qs = QsTree::build(&example_tree());
+        assert_eq!(qs.n_leaves(), 3);
+        assert_eq!(
+            (0..3).map(|i| qs.leaf_class(i)).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Feature 0 (root, threshold 0.5): left subtree covers leaves 0..2.
+        let c0 = qs.conditions(0);
+        assert_eq!(c0.len(), 1);
+        assert_eq!((c0[0].leaf_start, c0[0].leaf_end), (0, 2));
+        assert_eq!(c0[0].threshold, 0.5);
+        // Feature 1 (inner, threshold -1.25): left covers leaf 0 only.
+        let c1 = qs.conditions(1);
+        assert_eq!((c1[0].leaf_start, c1[0].leaf_end), (0, 1));
+    }
+
+    #[test]
+    fn conditions_sorted_by_threshold() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::train::{train_tree, TrainConfig};
+        let data = SynthSpec::new(250, 3, 2).cluster_std(1.5).seed(13).generate();
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(8)).expect("trains");
+        let qs = QsTree::build(&tree);
+        for f in 0..3 {
+            let conditions = qs.conditions(f);
+            assert!(
+                conditions.windows(2).all(|w| w[0].threshold <= w[1].threshold),
+                "feature {f} not sorted"
+            );
+            // Order keys must sort identically to the floats.
+            assert!(conditions
+                .windows(2)
+                .all(|w| w[0].threshold_key <= w[1].threshold_key));
+        }
+        // Total conditions = split count; total leaves = leaf count.
+        let total: usize = (0..3).map(|f| qs.conditions(f).len()).sum();
+        assert_eq!(total, tree.n_nodes() - tree.n_leaves());
+        assert_eq!(qs.n_leaves(), tree.n_leaves());
+    }
+
+    #[test]
+    fn leaf_ranges_are_valid() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::train::{train_tree, TrainConfig};
+        let data = SynthSpec::new(200, 4, 3).seed(77).generate();
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(6)).expect("trains");
+        let qs = QsTree::build(&tree);
+        for f in 0..4 {
+            for c in qs.conditions(f) {
+                assert!(c.leaf_start < c.leaf_end);
+                assert!((c.leaf_end as usize) <= qs.n_leaves());
+            }
+        }
+    }
+}

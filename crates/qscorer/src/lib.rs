@@ -1,0 +1,45 @@
+//! # flint-qscorer — QuickScorer traversal with a FLInt mode
+//!
+//! The FLInt paper's related work cites QuickScorer (Lucchese et al.,
+//! SIGIR 2015/2016) as the flagship *algorithmic refinement* for tree
+//! ensemble inference: instead of root-to-leaf pointer chasing, all
+//! split conditions are grouped per feature and sorted by threshold;
+//! scoring scans each feature's ascending thresholds, clears the
+//! left-subtree leaf range of every *false* node from a reachability
+//! bitset, and reads the exit leaf as the lowest surviving bit.
+//!
+//! This crate implements that traversal for the workspace's
+//! classification forests — and demonstrates the paper's future-work
+//! claim that "FLInts can be integrated into other applications": in
+//! [`QsCompare::Flint`] mode the threshold scan compares FLInt order
+//! keys, executing **no float instruction at all** while producing
+//! bit-identical predictions (asserted against the reference traversal
+//! and the if-else backends).
+//!
+//! ```
+//! use flint_data::synth::SynthSpec;
+//! use flint_forest::{ForestConfig, RandomForest};
+//! use flint_qscorer::{QsCompare, QsForest};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = SynthSpec::new(150, 4, 3).generate();
+//! let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 7))?;
+//! let qs = QsForest::build(&forest);
+//! assert_eq!(
+//!     qs.predict(data.sample(0), QsCompare::Flint),
+//!     qs.predict(data.sample(0), QsCompare::Float),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod bitset;
+pub mod build;
+pub mod score;
+
+pub use bitset::LeafBitset;
+pub use build::{Condition, QsTree};
+pub use score::{QsCompare, QsForest};

@@ -1,0 +1,250 @@
+//! The QuickScorer traversal and forest-level scoring.
+
+use crate::bitset::LeafBitset;
+use crate::build::QsTree;
+use flint_core::FlintOrd;
+use flint_forest::RandomForest;
+
+/// Which comparison the per-feature threshold scan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QsCompare {
+    /// IEEE float comparisons (the original algorithm).
+    Float,
+    /// FLInt integer order-key comparisons — no float instruction in
+    /// the scan.
+    Flint,
+}
+
+impl QsTree {
+    /// Scores one feature vector: returns the exit leaf's class.
+    ///
+    /// Walks every feature's ascending threshold list, clearing the
+    /// left-leaf range of each *false* node (`threshold < x`), then
+    /// reads the lowest surviving leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len()` is smaller than the tree's feature
+    /// count, or if a feature value is NaN in [`QsCompare::Flint`] mode
+    /// (debug builds).
+    pub fn score(&self, features: &[f32], compare: QsCompare, scratch: &mut LeafBitset) -> u32 {
+        debug_assert_eq!(scratch.len(), self.n_leaves(), "scratch bitset size");
+        scratch.reset_all_set();
+        match compare {
+            QsCompare::Float => {
+                for (f, conditions) in self.by_feature.iter().enumerate() {
+                    let x = features[f];
+                    for c in conditions {
+                        if c.threshold < x {
+                            scratch.clear_range(c.leaf_start as usize, c.leaf_end as usize);
+                        } else {
+                            break; // sorted ascending: the rest are true
+                        }
+                    }
+                }
+            }
+            QsCompare::Flint => {
+                for (f, conditions) in self.by_feature.iter().enumerate() {
+                    let x_key = FlintOrd::new(features[f]).order_key();
+                    for c in conditions {
+                        if c.threshold_key < x_key {
+                            scratch.clear_range(c.leaf_start as usize, c.leaf_end as usize);
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let exit = scratch
+            .first_set()
+            .expect("QuickScorer invariant: at least one leaf survives");
+        self.leaf_class(exit)
+    }
+}
+
+/// A whole forest compiled for QuickScorer traversal with majority-vote
+/// aggregation (same tie-breaking as `flint-exec`).
+///
+/// # Examples
+///
+/// ```
+/// use flint_data::synth::SynthSpec;
+/// use flint_forest::{ForestConfig, RandomForest};
+/// use flint_qscorer::{QsCompare, QsForest};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = SynthSpec::new(120, 4, 2).generate();
+/// let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 6))?;
+/// let qs = QsForest::build(&forest);
+/// let class = qs.predict(data.sample(0), QsCompare::Flint);
+/// assert!(class < 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QsForest {
+    trees: Vec<QsTree>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl QsForest {
+    /// Compiles every tree of `forest`.
+    pub fn build(forest: &RandomForest) -> Self {
+        Self {
+            trees: forest.trees().iter().map(QsTree::build).collect(),
+            n_classes: forest.n_classes(),
+            n_features: forest.n_features(),
+        }
+    }
+
+    /// The compiled trees.
+    pub fn trees(&self) -> &[QsTree] {
+        &self.trees
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Majority-vote prediction (ties to the lower class index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features`.
+    pub fn predict(&self, features: &[f32], compare: QsCompare) -> u32 {
+        assert_eq!(features.len(), self.n_features, "feature vector length");
+        let mut votes = vec![0u32; self.n_classes];
+        for tree in &self.trees {
+            let mut scratch = LeafBitset::all_set(tree.n_leaves());
+            votes[tree.score(features, compare, &mut scratch) as usize] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
+            .map(|(i, _)| i as u32)
+            .expect("n_classes >= 1")
+    }
+
+    /// Batch prediction reusing per-tree scratch bitsets (the
+    /// performance shape QuickScorer is built for).
+    pub fn predict_batch(&self, batch: &[&[f32]], compare: QsCompare) -> Vec<u32> {
+        let mut scratches: Vec<LeafBitset> = self
+            .trees
+            .iter()
+            .map(|t| LeafBitset::all_set(t.n_leaves()))
+            .collect();
+        batch
+            .iter()
+            .map(|features| {
+                assert_eq!(features.len(), self.n_features, "feature vector length");
+                let mut votes = vec![0u32; self.n_classes];
+                for (tree, scratch) in self.trees.iter().zip(&mut scratches) {
+                    votes[tree.score(features, compare, scratch) as usize] += 1;
+                }
+                votes
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
+                    .map(|(i, _)| i as u32)
+                    .expect("n_classes >= 1")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_forest::example_tree;
+
+    #[test]
+    fn example_tree_scoring() {
+        let tree = example_tree();
+        let qs = QsTree::build(&tree);
+        let mut scratch = LeafBitset::all_set(qs.n_leaves());
+        for input in [
+            [0.0f32, -2.0],
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.5, -1.25],
+            [-3.0, 7.0],
+        ] {
+            let want = tree.predict(&input);
+            assert_eq!(qs.score(&input, QsCompare::Float, &mut scratch), want, "{input:?}");
+            assert_eq!(qs.score(&input, QsCompare::Flint, &mut scratch), want, "{input:?}");
+        }
+    }
+
+    #[test]
+    fn forest_agrees_with_reference_majority() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::ForestConfig;
+        let data = SynthSpec::new(250, 5, 3)
+            .negative_fraction(0.5)
+            .seed(31)
+            .generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(6, 9)).expect("trains");
+        let qs = QsForest::build(&forest);
+        let reference = |x: &[f32]| -> u32 {
+            let mut votes = vec![0u32; forest.n_classes()];
+            for tree in forest.trees() {
+                votes[tree.predict(x) as usize] += 1;
+            }
+            votes
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
+                .map(|(i, _)| i as u32)
+                .expect("non-empty")
+        };
+        for i in 0..data.n_samples() {
+            let x = data.sample(i);
+            let want = reference(x);
+            assert_eq!(qs.predict(x, QsCompare::Float), want, "sample {i}");
+            assert_eq!(qs.predict(x, QsCompare::Flint), want, "sample {i}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::ForestConfig;
+        let data = SynthSpec::new(100, 3, 2).seed(1).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(3, 5)).expect("trains");
+        let qs = QsForest::build(&forest);
+        let rows: Vec<&[f32]> = (0..data.n_samples()).map(|i| data.sample(i)).collect();
+        let batch = qs.predict_batch(&rows, QsCompare::Flint);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(batch[i], qs.predict(row, QsCompare::Flint));
+        }
+    }
+
+    #[test]
+    fn boundary_inputs_agree_with_reference() {
+        let tree = example_tree();
+        let qs = QsTree::build(&tree);
+        let mut scratch = LeafBitset::all_set(qs.n_leaves());
+        let specials = [0.0f32, -0.0, 0.5, -1.25, f32::MAX, f32::MIN, 1e-40, -1e-40,
+                        f32::INFINITY, f32::NEG_INFINITY];
+        for &a in &specials {
+            for &b in &specials {
+                let input = [a, b];
+                let want = tree.predict(&input);
+                assert_eq!(
+                    qs.score(&input, QsCompare::Float, &mut scratch),
+                    want,
+                    "float ({a:e}, {b:e})"
+                );
+                assert_eq!(
+                    qs.score(&input, QsCompare::Flint, &mut scratch),
+                    want,
+                    "flint ({a:e}, {b:e})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests: QuickScorer (both comparison modes) must equal the
+//! reference root-to-leaf traversal on arbitrary trained trees and
+//! arbitrary non-NaN bit patterns.
+
+use flint_data::synth::SynthSpec;
+use flint_forest::train::{train_tree, TrainConfig};
+use flint_qscorer::{LeafBitset, QsCompare, QsTree};
+use proptest::prelude::*;
+
+fn features(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(
+        any::<u32>()
+            .prop_map(f32::from_bits)
+            .prop_filter("NaN", |v| !v.is_nan()),
+        n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quickscorer_equals_reference(
+        seed in 0u64..128,
+        depth in 1usize..9,
+        x in features(4),
+    ) {
+        let data = SynthSpec::new(140, 4, 3)
+            .cluster_std(1.2)
+            .negative_fraction(0.5)
+            .seed(seed)
+            .generate();
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(depth)).expect("trains");
+        let qs = QsTree::build(&tree);
+        let mut scratch = LeafBitset::all_set(qs.n_leaves());
+        let want = tree.predict(&x);
+        prop_assert_eq!(qs.score(&x, QsCompare::Float, &mut scratch), want);
+        prop_assert_eq!(qs.score(&x, QsCompare::Flint, &mut scratch), want);
+    }
+
+    /// After any score, the surviving-leaf count equals the number of
+    /// leaves not excluded by false nodes — and at least one survives.
+    #[test]
+    fn at_least_one_leaf_always_survives(
+        seed in 0u64..128,
+        x in features(3),
+    ) {
+        let data = SynthSpec::new(120, 3, 2).seed(seed).generate();
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(7)).expect("trains");
+        let qs = QsTree::build(&tree);
+        let mut scratch = LeafBitset::all_set(qs.n_leaves());
+        let _ = qs.score(&x, QsCompare::Flint, &mut scratch);
+        prop_assert!(scratch.count_ones() >= 1);
+        // The exit leaf must be reachable by the reference traversal.
+        let exit = scratch.first_set().expect("non-empty");
+        prop_assert_eq!(qs.leaf_class(exit), tree.predict(&x));
+    }
+
+    /// Deep trees exceed 64 leaves, exercising the multi-word bitset.
+    #[test]
+    fn wide_trees_use_multiword_bitsets(seed in 0u64..32, x in features(4)) {
+        let data = SynthSpec::new(600, 4, 3)
+            .cluster_std(2.0)
+            .seed(seed)
+            .generate();
+        let tree = train_tree(&data, &TrainConfig::with_max_depth(12)).expect("trains");
+        let qs = QsTree::build(&tree);
+        prop_assume!(qs.n_leaves() > 64);
+        let mut scratch = LeafBitset::all_set(qs.n_leaves());
+        prop_assert_eq!(
+            qs.score(&x, QsCompare::Flint, &mut scratch),
+            tree.predict(&x)
+        );
+    }
+}

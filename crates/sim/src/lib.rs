@@ -1,0 +1,35 @@
+//! # flint-sim — machine cost models and cycle simulation
+//!
+//! The paper measures on four physical machines (Table I). This crate
+//! substitutes documented cost models for them: per-instruction cycle
+//! costs fed by the exact instruction counts of the `flint-codegen` VM,
+//! plus cache-block, CAGS-overhead and implementation-style terms. The
+//! *shape* claims of the evaluation — FLInt beats naive everywhere,
+//! composes with CAGS, CAGS alone backfires on Apple M1, assembly
+//! crosses over C at depth — are reproduced and regression-tested here.
+//!
+//! ```
+//! use flint_data::synth::SynthSpec;
+//! use flint_forest::{ForestConfig, RandomForest};
+//! use flint_sim::{simulate_forest, Machine, SimConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = SynthSpec::new(100, 4, 2).generate();
+//! let forest = RandomForest::fit(&data, &ForestConfig::grid(3, 6))?;
+//! let naive = simulate_forest(Machine::X86Server, &forest, &data, &data, &SimConfig::naive())?;
+//! let flint = simulate_forest(Machine::X86Server, &forest, &data, &data, &SimConfig::flint())?;
+//! assert!(flint.total_cycles() < naive.total_cycles());
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod machine;
+pub mod simulate;
+
+pub use machine::{CostModel, Machine};
+pub use simulate::{
+    normalized_time, simulate_forest, ImplStyle, SimConfig, SimReport, SimulateError,
+};

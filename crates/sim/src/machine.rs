@@ -1,0 +1,347 @@
+//! Machine profiles and instruction cost models.
+//!
+//! The paper evaluates on four physical machines (Table I). We cannot
+//! ship those machines, so each is represented by a documented cost
+//! model: cycles per instruction kind, a cache-block miss penalty for
+//! the CAGS axis, and implementation-style overheads for the
+//! C-vs-assembly axis (Fig. 4). The *absolute* values are calibrated
+//! estimates from public microarchitecture data (Agner Fog tables,
+//! ARM optimization guides); what the reproduction relies on is the
+//! *relations* the paper's argument needs:
+//!
+//! * float compare + FP-register traffic costs more than integer
+//!   compare + immediate materialization (FLInt wins),
+//! * float constants load from data memory while FLInt immediates ride
+//!   in the instruction stream (FLInt composes with CAGS),
+//! * softfloat comparison costs an order of magnitude more (the no-FPU
+//!   motivation),
+//! * Apple M1's huge caches make block misses cheap, so CAGS's extra
+//!   jumps are not amortized there (the paper's ARMv8-desktop anomaly
+//!   where CAGS is 1.14× *slower* than naive).
+
+use flint_codegen::ExecStats;
+
+/// One of the evaluation machines (Table I) plus an embedded profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// Gigabyte R182-Z92-00, 2× AMD EPYC 7742 (X86 Server).
+    X86Server,
+    /// Dell OptiPlex 5090, Intel Core i7-10700 (X86 Desktop).
+    X86Desktop,
+    /// Gigabyte R181-T9, 2× Cavium ThunderX2 99xx (ARMv8 Server).
+    Armv8Server,
+    /// Apple Mac Mini, Apple Silicon M1 (ARMv8 Desktop).
+    Armv8Desktop,
+    /// A Cortex-M-class microcontroller without an FPU — the deployment
+    /// target motivating the paper (not in its measured set).
+    EmbeddedNoFpu,
+}
+
+impl Machine {
+    /// The paper's four machines, in Table I order.
+    pub const PAPER_SET: [Machine; 4] = [
+        Machine::X86Server,
+        Machine::X86Desktop,
+        Machine::Armv8Server,
+        Machine::Armv8Desktop,
+    ];
+
+    /// Short display name matching the paper's column heads.
+    pub fn name(self) -> &'static str {
+        match self {
+            Machine::X86Server => "X86 S",
+            Machine::X86Desktop => "X86 D",
+            Machine::Armv8Server => "ARMv8 S",
+            Machine::Armv8Desktop => "ARMv8 D",
+            Machine::EmbeddedNoFpu => "Embedded (no FPU)",
+        }
+    }
+
+    /// The Table I row: (system, cpu, ram, linux kernel).
+    pub fn table1_row(self) -> (&'static str, &'static str, &'static str, &'static str) {
+        match self {
+            Machine::X86Server => (
+                "Gigabyte R182-Z92-00",
+                "2x AMD EPYC 7742",
+                "256GB DDR4",
+                "5.10.0 x86_64",
+            ),
+            Machine::X86Desktop => (
+                "Dell OptiPlex 5090",
+                "Intel Core i7-10700",
+                "64GB DDR4",
+                "5.10.106 x86_64",
+            ),
+            Machine::Armv8Server => (
+                "Gigabyte R181-T9",
+                "2x Cavium ThunderX2 99xx",
+                "256GB DDR4",
+                "5.4.0 aarch64",
+            ),
+            Machine::Armv8Desktop => (
+                "Apple Mac Mini",
+                "Apple Silicon M1",
+                "16GB DDR4",
+                "5.17.0 aarch64",
+            ),
+            Machine::EmbeddedNoFpu => (
+                "(simulated)",
+                "Cortex-M0-class, no FPU",
+                "64KB SRAM",
+                "bare metal",
+            ),
+        }
+    }
+
+    /// `true` if the machine has hardware floating point.
+    pub fn has_fpu(self) -> bool {
+        !matches!(self, Machine::EmbeddedNoFpu)
+    }
+
+    /// The machine's instruction cost model.
+    pub fn cost_model(self) -> CostModel {
+        match self {
+            Machine::X86Server => CostModel {
+                load_word: 1.0,
+                load_float: 2.0,
+                load_float_const: 3.4,
+                mov_imm: 0.4,
+                eor: 0.4,
+                cmp_int: 0.9,
+                cmp_float: 2.6,
+                soft_cmp: 38.0,
+                branch: 1.2,
+                ret: 1.5,
+                block_nodes: 4,
+                block_miss: 22.0,
+                cags_node_overhead: 0.35,
+                c_call_overhead: 22.0,
+                asm_call_overhead: 45.0,
+                asm_per_node_factor: 0.62,
+            },
+            Machine::X86Desktop => CostModel {
+                load_word: 1.0,
+                load_float: 1.8,
+                load_float_const: 3.0,
+                mov_imm: 0.4,
+                eor: 0.4,
+                cmp_int: 0.9,
+                cmp_float: 2.4,
+                soft_cmp: 34.0,
+                branch: 1.1,
+                ret: 1.4,
+                block_nodes: 4,
+                block_miss: 15.0,
+                cags_node_overhead: 0.35,
+                c_call_overhead: 18.0,
+                asm_call_overhead: 48.0,
+                asm_per_node_factor: 0.72,
+            },
+            Machine::Armv8Server => CostModel {
+                load_word: 1.2,
+                load_float: 2.4,
+                load_float_const: 4.0,
+                mov_imm: 0.5,
+                eor: 0.5,
+                cmp_int: 1.0,
+                cmp_float: 2.6,
+                soft_cmp: 42.0,
+                branch: 1.4,
+                ret: 1.8,
+                block_nodes: 4,
+                block_miss: 40.0,
+                cags_node_overhead: 0.4,
+                c_call_overhead: 26.0,
+                asm_call_overhead: 55.0,
+                asm_per_node_factor: 0.55,
+            },
+            Machine::Armv8Desktop => CostModel {
+                // M1: extremely wide core, big caches -> misses cheap,
+                // float compare relatively expensive against its fast
+                // integer side; CAGS's extra jumps don't pay off.
+                load_word: 0.7,
+                load_float: 1.4,
+                load_float_const: 1.9,
+                mov_imm: 0.25,
+                eor: 0.25,
+                cmp_int: 0.6,
+                cmp_float: 1.7,
+                soft_cmp: 30.0,
+                branch: 0.9,
+                ret: 1.0,
+                block_nodes: 8,
+                block_miss: 3.0,
+                cags_node_overhead: 0.9,
+                c_call_overhead: 12.0,
+                asm_call_overhead: 30.0,
+                asm_per_node_factor: 0.68,
+            },
+            Machine::EmbeddedNoFpu => CostModel {
+                load_word: 2.0,
+                load_float: f64::INFINITY, // no FPU
+                load_float_const: f64::INFINITY,
+                mov_imm: 1.0,
+                eor: 1.0,
+                cmp_int: 1.0,
+                cmp_float: f64::INFINITY,
+                soft_cmp: 60.0,
+                branch: 2.0,
+                ret: 3.0,
+                block_nodes: 2,
+                block_miss: 8.0,
+                cags_node_overhead: 1.0,
+                c_call_overhead: 30.0,
+                asm_call_overhead: 38.0,
+                asm_per_node_factor: 0.85,
+            },
+        }
+    }
+}
+
+/// Cycles charged per instruction kind, plus memory-hierarchy and
+/// implementation-style parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Integer feature load (`ldrsw`).
+    pub load_word: f64,
+    /// Float feature load into an FP register.
+    pub load_float: f64,
+    /// Float constant load from data memory (literal pool).
+    pub load_float_const: f64,
+    /// `movz`/`movk` each.
+    pub mov_imm: f64,
+    /// Sign-flip XOR.
+    pub eor: f64,
+    /// Integer compare.
+    pub cmp_int: f64,
+    /// Float compare including FP-flag transfer overhead.
+    pub cmp_float: f64,
+    /// Software float comparison routine (call + body).
+    pub soft_cmp: f64,
+    /// Conditional or unconditional branch.
+    pub branch: f64,
+    /// Leaf return.
+    pub ret: f64,
+    /// Nodes per cache block for the CAGS penalty term.
+    pub block_nodes: usize,
+    /// Cycles per expected block transition (miss penalty amortized by
+    /// hit rate).
+    pub block_miss: f64,
+    /// Extra cycles per visited node that CAGS's inserted jumps cost.
+    pub cags_node_overhead: f64,
+    /// Per-inference overhead of the C implementation (call frame,
+    /// reinterpretation through memory).
+    pub c_call_overhead: f64,
+    /// Per-inference overhead of the direct assembly implementation
+    /// (inline-asm barrier, no compiler optimization around it).
+    pub asm_call_overhead: f64,
+    /// Per-node cycle factor of the assembly implementation relative to
+    /// C (explicit load/immediate control beats compiled code on deep
+    /// trees).
+    pub asm_per_node_factor: f64,
+}
+
+impl CostModel {
+    /// Cycles for one program run's instruction counts (no memory or
+    /// style terms — just the instruction stream).
+    ///
+    /// Zero counts contribute zero even for infinite-cost instructions
+    /// (an FPU-less profile charges `inf` for float instructions, but a
+    /// program that never executes one must not turn NaN).
+    pub fn cycles_for(&self, stats: &ExecStats) -> f64 {
+        fn term(count: u64, cost: f64) -> f64 {
+            if count == 0 {
+                0.0
+            } else {
+                count as f64 * cost
+            }
+        }
+        term(stats.load_word, self.load_word)
+            // 64-bit integer loads cost the same as 32-bit on all
+            // modeled cores.
+            + term(stats.load_dword, self.load_word)
+            + term(stats.load_float, self.load_float)
+            + term(stats.load_float_const, self.load_float_const)
+            + term(stats.movz + stats.movk, self.mov_imm)
+            + term(stats.eor, self.eor)
+            + term(stats.cmp_int, self.cmp_int)
+            + term(stats.cmp_float, self.cmp_float)
+            + term(stats.soft_cmp, self.soft_cmp)
+            + term(stats.branches + stats.jumps, self.branch)
+            + term(stats.rets, self.ret)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_matches_table1() {
+        assert_eq!(Machine::PAPER_SET.len(), 4);
+        let (sys, cpu, ram, kernel) = Machine::X86Server.table1_row();
+        assert_eq!(sys, "Gigabyte R182-Z92-00");
+        assert!(cpu.contains("EPYC 7742"));
+        assert!(ram.contains("256GB"));
+        assert!(kernel.contains("x86_64"));
+    }
+
+    #[test]
+    fn float_compare_path_always_costs_more() {
+        // The core premise: per split node, the float sequence
+        // (load_float + load_float_const + cmp_float) must cost more
+        // than the FLInt sequence (load_word + 2*mov_imm + cmp_int +
+        // occasionally eor) on every FPU machine.
+        for m in Machine::PAPER_SET {
+            let c = m.cost_model();
+            let float_node = c.load_float + c.load_float_const + c.cmp_float;
+            let flint_node = c.load_word + 2.0 * c.mov_imm + c.cmp_int + c.eor;
+            assert!(
+                float_node > flint_node,
+                "{}: float {float_node} <= flint {flint_node}",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn softfloat_dwarfs_both() {
+        for m in [Machine::X86Server, Machine::EmbeddedNoFpu] {
+            let c = m.cost_model();
+            assert!(c.soft_cmp > 5.0 * c.cmp_int);
+        }
+    }
+
+    #[test]
+    fn embedded_profile_has_no_fpu() {
+        assert!(!Machine::EmbeddedNoFpu.has_fpu());
+        assert!(Machine::X86Server.has_fpu());
+        let c = Machine::EmbeddedNoFpu.cost_model();
+        assert!(c.cmp_float.is_infinite());
+    }
+
+    #[test]
+    fn cycles_for_counts_everything() {
+        let c = Machine::X86Server.cost_model();
+        let stats = ExecStats {
+            load_word: 1,
+            movz: 1,
+            movk: 1,
+            cmp_int: 1,
+            branches: 1,
+            rets: 1,
+            ..ExecStats::default()
+        };
+        let want = c.load_word + 2.0 * c.mov_imm + c.cmp_int + c.branch + c.ret;
+        assert!((c.cycles_for(&stats) - want).abs() < 1e-12);
+        assert_eq!(c.cycles_for(&ExecStats::default()), 0.0);
+    }
+
+    #[test]
+    fn m1_has_cheap_misses() {
+        // The anomaly driver: M1 miss penalty far below the servers'.
+        let m1 = Machine::Armv8Desktop.cost_model();
+        let xs = Machine::X86Server.cost_model();
+        assert!(m1.block_miss < xs.block_miss / 3.0);
+    }
+}

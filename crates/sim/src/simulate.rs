@@ -1,0 +1,432 @@
+//! Cycle simulation of forest inference under a machine cost model.
+//!
+//! The simulated cost of one configuration decomposes as
+//!
+//! ```text
+//! total = instruction_cycles   (VM instruction counts × per-kind cost,
+//!                               scaled by the assembly factor for the
+//!                               direct-assembly style)
+//!       + cache_cycles         (expected cache-block transitions along
+//!                               the traversal under the chosen layout,
+//!                               × the machine's miss penalty)
+//!       + layout_overhead      (CAGS's inserted jumps, per node visit)
+//!       + call_overhead        (per-tree per-inference C or assembly
+//!                               entry cost)
+//! ```
+//!
+//! Every term is observable in the [`SimReport`] so experiments can
+//! attribute wins and losses — which is how the harness reproduces the
+//! *shapes* of Fig. 3 (FLInt vs CAGS vs both across four machines) and
+//! Fig. 4 (C vs assembly crossover with depth).
+
+use crate::machine::Machine;
+use flint_codegen::{ExecStats, VmForest, VmVariant};
+use flint_data::Dataset;
+use flint_forest::RandomForest;
+use flint_layout::{LayoutStrategy, TreeLayout, TreeProfile};
+
+/// Implementation style of the generated trees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImplStyle {
+    /// C source compiled by an optimizing compiler.
+    C,
+    /// Direct assembly emission (Listing 5) — lower per-node cost, no
+    /// compiler help around the call site.
+    Asm,
+}
+
+/// One simulated configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Comparison idiom.
+    pub variant: VmVariant,
+    /// Memory layout of the tree nodes.
+    pub layout: LayoutStrategy,
+    /// C or direct assembly.
+    pub style: ImplStyle,
+}
+
+impl SimConfig {
+    /// The paper's "Naive" configuration.
+    pub fn naive() -> Self {
+        Self {
+            variant: VmVariant::NativeFloat,
+            layout: LayoutStrategy::ArenaOrder,
+            style: ImplStyle::C,
+        }
+    }
+
+    /// The paper's "CAGS" configuration.
+    pub fn cags() -> Self {
+        Self {
+            variant: VmVariant::NativeFloat,
+            layout: LayoutStrategy::Cags { block_nodes: 4 },
+            style: ImplStyle::C,
+        }
+    }
+
+    /// The paper's "FLInt" configuration (C implementation).
+    pub fn flint() -> Self {
+        Self {
+            variant: VmVariant::Flint,
+            layout: LayoutStrategy::ArenaOrder,
+            style: ImplStyle::C,
+        }
+    }
+
+    /// The paper's "CAGS (FLInt)" configuration.
+    pub fn cags_flint() -> Self {
+        Self {
+            variant: VmVariant::Flint,
+            layout: LayoutStrategy::Cags { block_nodes: 4 },
+            style: ImplStyle::C,
+        }
+    }
+
+    /// The paper's "FLInt ASM" configuration (Fig. 4 / Table III).
+    pub fn flint_asm() -> Self {
+        Self {
+            variant: VmVariant::Flint,
+            layout: LayoutStrategy::ArenaOrder,
+            style: ImplStyle::Asm,
+        }
+    }
+
+    /// Software float baseline (naive trees on an FPU-less target).
+    pub fn softfloat() -> Self {
+        Self {
+            variant: VmVariant::SoftFloat,
+            layout: LayoutStrategy::ArenaOrder,
+            style: ImplStyle::C,
+        }
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match (self.variant, &self.layout, self.style) {
+            (VmVariant::NativeFloat, LayoutStrategy::ArenaOrder, ImplStyle::C) => "Naive",
+            (VmVariant::NativeFloat, LayoutStrategy::Cags { .. }, ImplStyle::C) => "CAGS",
+            (VmVariant::Flint, LayoutStrategy::ArenaOrder, ImplStyle::C) => "FLInt",
+            (VmVariant::Flint, LayoutStrategy::Cags { .. }, ImplStyle::C) => "CAGS (FLInt)",
+            (VmVariant::Flint, LayoutStrategy::ArenaOrder, ImplStyle::Asm) => "FLInt ASM",
+            (VmVariant::SoftFloat, _, _) => "SoftFloat",
+            _ => "custom",
+        }
+    }
+}
+
+/// Simulated cost breakdown of running a forest over a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimReport {
+    /// Instruction-stream cycles (after the style factor).
+    pub instruction_cycles: f64,
+    /// Cache-block transition cycles.
+    pub cache_cycles: f64,
+    /// CAGS jump-insertion overhead cycles.
+    pub layout_overhead: f64,
+    /// Per-tree-call entry overhead cycles.
+    pub call_overhead: f64,
+    /// Accumulated instruction counts across all inferences.
+    pub stats: ExecStats,
+    /// Number of inferences simulated.
+    pub n_inferences: u64,
+}
+
+impl SimReport {
+    /// Total simulated cycles.
+    pub fn total_cycles(&self) -> f64 {
+        self.instruction_cycles + self.cache_cycles + self.layout_overhead + self.call_overhead
+    }
+
+    /// Average cycles per inference.
+    pub fn cycles_per_inference(&self) -> f64 {
+        if self.n_inferences == 0 {
+            0.0
+        } else {
+            self.total_cycles() / self.n_inferences as f64
+        }
+    }
+}
+
+/// Error simulating a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimulateError {
+    /// The configuration needs an FPU the machine does not have.
+    FpuRequired,
+    /// A VM program failed (malformed tree or feature mismatch).
+    Vm(flint_codegen::VmError),
+}
+
+impl core::fmt::Display for SimulateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::FpuRequired => {
+                write!(f, "configuration uses float instructions on an FPU-less machine")
+            }
+            Self::Vm(e) => write!(f, "vm failure during simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimulateError {}
+
+impl From<flint_codegen::VmError> for SimulateError {
+    fn from(e: flint_codegen::VmError) -> Self {
+        Self::Vm(e)
+    }
+}
+
+/// Simulates running `forest` over every sample of `test_data` on
+/// `machine` under `config`. Branch probabilities for the layout terms
+/// are profiled on `profile_data` (the paper profiles on the training
+/// set).
+///
+/// # Errors
+///
+/// [`SimulateError::FpuRequired`] when a float configuration is
+/// simulated on [`Machine::EmbeddedNoFpu`]; [`SimulateError::Vm`] on
+/// malformed inputs (feature count mismatch).
+pub fn simulate_forest(
+    machine: Machine,
+    forest: &RandomForest,
+    profile_data: &Dataset,
+    test_data: &Dataset,
+    config: &SimConfig,
+) -> Result<SimReport, SimulateError> {
+    let cm = machine.cost_model();
+    if config.variant == VmVariant::NativeFloat && !machine.has_fpu() {
+        return Err(SimulateError::FpuRequired);
+    }
+    // Instruction counts from the VM (exact per the listing sequences).
+    let vm = VmForest::compile(forest, config.variant);
+    let mut stats = ExecStats::default();
+    for i in 0..test_data.n_samples() {
+        let (_, s) = vm.run(test_data.sample(i))?;
+        stats.add(&s);
+    }
+    let style_factor = match config.style {
+        ImplStyle::C => 1.0,
+        ImplStyle::Asm => cm.asm_per_node_factor,
+    };
+    let instruction_cycles = cm.cycles_for(&stats) * style_factor;
+
+    // Memory-layout terms: expected block transitions per inference,
+    // per tree, under the configured layout.
+    let mut transitions_per_inference = 0.0;
+    for tree in forest.trees() {
+        let profile = TreeProfile::collect(tree, profile_data);
+        let layout = TreeLayout::compute(tree, &profile, config.layout);
+        transitions_per_inference +=
+            layout.expected_block_transitions(tree, &profile, cm.block_nodes);
+    }
+    let n_inferences = test_data.n_samples() as u64;
+    // The direct-assembly trees keep everything (code and immediates)
+    // in one dense instruction stream, so their block footprint shrinks
+    // by the same per-node factor as their cycle count.
+    let cache_cycles =
+        transitions_per_inference * cm.block_miss * n_inferences as f64 * style_factor;
+
+    // CAGS pays for its grouping with inserted jumps at block seams.
+    let node_visits = stats.cmp_int + stats.cmp_float + stats.soft_cmp + stats.rets;
+    let layout_overhead = match config.layout {
+        LayoutStrategy::Cags { .. } => node_visits as f64 * cm.cags_node_overhead,
+        _ => 0.0,
+    };
+
+    // Per-tree-call entry cost.
+    let per_call = match config.style {
+        ImplStyle::C => cm.c_call_overhead,
+        ImplStyle::Asm => cm.asm_call_overhead,
+    };
+    let call_overhead = per_call * forest.n_trees() as f64 * n_inferences as f64;
+
+    Ok(SimReport {
+        instruction_cycles,
+        cache_cycles,
+        layout_overhead,
+        call_overhead,
+        stats,
+        n_inferences,
+    })
+}
+
+/// Convenience: the normalized execution time of `config` against the
+/// naive baseline on the same machine/forest/data (the quantity the
+/// paper's Fig. 3 plots).
+///
+/// # Errors
+///
+/// Propagates [`SimulateError`] from either simulation.
+pub fn normalized_time(
+    machine: Machine,
+    forest: &RandomForest,
+    profile_data: &Dataset,
+    test_data: &Dataset,
+    config: &SimConfig,
+) -> Result<f64, SimulateError> {
+    let naive = simulate_forest(machine, forest, profile_data, test_data, &SimConfig::naive())?;
+    let it = simulate_forest(machine, forest, profile_data, test_data, config)?;
+    Ok(it.total_cycles() / naive.total_cycles())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_data::synth::SynthSpec;
+    use flint_forest::ForestConfig;
+
+    fn setup(depth: usize) -> (Dataset, RandomForest) {
+        setup_sized(depth, 250)
+    }
+
+    fn setup_sized(depth: usize, n: usize) -> (Dataset, RandomForest) {
+        let data = SynthSpec::new(n, 8, 3)
+            .cluster_std(1.5)
+            .clusters_per_class(2)
+            .negative_fraction(0.5)
+            .seed(12)
+            .generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(5, depth)).expect("trainable");
+        (data, forest)
+    }
+
+    #[test]
+    fn flint_beats_naive_on_every_paper_machine() {
+        let (data, forest) = setup(12);
+        for machine in Machine::PAPER_SET {
+            let r = normalized_time(machine, &forest, &data, &data, &SimConfig::flint())
+                .expect("simulates");
+            assert!(
+                r < 1.0,
+                "{}: FLInt normalized time {r} should be < 1",
+                machine.name()
+            );
+            assert!(r > 0.4, "{}: {r} suspiciously low", machine.name());
+        }
+    }
+
+    #[test]
+    fn cags_flint_beats_flint_alone_on_servers() {
+        let (data, forest) = setup(12);
+        for machine in [Machine::X86Server, Machine::Armv8Server] {
+            let flint = normalized_time(machine, &forest, &data, &data, &SimConfig::flint())
+                .expect("simulates");
+            let both = normalized_time(machine, &forest, &data, &data, &SimConfig::cags_flint())
+                .expect("simulates");
+            assert!(
+                both < flint,
+                "{}: CAGS(FLInt) {both} should beat FLInt {flint}",
+                machine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cags_alone_is_slower_than_naive_on_m1() {
+        // The paper's ARMv8-desktop anomaly (Table II: CAGS 1.14x).
+        let (data, forest) = setup(12);
+        let r = normalized_time(
+            Machine::Armv8Desktop,
+            &forest,
+            &data,
+            &data,
+            &SimConfig::cags(),
+        )
+        .expect("simulates");
+        assert!(r > 1.0, "M1 CAGS normalized time {r} should exceed 1");
+    }
+
+    #[test]
+    fn cags_alone_helps_on_servers() {
+        let (data, forest) = setup(12);
+        let r = normalized_time(
+            Machine::X86Server,
+            &forest,
+            &data,
+            &data,
+            &SimConfig::cags(),
+        )
+        .expect("simulates");
+        assert!(r < 1.0, "X86 server CAGS normalized time {r}");
+    }
+
+    #[test]
+    fn asm_crossover_with_depth() {
+        // Fig. 4: assembly worse for shallow trees (entry overhead),
+        // better for deep trees (per-node factor).
+        let (data_s, forest_s) = setup(1);
+        let (data_d, forest_d) = setup_sized(30, 1200);
+        let m = Machine::X86Server;
+        let shallow_c =
+            simulate_forest(m, &forest_s, &data_s, &data_s, &SimConfig::flint()).expect("sim");
+        let shallow_asm =
+            simulate_forest(m, &forest_s, &data_s, &data_s, &SimConfig::flint_asm()).expect("sim");
+        assert!(
+            shallow_asm.total_cycles() > shallow_c.total_cycles(),
+            "shallow: asm {} should exceed C {}",
+            shallow_asm.total_cycles(),
+            shallow_c.total_cycles()
+        );
+        let deep_c =
+            simulate_forest(m, &forest_d, &data_d, &data_d, &SimConfig::flint()).expect("sim");
+        let deep_asm =
+            simulate_forest(m, &forest_d, &data_d, &data_d, &SimConfig::flint_asm()).expect("sim");
+        assert!(
+            deep_asm.total_cycles() < deep_c.total_cycles(),
+            "deep: asm {} should beat C {}",
+            deep_asm.total_cycles(),
+            deep_c.total_cycles()
+        );
+    }
+
+    #[test]
+    fn softfloat_is_far_slower_and_flint_fixes_it_on_embedded() {
+        let (data, forest) = setup(8);
+        let m = Machine::EmbeddedNoFpu;
+        // Naive float cannot run at all.
+        assert_eq!(
+            simulate_forest(m, &forest, &data, &data, &SimConfig::naive()).unwrap_err(),
+            SimulateError::FpuRequired
+        );
+        let soft =
+            simulate_forest(m, &forest, &data, &data, &SimConfig::softfloat()).expect("sim");
+        let flint = simulate_forest(m, &forest, &data, &data, &SimConfig::flint()).expect("sim");
+        let ratio = flint.total_cycles() / soft.total_cycles();
+        assert!(
+            ratio < 0.5,
+            "FLInt should cost well under half of softfloat, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn report_terms_decompose() {
+        let (data, forest) = setup(6);
+        let r = simulate_forest(
+            Machine::X86Server,
+            &forest,
+            &data,
+            &data,
+            &SimConfig::cags_flint(),
+        )
+        .expect("sim");
+        assert!(r.instruction_cycles > 0.0);
+        assert!(r.call_overhead > 0.0);
+        assert!(r.layout_overhead > 0.0);
+        let sum =
+            r.instruction_cycles + r.cache_cycles + r.layout_overhead + r.call_overhead;
+        assert!((r.total_cycles() - sum).abs() < 1e-9);
+        assert!(r.cycles_per_inference() > 0.0);
+        assert_eq!(r.n_inferences, data.n_samples() as u64);
+    }
+
+    #[test]
+    fn config_names_match_paper_legends() {
+        assert_eq!(SimConfig::naive().name(), "Naive");
+        assert_eq!(SimConfig::cags().name(), "CAGS");
+        assert_eq!(SimConfig::flint().name(), "FLInt");
+        assert_eq!(SimConfig::cags_flint().name(), "CAGS (FLInt)");
+        assert_eq!(SimConfig::flint_asm().name(), "FLInt ASM");
+        assert_eq!(SimConfig::softfloat().name(), "SoftFloat");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests of the cost-model simulator: structural sanity that
+//! must hold for any trained forest on any machine profile.
+
+use flint_data::synth::SynthSpec;
+use flint_data::Dataset;
+use flint_forest::{ForestConfig, RandomForest};
+use flint_sim::{simulate_forest, Machine, SimConfig};
+use proptest::prelude::*;
+
+fn setup(seed: u64, n_trees: usize, depth: usize) -> (Dataset, RandomForest) {
+    let data = SynthSpec::new(120, 5, 3)
+        .cluster_std(1.2)
+        .negative_fraction(0.5)
+        .seed(seed)
+        .generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(n_trees, depth)).expect("trains");
+    (data, forest)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FLInt strictly beats naive on every paper machine for every
+    /// trained forest — the paper's "almost all cases" strengthened to
+    /// the cases our grid covers.
+    #[test]
+    fn flint_beats_naive_everywhere(seed in 0u64..200, depth in 2usize..10) {
+        let (data, forest) = setup(seed, 4, depth);
+        for machine in Machine::PAPER_SET {
+            let naive = simulate_forest(machine, &forest, &data, &data, &SimConfig::naive())
+                .expect("simulates");
+            let flint = simulate_forest(machine, &forest, &data, &data, &SimConfig::flint())
+                .expect("simulates");
+            prop_assert!(flint.total_cycles() < naive.total_cycles(), "{}", machine.name());
+            prop_assert!(flint.total_cycles().is_finite() && flint.total_cycles() > 0.0);
+        }
+    }
+
+    /// Cycle counts scale with ensemble size: a forest with strictly
+    /// more trees costs strictly more.
+    #[test]
+    fn cycles_grow_with_ensemble_size(seed in 0u64..200) {
+        let (data, small) = setup(seed, 2, 6);
+        let (_, large) = setup(seed, 8, 6);
+        let m = Machine::X86Server;
+        let a = simulate_forest(m, &small, &data, &data, &SimConfig::flint()).expect("simulates");
+        let b = simulate_forest(m, &large, &data, &data, &SimConfig::flint()).expect("simulates");
+        prop_assert!(b.total_cycles() > a.total_cycles());
+        prop_assert!(b.stats.total() > a.stats.total());
+    }
+
+    /// Per-inference cost is invariant under duplicating the test set.
+    #[test]
+    fn per_inference_cost_is_size_invariant(seed in 0u64..200) {
+        let (data, forest) = setup(seed, 3, 6);
+        let doubled_indices: Vec<usize> =
+            (0..data.n_samples()).chain(0..data.n_samples()).collect();
+        let doubled = data.subset(&doubled_indices);
+        let m = Machine::Armv8Server;
+        let once = simulate_forest(m, &forest, &data, &data, &SimConfig::flint()).expect("simulates");
+        let twice =
+            simulate_forest(m, &forest, &data, &doubled, &SimConfig::flint()).expect("simulates");
+        let (a, b) = (once.cycles_per_inference(), twice.cycles_per_inference());
+        prop_assert!((a - b).abs() < 1e-6 * a.max(1.0), "{a} vs {b}");
+    }
+
+    /// The embedded profile rejects float configs and ranks
+    /// softfloat > flint_c > nothing (both finite).
+    #[test]
+    fn embedded_ordering(seed in 0u64..200) {
+        let (data, forest) = setup(seed, 3, 6);
+        let m = Machine::EmbeddedNoFpu;
+        prop_assert!(simulate_forest(m, &forest, &data, &data, &SimConfig::naive()).is_err());
+        let soft = simulate_forest(m, &forest, &data, &data, &SimConfig::softfloat())
+            .expect("simulates");
+        let flint = simulate_forest(m, &forest, &data, &data, &SimConfig::flint())
+            .expect("simulates");
+        prop_assert!(soft.total_cycles() > flint.total_cycles());
+        prop_assert!(flint.total_cycles().is_finite());
+        prop_assert_eq!(soft.stats.cmp_float, 0);
+        prop_assert_eq!(flint.stats.cmp_float, 0);
+        prop_assert_eq!(flint.stats.soft_cmp, 0);
+    }
+
+    /// FLInt programs execute zero float instructions, naive programs
+    /// zero integer compares — the instruction mixes are disjoint.
+    #[test]
+    fn instruction_mixes_are_disjoint(seed in 0u64..200) {
+        let (data, forest) = setup(seed, 3, 5);
+        let m = Machine::X86Desktop;
+        let naive = simulate_forest(m, &forest, &data, &data, &SimConfig::naive()).expect("ok");
+        let flint = simulate_forest(m, &forest, &data, &data, &SimConfig::flint()).expect("ok");
+        prop_assert_eq!(naive.stats.cmp_int, 0);
+        prop_assert_eq!(naive.stats.load_word, 0);
+        prop_assert_eq!(flint.stats.cmp_float, 0);
+        prop_assert_eq!(flint.stats.load_float, 0);
+        prop_assert_eq!(flint.stats.load_float_const, 0);
+        // Same number of node decisions either way.
+        prop_assert_eq!(naive.stats.cmp_float, flint.stats.cmp_int);
+    }
+}

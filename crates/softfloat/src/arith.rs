@@ -1,0 +1,480 @@
+//! Software floating point addition, subtraction and multiplication
+//! with round-to-nearest-even, using integer operations only.
+//!
+//! The algorithms are the textbook ones: unpack, align/multiply
+//! significands with three extra guard bits (guard, round, sticky),
+//! normalize, round to nearest even, repack with overflow to infinity
+//! and gradual underflow to subnormals. Internal arithmetic uses `u128`
+//! so the 53×53-bit product of `f64` multiplication is exact.
+
+use crate::format::SoftFloatFormat;
+
+/// Number of guard bits kept below the significand during rounding.
+const GUARD: u32 = 3;
+
+/// Packs sign/exponent/significand into a final bit pattern, applying
+/// round-to-nearest-even and handling overflow and gradual underflow.
+///
+/// `sig` is the significand aligned so bit `MAN_BITS + GUARD` is the
+/// implicit-one position; `exp` is the biased exponent for that
+/// position. `sig == 0` must be handled by the caller.
+fn round_pack<F: SoftFloatFormat>(sign: bool, mut exp: i32, mut sig: u128) -> u64 {
+    debug_assert!(sig != 0);
+    let top = F::MAN_BITS + GUARD; // implicit-one bit index
+    // Normalize left (result of subtraction may be small).
+    while sig < (1u128 << top) && exp > 0 {
+        sig <<= 1;
+        exp -= 1;
+    }
+    // Normalize right (carry out of addition / multiplication).
+    while sig >= (1u128 << (top + 1)) {
+        sig = (sig >> 1) | (sig & 1); // keep sticky
+        exp += 1;
+    }
+    // Gradual underflow: shift right until exp is the subnormal marker.
+    if exp <= 0 {
+        let shift = (1 - exp) as u32;
+        if shift > top + 1 {
+            sig = 1; // pure sticky: rounds to zero (or smallest subnormal)
+        } else {
+            let lost = sig & ((1u128 << shift) - 1);
+            sig = (sig >> shift) | u128::from(lost != 0);
+        }
+        exp = 0;
+    }
+    // Round to nearest even on the GUARD low bits.
+    let lsb = (sig >> GUARD) & 1;
+    let guard_bit = (sig >> (GUARD - 1)) & 1;
+    let sticky = sig & ((1 << (GUARD - 1)) - 1);
+    let mut frac = (sig >> GUARD) as u64;
+    if guard_bit != 0 && (sticky != 0 || lsb != 0) {
+        frac += 1;
+        // Carry into the exponent: frac == 2^(MAN_BITS+1) (from normal)
+        // or 2^MAN_BITS (subnormal became normal — exp 0 -> 1 is
+        // exactly what storing the implicit bit encodes).
+        if frac >= (1u64 << (F::MAN_BITS + 1)) {
+            frac >>= 1;
+            exp += 1;
+        }
+    }
+    // If a subnormal rounded/normalized into the normal range the
+    // implicit bit is set in frac and exp must be at least 1.
+    if exp == 0 && frac >= F::IMPLICIT_BIT {
+        exp = 1;
+    }
+    // Overflow to infinity.
+    if exp >= F::EXP_MAX as i32 {
+        return pack_inf::<F>(sign);
+    }
+    let sign_bit = u64::from(sign) << F::SIGN_SHIFT;
+    if exp == 0 {
+        // Subnormal (or zero, but sig != 0 was required): no implicit bit.
+        sign_bit | (frac & F::MAN_MASK)
+    } else {
+        sign_bit | ((exp as u64) << F::MAN_BITS) | (frac & F::MAN_MASK)
+    }
+}
+
+fn pack_inf<F: SoftFloatFormat>(sign: bool) -> u64 {
+    (u64::from(sign) << F::SIGN_SHIFT) | ((F::EXP_MAX as u64) << F::MAN_BITS)
+}
+
+fn pack_zero<F: SoftFloatFormat>(sign: bool) -> u64 {
+    u64::from(sign) << F::SIGN_SHIFT
+}
+
+/// Splits a pattern into (sign, biased exponent field, fraction field).
+fn fields<F: SoftFloatFormat>(bits: u64) -> (bool, u32, u64) {
+    (
+        (bits >> F::SIGN_SHIFT) & 1 != 0,
+        ((bits >> F::MAN_BITS) as u32) & F::EXP_MAX,
+        bits & F::MAN_MASK,
+    )
+}
+
+fn is_nan_bits<F: SoftFloatFormat>(bits: u64) -> bool {
+    let (_, e, f) = fields::<F>(bits);
+    e == F::EXP_MAX && f != 0
+}
+
+fn is_inf_bits<F: SoftFloatFormat>(bits: u64) -> bool {
+    let (_, e, f) = fields::<F>(bits);
+    e == F::EXP_MAX && f == 0
+}
+
+/// Software `a + b` with round-to-nearest-even.
+///
+/// Matches hardware IEEE-754 addition bit-for-bit for all finite and
+/// infinite inputs; NaN inputs produce the canonical quiet NaN.
+///
+/// # Examples
+///
+/// ```
+/// use flint_softfloat::soft_add;
+///
+/// assert_eq!(soft_add(0.1f32, 0.2f32), 0.1f32 + 0.2f32);
+/// assert_eq!(soft_add(f64::MAX, f64::MAX), f64::INFINITY);
+/// ```
+pub fn soft_add<F: SoftFloatFormat>(a: F, b: F) -> F {
+    let (ab, bb) = (a.bits64(), b.bits64());
+    if is_nan_bits::<F>(ab) || is_nan_bits::<F>(bb) {
+        return F::from_bits64(F::quiet_nan_bits());
+    }
+    let (asign, aexp, afrac) = fields::<F>(ab);
+    let (bsign, bexp, bfrac) = fields::<F>(bb);
+    // Infinities.
+    match (is_inf_bits::<F>(ab), is_inf_bits::<F>(bb)) {
+        (true, true) => {
+            return if asign == bsign {
+                F::from_bits64(pack_inf::<F>(asign))
+            } else {
+                F::from_bits64(F::quiet_nan_bits()) // inf - inf
+            };
+        }
+        (true, false) => return F::from_bits64(pack_inf::<F>(asign)),
+        (false, true) => return F::from_bits64(pack_inf::<F>(bsign)),
+        _ => {}
+    }
+    // Zeros.
+    let a_zero = aexp == 0 && afrac == 0;
+    let b_zero = bexp == 0 && bfrac == 0;
+    if a_zero && b_zero {
+        // (+0) + (-0) = +0 under RNE; (-0) + (-0) = -0.
+        return F::from_bits64(pack_zero::<F>(asign && bsign));
+    }
+    if a_zero {
+        return F::from_bits64(bb);
+    }
+    if b_zero {
+        return F::from_bits64(ab);
+    }
+    // Effective exponent/significand (subnormals: exp field 0 ≡ exp 1
+    // without implicit bit).
+    let norm = |exp: u32, frac: u64| -> (i32, u128) {
+        if exp == 0 {
+            (1, u128::from(frac) << GUARD)
+        } else {
+            (exp as i32, u128::from(frac | F::IMPLICIT_BIT) << GUARD)
+        }
+    };
+    let (mut aexp_i, mut asig) = norm(aexp, afrac);
+    let (mut bexp_i, mut bsig) = norm(bexp, bfrac);
+    // Order so |a| >= |b|.
+    let mut rsign = asign;
+    if (bexp_i > aexp_i) || (bexp_i == aexp_i && bsig > asig) {
+        core::mem::swap(&mut aexp_i, &mut bexp_i);
+        core::mem::swap(&mut asig, &mut bsig);
+        rsign = bsign;
+    }
+    // Align b to a's exponent, collecting sticky.
+    let shift = (aexp_i - bexp_i) as u32;
+    bsig = if shift >= F::MAN_BITS + GUARD + 2 {
+        u128::from(bsig != 0)
+    } else {
+        let lost = bsig & ((1u128 << shift) - 1);
+        (bsig >> shift) | u128::from(lost != 0)
+    };
+    let sum = if asign == bsign { asig + bsig } else { asig - bsig };
+    if sum == 0 {
+        // Exact cancellation: +0 under round-to-nearest.
+        return F::from_bits64(pack_zero::<F>(false));
+    }
+    F::from_bits64(round_pack::<F>(rsign, aexp_i, sum))
+}
+
+/// Software `a - b`: negate then [`soft_add`].
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flint_softfloat::soft_sub(1.0f32, 0.75f32), 0.25f32);
+/// ```
+pub fn soft_sub<F: SoftFloatFormat>(a: F, b: F) -> F {
+    soft_add(a, soft_neg(b))
+}
+
+/// Software negation: one XOR on the sign bit.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(flint_softfloat::soft_neg(1.5f32), -1.5f32);
+/// assert!(flint_softfloat::soft_neg(0.0f64).is_sign_negative());
+/// ```
+pub fn soft_neg<F: SoftFloatFormat>(a: F) -> F {
+    F::from_bits64(a.bits64() ^ (1u64 << F::SIGN_SHIFT))
+}
+
+/// Software `a * b` with round-to-nearest-even.
+///
+/// Matches hardware IEEE-754 multiplication bit-for-bit for all finite
+/// and infinite inputs; NaN inputs (and `0 * inf`) produce the canonical
+/// quiet NaN.
+///
+/// # Examples
+///
+/// ```
+/// use flint_softfloat::soft_mul;
+///
+/// assert_eq!(soft_mul(1.5f32, -2.0f32), -3.0f32);
+/// assert_eq!(soft_mul(1e300f64, 1e300f64), f64::INFINITY);
+/// ```
+pub fn soft_mul<F: SoftFloatFormat>(a: F, b: F) -> F {
+    let (ab, bb) = (a.bits64(), b.bits64());
+    if is_nan_bits::<F>(ab) || is_nan_bits::<F>(bb) {
+        return F::from_bits64(F::quiet_nan_bits());
+    }
+    let (asign, aexp, afrac) = fields::<F>(ab);
+    let (bsign, bexp, bfrac) = fields::<F>(bb);
+    let rsign = asign ^ bsign;
+    let a_zero = aexp == 0 && afrac == 0;
+    let b_zero = bexp == 0 && bfrac == 0;
+    let a_inf = is_inf_bits::<F>(ab);
+    let b_inf = is_inf_bits::<F>(bb);
+    if a_inf || b_inf {
+        return if a_zero || b_zero {
+            F::from_bits64(F::quiet_nan_bits()) // 0 * inf
+        } else {
+            F::from_bits64(pack_inf::<F>(rsign))
+        };
+    }
+    if a_zero || b_zero {
+        return F::from_bits64(pack_zero::<F>(rsign));
+    }
+    // Normalize subnormals into (exponent, full significand) form.
+    let norm = |exp: u32, frac: u64| -> (i32, u64) {
+        if exp == 0 {
+            // Shift the fraction up until the implicit-bit position is
+            // occupied, decrementing the exponent accordingly.
+            let lead = F::MAN_BITS - (63 - frac.leading_zeros());
+            (1 - lead as i32, frac << lead)
+        } else {
+            (exp as i32, frac | F::IMPLICIT_BIT)
+        }
+    };
+    let (aexp_i, asig) = norm(aexp, afrac);
+    let (bexp_i, bsig) = norm(bexp, bfrac);
+    // Product of two (MAN_BITS+1)-bit significands: 2*(MAN_BITS+1) bits.
+    let prod = u128::from(asig) * u128::from(bsig);
+    // The implicit-one position of the product sits at bit 2*MAN_BITS
+    // (or 2*MAN_BITS+1 on carry; round_pack renormalizes). Align it to
+    // MAN_BITS + GUARD, collecting sticky.
+    let drop = F::MAN_BITS - GUARD; // bits to discard
+    let lost = prod & ((1u128 << drop) - 1);
+    let sig = (prod >> drop) | u128::from(lost != 0);
+    // Biased result exponent for the bit-2*MAN_BITS position.
+    let rexp = aexp_i + bexp_i - F::BIAS;
+    F::from_bits64(round_pack_allow_neg::<F>(rsign, rexp, sig))
+}
+
+/// Software `a / b` with round-to-nearest-even.
+///
+/// Matches hardware IEEE-754 division bit-for-bit for all finite and
+/// infinite inputs; NaN inputs (and `0/0`, `inf/inf`) produce the
+/// canonical quiet NaN; `x/0` produces a correctly signed infinity.
+///
+/// # Examples
+///
+/// ```
+/// use flint_softfloat::soft_div;
+///
+/// assert_eq!(soft_div(1.0f32, 3.0f32), 1.0f32 / 3.0f32);
+/// assert_eq!(soft_div(-1.0f64, 0.0f64), f64::NEG_INFINITY);
+/// assert!(soft_div(0.0f32, 0.0f32).is_nan());
+/// ```
+pub fn soft_div<F: SoftFloatFormat>(a: F, b: F) -> F {
+    let (ab, bb) = (a.bits64(), b.bits64());
+    if is_nan_bits::<F>(ab) || is_nan_bits::<F>(bb) {
+        return F::from_bits64(F::quiet_nan_bits());
+    }
+    let (asign, aexp, afrac) = fields::<F>(ab);
+    let (bsign, bexp, bfrac) = fields::<F>(bb);
+    let rsign = asign ^ bsign;
+    let a_zero = aexp == 0 && afrac == 0;
+    let b_zero = bexp == 0 && bfrac == 0;
+    let a_inf = is_inf_bits::<F>(ab);
+    let b_inf = is_inf_bits::<F>(bb);
+    match (a_inf, b_inf) {
+        (true, true) => return F::from_bits64(F::quiet_nan_bits()),
+        (true, false) => return F::from_bits64(pack_inf::<F>(rsign)),
+        (false, true) => return F::from_bits64(pack_zero::<F>(rsign)),
+        _ => {}
+    }
+    if a_zero {
+        return if b_zero {
+            F::from_bits64(F::quiet_nan_bits()) // 0/0
+        } else {
+            F::from_bits64(pack_zero::<F>(rsign))
+        };
+    }
+    if b_zero {
+        return F::from_bits64(pack_inf::<F>(rsign)); // x/0 -> inf
+    }
+    // Normalize subnormal operands.
+    let norm = |exp: u32, frac: u64| -> (i32, u64) {
+        if exp == 0 {
+            let lead = F::MAN_BITS - (63 - frac.leading_zeros());
+            (1 - lead as i32, frac << lead)
+        } else {
+            (exp as i32, frac | F::IMPLICIT_BIT)
+        }
+    };
+    let (aexp_i, asig) = norm(aexp, afrac);
+    let (bexp_i, bsig) = norm(bexp, bfrac);
+    // Long division with MAN_BITS + GUARD + 1 extra quotient bits so
+    // round_pack sees a full significand plus guard bits; the remainder
+    // folds into sticky.
+    let shift = F::MAN_BITS + GUARD + 1;
+    let num = u128::from(asig) << shift;
+    let den = u128::from(bsig);
+    let q = num / den;
+    let r = num % den;
+    let sig = q | u128::from(r != 0);
+    // Quotient of two [1,2) significands lies in (0.5, 2): its leading
+    // bit sits at `shift` or `shift - 1`; round_pack renormalizes. The
+    // biased exponent for the bit-`shift` position:
+    let rexp = aexp_i - bexp_i + F::BIAS;
+    // Align: round_pack expects the implicit-one at MAN_BITS + GUARD,
+    // one below `shift`; shift right once with sticky and bump exp.
+    let sig = (sig >> 1) | (sig & 1);
+    F::from_bits64(round_pack_allow_neg::<F>(rsign, rexp, sig))
+}
+
+/// Like [`round_pack`] but tolerates exponents that went negative
+/// (deep underflow in multiplication) by pre-shifting.
+fn round_pack_allow_neg<F: SoftFloatFormat>(sign: bool, exp: i32, sig: u128) -> u64 {
+    if exp < -(F::MAN_BITS as i32 + 8) {
+        // Far below subnormal range: rounds to (signed) zero — keep one
+        // sticky bit so round_pack returns the smallest subnormal only
+        // if it should; at this magnitude it never should.
+        return pack_zero::<F>(sign);
+    }
+    round_pack::<F>(sign, exp, sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_simple_values() {
+        assert_eq!(soft_add(1.0f32, 2.0f32), 3.0);
+        assert_eq!(soft_add(0.1f32, 0.2f32), 0.1f32 + 0.2f32);
+        assert_eq!(soft_add(1.0f64, 1e-16f64), 1.0f64 + 1e-16f64);
+        assert_eq!(soft_add(-1.5f32, 1.5f32).to_bits(), 0); // exact cancel -> +0
+    }
+
+    #[test]
+    fn add_rounding_to_even() {
+        // 2^24 + 1 is not representable in f32: ties to even.
+        let big = 16_777_216f32; // 2^24
+        assert_eq!(soft_add(big, 1.0f32), big + 1.0f32);
+        assert_eq!(soft_add(big, 2.0f32), big + 2.0f32);
+        assert_eq!(soft_add(big, 3.0f32), big + 3.0f32);
+    }
+
+    #[test]
+    fn add_specials() {
+        assert_eq!(soft_add(f32::INFINITY, 1.0), f32::INFINITY);
+        assert_eq!(soft_add(f32::NEG_INFINITY, -1.0), f32::NEG_INFINITY);
+        assert!(soft_add(f32::INFINITY, f32::NEG_INFINITY).is_nan());
+        assert!(soft_add(f32::NAN, 1.0).is_nan());
+        assert_eq!(soft_add(f32::MAX, f32::MAX), f32::INFINITY);
+        // Signed zero rules.
+        assert_eq!(soft_add(0.0f32, -0.0f32).to_bits(), 0);
+        assert_eq!(soft_add(-0.0f32, -0.0f32).to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn add_subnormals() {
+        let tiny = f32::from_bits(1);
+        assert_eq!(soft_add(tiny, tiny), tiny + tiny);
+        let almost = f32::MIN_POSITIVE - f32::from_bits(1); // largest subnormal
+        assert_eq!(soft_add(almost, tiny), almost + tiny);
+        // Subnormal + subnormal crossing into normal range.
+        let half_min = f32::MIN_POSITIVE / 2.0;
+        assert_eq!(soft_add(half_min, half_min), f32::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn sub_and_neg() {
+        assert_eq!(soft_sub(3.0f32, 1.0f32), 2.0);
+        assert_eq!(soft_sub(1.0f32, 3.0f32), -2.0);
+        assert_eq!(soft_neg(0.0f32).to_bits(), (-0.0f32).to_bits());
+        assert_eq!(soft_neg(f64::INFINITY), f64::NEG_INFINITY);
+        // Catastrophic cancellation is exact.
+        let a = 1.000_000_1f32;
+        assert_eq!(soft_sub(a, 1.0f32), a - 1.0f32);
+    }
+
+    #[test]
+    fn mul_simple_values() {
+        assert_eq!(soft_mul(1.5f32, 2.0f32), 3.0);
+        assert_eq!(soft_mul(-1.5f32, 2.0f32), -3.0);
+        assert_eq!(soft_mul(0.1f32, 0.2f32), 0.1f32 * 0.2f32);
+        assert_eq!(soft_mul(0.1f64, 0.2f64), 0.1f64 * 0.2f64);
+    }
+
+    #[test]
+    fn mul_specials() {
+        assert!(soft_mul(0.0f32, f32::INFINITY).is_nan());
+        assert_eq!(soft_mul(f32::INFINITY, -2.0), f32::NEG_INFINITY);
+        assert_eq!(soft_mul(f32::MAX, 2.0), f32::INFINITY);
+        assert_eq!(soft_mul(0.0f32, -1.0).to_bits(), (-0.0f32).to_bits());
+        assert!(soft_mul(f64::NAN, 0.0).is_nan());
+    }
+
+    #[test]
+    fn mul_subnormals() {
+        let tiny = f32::from_bits(1);
+        assert_eq!(soft_mul(tiny, 0.5), tiny * 0.5); // rounds to zero (even)
+        assert_eq!(soft_mul(tiny, 4.0), tiny * 4.0);
+        assert_eq!(soft_mul(f32::MIN_POSITIVE, 0.5), f32::MIN_POSITIVE * 0.5);
+        // Deep underflow.
+        assert_eq!(soft_mul(f32::from_bits(1), f32::from_bits(1)).to_bits(), 0);
+        // Subnormal times large: normal result.
+        assert_eq!(soft_mul(f32::from_bits(1), 1e38f32), f32::from_bits(1) * 1e38f32);
+    }
+
+    #[test]
+    fn div_simple_values() {
+        assert_eq!(soft_div(3.0f32, 2.0f32), 1.5);
+        assert_eq!(soft_div(1.0f32, 3.0f32), 1.0f32 / 3.0f32);
+        assert_eq!(soft_div(-7.5f64, 2.5f64), -3.0);
+        assert_eq!(soft_div(0.1f64, 0.3f64), 0.1f64 / 0.3f64);
+    }
+
+    #[test]
+    fn div_specials() {
+        assert!(soft_div(0.0f32, 0.0f32).is_nan());
+        assert!(soft_div(f32::INFINITY, f32::INFINITY).is_nan());
+        assert_eq!(soft_div(1.0f32, 0.0f32), f32::INFINITY);
+        assert_eq!(soft_div(-1.0f32, 0.0f32), f32::NEG_INFINITY);
+        assert_eq!(soft_div(1.0f32, -0.0f32), f32::NEG_INFINITY);
+        assert_eq!(soft_div(5.0f32, f32::INFINITY).to_bits(), 0);
+        assert_eq!(soft_div(f32::INFINITY, -2.0), f32::NEG_INFINITY);
+        assert!(soft_div(f64::NAN, 1.0).is_nan());
+    }
+
+    #[test]
+    fn div_overflow_and_underflow() {
+        assert_eq!(soft_div(f32::MAX, 0.5), f32::INFINITY);
+        assert_eq!(soft_div(f32::MIN_POSITIVE, 2.0), f32::MIN_POSITIVE / 2.0);
+        assert_eq!(
+            soft_div(f32::from_bits(1), 2.0),
+            f32::from_bits(1) / 2.0 // rounds to zero (even)
+        );
+        assert_eq!(soft_div(f32::from_bits(1), 1e38), f32::from_bits(1) / 1e38);
+        // Subnormal numerator and denominator.
+        let (a, b) = (f32::from_bits(123), f32::from_bits(45));
+        assert_eq!(soft_div(a, b), a / b);
+    }
+
+    #[test]
+    fn mul_f64_precision() {
+        let a = core::f64::consts::PI;
+        let b = core::f64::consts::E;
+        assert_eq!(soft_mul(a, b), a * b);
+        assert_eq!(soft_mul(a, a), a * a);
+    }
+}

@@ -1,0 +1,191 @@
+//! Unpacking a bit pattern into sign / exponent / significand, and
+//! classification — the first step of every softfloat routine.
+
+use crate::format::SoftFloatFormat;
+
+/// The IEEE-754 value classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpClass {
+    /// Not a number (exponent all ones, mantissa non-zero).
+    Nan,
+    /// Positive or negative infinity.
+    Infinite,
+    /// Positive or negative zero.
+    Zero,
+    /// Subnormal (denormalized) number.
+    Subnormal,
+    /// Normal number.
+    Normal,
+}
+
+/// A float decomposed into its fields, with the significand carrying the
+/// implicit bit for normals.
+///
+/// `exponent` is the *unbiased* exponent of the significand interpreted
+/// as a fixed point number with [`SoftFloatFormat::MAN_BITS`] fraction
+/// bits (i.e. `value = (-1)^sign * significand * 2^(exponent - MAN_BITS)`
+/// for finite non-zero values).
+///
+/// # Examples
+///
+/// ```
+/// use flint_softfloat::Unpacked;
+///
+/// let u = Unpacked::from_float(1.5f32);
+/// assert!(!u.sign);
+/// assert_eq!(u.exponent, 0);
+/// assert_eq!(u.significand, (1 << 23) | (1 << 22)); // 1.1 binary
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unpacked {
+    /// Sign bit (`true` = negative).
+    pub sign: bool,
+    /// Unbiased exponent of the implicit-bit position.
+    pub exponent: i32,
+    /// Significand including the implicit bit for normals; raw fraction
+    /// for subnormals; 0 for zeros; fraction field for NaN payload.
+    pub significand: u64,
+    /// Value class.
+    pub class: FpClass,
+}
+
+impl Unpacked {
+    /// Decomposes `value` into fields using integer operations only.
+    pub fn from_float<F: SoftFloatFormat>(value: F) -> Self {
+        let bits = value.bits64();
+        let sign = (bits >> F::SIGN_SHIFT) & 1 != 0;
+        let exp_field = ((bits >> F::MAN_BITS) as u32) & F::EXP_MAX;
+        let frac = bits & F::MAN_MASK;
+        if exp_field == F::EXP_MAX {
+            return if frac == 0 {
+                Self { sign, exponent: 0, significand: 0, class: FpClass::Infinite }
+            } else {
+                Self { sign, exponent: 0, significand: frac, class: FpClass::Nan }
+            };
+        }
+        if exp_field == 0 {
+            return if frac == 0 {
+                Self { sign, exponent: 0, significand: 0, class: FpClass::Zero }
+            } else {
+                Self {
+                    sign,
+                    exponent: 1 - F::BIAS,
+                    significand: frac,
+                    class: FpClass::Subnormal,
+                }
+            };
+        }
+        Self {
+            sign,
+            exponent: exp_field as i32 - F::BIAS,
+            significand: frac | F::IMPLICIT_BIT,
+            class: FpClass::Normal,
+        }
+    }
+
+    /// `true` for NaN.
+    #[inline]
+    pub fn is_nan(&self) -> bool {
+        self.class == FpClass::Nan
+    }
+
+    /// `true` for either zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.class == FpClass::Zero
+    }
+}
+
+/// Classifies a float without any float instruction.
+///
+/// # Examples
+///
+/// ```
+/// use flint_softfloat::{classify, FpClass};
+///
+/// assert_eq!(classify(f32::NAN), FpClass::Nan);
+/// assert_eq!(classify(f64::INFINITY), FpClass::Infinite);
+/// assert_eq!(classify(-0.0f32), FpClass::Zero);
+/// assert_eq!(classify(1e-40f32), FpClass::Subnormal);
+/// assert_eq!(classify(1.0f64), FpClass::Normal);
+/// ```
+pub fn classify<F: SoftFloatFormat>(value: F) -> FpClass {
+    Unpacked::from_float(value).class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_matches_std_f32() {
+        use std::num::FpCategory;
+        let probes = [
+            0.0f32,
+            -0.0,
+            1.0,
+            -1.0,
+            f32::from_bits(1),
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+        ];
+        for v in probes {
+            let want = match v.classify() {
+                FpCategory::Nan => FpClass::Nan,
+                FpCategory::Infinite => FpClass::Infinite,
+                FpCategory::Zero => FpClass::Zero,
+                FpCategory::Subnormal => FpClass::Subnormal,
+                FpCategory::Normal => FpClass::Normal,
+            };
+            assert_eq!(classify(v), want, "{v}");
+        }
+    }
+
+    #[test]
+    fn classify_matches_std_f64() {
+        use std::num::FpCategory;
+        for v in [0.0f64, -0.0, 1.0, f64::from_bits(1), f64::MAX, f64::NAN, f64::INFINITY] {
+            let want = match v.classify() {
+                FpCategory::Nan => FpClass::Nan,
+                FpCategory::Infinite => FpClass::Infinite,
+                FpCategory::Zero => FpClass::Zero,
+                FpCategory::Subnormal => FpClass::Subnormal,
+                FpCategory::Normal => FpClass::Normal,
+            };
+            assert_eq!(classify(v), want, "{v}");
+        }
+    }
+
+    #[test]
+    fn unpack_normal() {
+        let u = Unpacked::from_float(2.0f32);
+        assert_eq!(u.exponent, 1);
+        assert_eq!(u.significand, 1 << 23);
+        assert_eq!(u.class, FpClass::Normal);
+        let u = Unpacked::from_float(-0.5f64);
+        assert!(u.sign);
+        assert_eq!(u.exponent, -1);
+        assert_eq!(u.significand, 1 << 52);
+    }
+
+    #[test]
+    fn unpack_subnormal() {
+        let u = Unpacked::from_float(f32::from_bits(1));
+        assert_eq!(u.class, FpClass::Subnormal);
+        assert_eq!(u.exponent, -126);
+        assert_eq!(u.significand, 1);
+    }
+
+    #[test]
+    fn unpack_specials() {
+        assert!(Unpacked::from_float(f32::NAN).is_nan());
+        assert!(Unpacked::from_float(0.0f32).is_zero());
+        assert!(Unpacked::from_float(-0.0f64).is_zero());
+        let inf = Unpacked::from_float(f32::NEG_INFINITY);
+        assert_eq!(inf.class, FpClass::Infinite);
+        assert!(inf.sign);
+    }
+}

@@ -1,0 +1,68 @@
+//! Deploying a random forest on an FPU-less embedded device — the
+//! scenario that motivates the paper.
+//!
+//! The trained model is compiled to the integer-only VM (the executable
+//! analog of the paper's assembly backend), verified to contain **zero
+//! float instructions**, and simulated on the embedded cost profile
+//! against the software-float fallback such a device would otherwise
+//! use.
+//!
+//! Run with: `cargo run --example embedded_no_fpu`
+
+use flint_suite::codegen::{VmForest, VmProgram, VmVariant};
+use flint_suite::data::uci::{Scale, UciDataset};
+use flint_suite::data::train_test_split;
+use flint_suite::forest::{ForestConfig, RandomForest};
+use flint_suite::sim::{simulate_forest, Machine, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A wine-quality-shaped workload, small enough for a microcontroller.
+    let data = UciDataset::Wine.generate(Scale::Small);
+    let split = train_test_split(&data, 0.25, 7);
+    let forest = RandomForest::fit(&split.train, &ForestConfig::grid(10, 8))?;
+
+    // Compile to the integer-only bytecode.
+    let vm = VmForest::compile(&forest, VmVariant::Flint);
+    let fpu_free = vm.programs().iter().all(VmProgram::is_fpu_free);
+    println!("== FLInt VM forest ==");
+    println!("trees: {}", vm.programs().len());
+    println!("contains float instructions: {}", !fpu_free);
+    assert!(fpu_free, "FLInt programs must not need an FPU");
+
+    // Classify the held-out set and count instructions.
+    let mut correct = 0usize;
+    let mut total_instr = 0u64;
+    for i in 0..split.test.n_samples() {
+        let (class, stats) = vm.run(split.test.sample(i))?;
+        correct += usize::from(class == split.test.label(i));
+        total_instr += stats.total();
+    }
+    println!(
+        "test accuracy {:.4}, {:.1} instructions per inference",
+        correct as f64 / split.test.n_samples() as f64,
+        total_instr as f64 / split.test.n_samples() as f64
+    );
+
+    // Simulated cycle comparison on the embedded profile.
+    let machine = Machine::EmbeddedNoFpu;
+    println!("\n== {} ==", machine.name());
+    println!("(naive hardware floats are impossible here — no FPU)");
+    let soft = simulate_forest(machine, &forest, &split.train, &split.test, &SimConfig::softfloat())?;
+    let flint = simulate_forest(machine, &forest, &split.train, &split.test, &SimConfig::flint())?;
+    let asm = simulate_forest(machine, &forest, &split.train, &split.test, &SimConfig::flint_asm())?;
+    println!(
+        "softfloat fallback: {:>10.1} cycles/inference",
+        soft.cycles_per_inference()
+    );
+    println!(
+        "FLInt (C style):    {:>10.1} cycles/inference ({:.1}x faster)",
+        flint.cycles_per_inference(),
+        soft.cycles_per_inference() / flint.cycles_per_inference()
+    );
+    println!(
+        "FLInt (asm style):  {:>10.1} cycles/inference ({:.1}x faster)",
+        asm.cycles_per_inference(),
+        soft.cycles_per_inference() / asm.cycles_per_inference()
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! End-to-end deployment pipeline: train → persist → reload → compile
+//! with CAGS+FLInt → serve — the workflow a downstream user of this
+//! library would run in production.
+//!
+//! Run with: `cargo run --example model_deployment`
+
+use flint_suite::data::uci::{Scale, UciDataset};
+use flint_suite::data::train_test_split;
+use flint_suite::exec::{BackendKind, CompiledForest};
+use flint_suite::forest::metrics::{accuracy, confusion_matrix};
+use flint_suite::forest::{io, ForestConfig, RandomForest};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Train on a MAGIC-telescope-shaped dataset.
+    let data = UciDataset::Magic.generate(Scale::Tiny);
+    let split = train_test_split(&data, 0.25, 123);
+    let forest = RandomForest::fit(&split.train, &ForestConfig::grid(30, 15))?;
+    println!(
+        "trained {} trees ({} nodes) on {} samples",
+        forest.n_trees(),
+        forest.n_nodes(),
+        split.train.n_samples()
+    );
+
+    // 2. Persist the model to the text format and reload it (in memory
+    //    here; a file works the same through any Write/BufRead).
+    let mut buffer = Vec::new();
+    io::write_forest(&forest, &mut buffer)?;
+    println!("serialized model: {} bytes", buffer.len());
+    let reloaded = io::read_forest(&buffer[..])?;
+    assert_eq!(reloaded, forest, "round trip must be exact");
+
+    // 3. Compile the deployment backend: CAGS layout (profiled on the
+    //    training data, as the paper prescribes) + FLInt comparisons.
+    let backend = CompiledForest::compile(&reloaded, BackendKind::CagsFlint, Some(&split.train))?;
+
+    // 4. Serve the test set and report quality.
+    let preds = backend.predict_dataset(&split.test);
+    let acc = accuracy(&preds, split.test.labels());
+    println!("deployed backend: {}", backend.kind().name());
+    println!("test accuracy: {acc:.4}");
+    let matrix = confusion_matrix(&preds, split.test.labels(), reloaded.n_classes());
+    println!("confusion matrix (rows = truth):");
+    for row in &matrix {
+        println!("  {row:?}");
+    }
+
+    // 5. Sanity: identical to the naive float backend.
+    let naive = CompiledForest::compile(&reloaded, BackendKind::Naive, None)?;
+    assert_eq!(preds, naive.predict_dataset(&split.test));
+    println!("predictions identical to the naive float backend — accuracy unchanged.");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! FLInt beyond random forests: the paper's future work notes that
+//! "FLInts can be integrated into other applications, which heavily
+//! rely on floating point comparisons". This example sorts, searches
+//! and aggregates float data using **integer comparisons only** via
+//! [`FlintOrd`] and the `flint_min`/`flint_max` operators — everything
+//! an FPU-less device needs for telemetry post-processing.
+//!
+//! Run with: `cargo run --example sorting_search`
+
+use flint_suite::core::{flint_max, flint_min, FlintOrd};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let readings: Vec<f32> = (0..20)
+        .map(|_| rng.gen_range(-50.0f32..50.0))
+        .collect();
+    println!("raw sensor readings: {readings:.3?}");
+
+    // Sort with integer comparisons only.
+    let mut ordered: Vec<FlintOrd<f32>> = readings
+        .iter()
+        .map(|&v| FlintOrd::try_new(v).expect("sensor data is never NaN"))
+        .collect();
+    ordered.sort(); // Ord impl = FLInt integer comparisons
+    let sorted: Vec<f32> = ordered.iter().map(|o| o.value()).collect();
+    println!("sorted (integer-only): {sorted:.3?}");
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+
+    // Binary search for an insertion point — still integer-only.
+    let probe = FlintOrd::new(0.0f32);
+    let idx = ordered.binary_search(&probe).unwrap_or_else(|i| i);
+    println!("insertion point for 0.0: index {idx}");
+    assert!(idx == 0 || sorted[idx - 1] <= 0.0);
+    assert!(idx == sorted.len() || sorted[idx] >= 0.0);
+
+    // Running min/max/clamp without a single float instruction.
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in &readings {
+        lo = flint_min(lo, v);
+        hi = flint_max(hi, v);
+    }
+    println!("range: [{lo:.3}, {hi:.3}]");
+    assert_eq!(lo, sorted[0]);
+    assert_eq!(hi, *sorted.last().expect("non-empty"));
+
+    // Median via the sorted order.
+    let median = sorted[sorted.len() / 2];
+    println!("median: {median:.3}");
+
+    // A BTreeMap keyed by floats — impossible with raw f32 (no Ord),
+    // trivial with FlintOrd.
+    use std::collections::BTreeMap;
+    let histogram: BTreeMap<FlintOrd<f32>, usize> = readings
+        .iter()
+        .map(|&v| (FlintOrd::new((v / 10.0).floor() * 10.0), 1))
+        .fold(BTreeMap::new(), |mut m, (k, c)| {
+            *m.entry(k).or_insert(0) += c;
+            m
+        });
+    println!("decade histogram:");
+    for (bucket, count) in &histogram {
+        println!("  [{:>6.1}, {:>6.1}): {}", bucket.value(), bucket.value() + 10.0, count);
+    }
+}

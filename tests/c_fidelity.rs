@@ -1,0 +1,227 @@
+//! Compiles the emitted C code with the system C compiler and checks
+//! that the *actual machine code* produced from Listings 1–4 style
+//! source predicts identically to the Rust reference — the strongest
+//! fidelity check available for the code generation stage.
+//!
+//! Skipped (with a note) when no C compiler is installed.
+
+use flint_suite::codegen::{emit_forest_c, CVariant};
+use flint_suite::data::synth::SynthSpec;
+use flint_suite::forest::{ForestConfig, RandomForest};
+use std::io::Write as _;
+use std::process::Command;
+
+fn have_cc() -> bool {
+    Command::new("cc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// Builds a C program embedding the generated forest plus a driver that
+/// prints one prediction per test vector, compiles and runs it.
+fn run_c_forest(forest: &RandomForest, variant: CVariant, inputs: &[Vec<f32>]) -> Vec<u32> {
+    let dir = std::env::temp_dir().join(format!(
+        "flint_c_fidelity_{}_{}",
+        std::process::id(),
+        variant.suffix()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src_path = dir.join("forest.c");
+    let bin_path = dir.join("forest_bin");
+
+    let mut source = emit_forest_c(forest, variant);
+    source.push_str("\n#include <stdio.h>\n");
+    source.push_str(&format!(
+        "static const float inputs[{}][{}] = {{\n",
+        inputs.len(),
+        forest.n_features()
+    ));
+    for row in inputs {
+        let cells: Vec<String> = row
+            .iter()
+            // Hex float literals preserve the exact bit pattern.
+            .map(|v| format!("{}", ExactFloat(*v)))
+            .collect();
+        source.push_str(&format!("    {{{}}},\n", cells.join(", ")));
+    }
+    source.push_str("};\n");
+    source.push_str(&format!(
+        "int main(void) {{\n    for (int i = 0; i < {}; ++i) {{\n        printf(\"%u\\n\", predict_forest_{}(inputs[i]));\n    }}\n    return 0;\n}}\n",
+        inputs.len(),
+        variant.suffix()
+    ));
+    let mut f = std::fs::File::create(&src_path).expect("write source");
+    f.write_all(source.as_bytes()).expect("write source");
+    drop(f);
+
+    let compile = Command::new("cc")
+        .args(["-O2", "-o"])
+        .arg(&bin_path)
+        .arg(&src_path)
+        .output()
+        .expect("invoke cc");
+    assert!(
+        compile.status.success(),
+        "cc failed:\n{}",
+        String::from_utf8_lossy(&compile.stderr)
+    );
+    let run = Command::new(&bin_path).output().expect("run generated binary");
+    assert!(run.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+    String::from_utf8(run.stdout)
+        .expect("utf8 output")
+        .lines()
+        .map(|l| l.trim().parse().expect("class integer"))
+        .collect()
+}
+
+/// Formats an f32 as a C hexadecimal float literal (`0x1.abcp+3f`),
+/// which round-trips the bit pattern exactly through the C compiler.
+struct ExactFloat(f32);
+
+impl std::fmt::Display for ExactFloat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let v = self.0;
+        if v == 0.0 {
+            return write!(f, "{}0.0f", if v.is_sign_negative() { "-" } else { "" });
+        }
+        let bits = v.to_bits();
+        let sign = if bits >> 31 != 0 { "-" } else { "" };
+        let exp = ((bits >> 23) & 0xff) as i32;
+        let man = bits & 0x007f_ffff;
+        if exp == 0 {
+            // Subnormal: value = man * 2^-149.
+            return write!(f, "{sign}0x{man:x}p-149f");
+        }
+        write!(f, "{sign}0x1.{:06x}p{:+}f", man << 1, exp - 127)
+    }
+}
+
+/// The reference majority vote (same tie-breaking as the emitted C).
+fn reference(forest: &RandomForest, features: &[f32]) -> u32 {
+    let mut votes = vec![0u32; forest.n_classes()];
+    for tree in forest.trees() {
+        votes[tree.predict(features) as usize] += 1;
+    }
+    votes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &v)| (v, std::cmp::Reverse(i)))
+        .map(|(i, _)| i as u32)
+        .expect("non-empty")
+}
+
+#[test]
+fn generated_c_matches_rust_for_both_variants() {
+    if !have_cc() {
+        eprintln!("skipping: no C compiler on this system");
+        return;
+    }
+    let data = SynthSpec::new(300, 5, 3)
+        .cluster_std(1.0)
+        .negative_fraction(0.5)
+        .seed(8)
+        .generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 8)).expect("trains");
+    // Test vectors: the training data plus adversarial values.
+    let mut inputs: Vec<Vec<f32>> = (0..data.n_samples().min(100))
+        .map(|i| data.sample(i).to_vec())
+        .collect();
+    inputs.push(vec![0.0; 5]);
+    inputs.push(vec![-0.0; 5]);
+    inputs.push(vec![1e-40; 5]); // subnormal
+    inputs.push(vec![-1e-40; 5]);
+    inputs.push(vec![f32::MAX, f32::MIN, 0.5, -0.5, 1.0]);
+    let want: Vec<u32> = inputs.iter().map(|x| reference(&forest, x)).collect();
+    for variant in [CVariant::Standard, CVariant::Flint] {
+        let got = run_c_forest(&forest, variant, &inputs);
+        assert_eq!(got, want, "variant {variant:?} diverges from Rust reference");
+    }
+}
+
+/// Builds, compiles and runs the **double precision** variant of the
+/// generated forest (features widened exactly from f32).
+fn run_c_forest_f64(forest: &RandomForest, variant: CVariant, inputs: &[Vec<f32>]) -> Vec<u32> {
+    use flint_suite::codegen::emit_forest_c_f64;
+    let dir = std::env::temp_dir().join(format!(
+        "flint_c_fidelity64_{}_{}",
+        std::process::id(),
+        variant.suffix()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src_path = dir.join("forest64.c");
+    let bin_path = dir.join("forest64_bin");
+    let mut source = emit_forest_c_f64(forest, variant);
+    source.push_str("\n#include <stdio.h>\n");
+    source.push_str(&format!(
+        "static const double inputs[{}][{}] = {{\n",
+        inputs.len(),
+        forest.n_features()
+    ));
+    for row in inputs {
+        // f32 -> f64 widening is exact; Rust's Debug for f64 prints the
+        // shortest round-tripping decimal, which C parses back exactly.
+        let cells: Vec<String> = row.iter().map(|v| format!("{:?}", f64::from(*v))).collect();
+        source.push_str(&format!("    {{{}}},\n", cells.join(", ")));
+    }
+    source.push_str("};\n");
+    source.push_str(&format!(
+        "int main(void) {{\n    for (int i = 0; i < {}; ++i) {{\n        printf(\"%u\\n\", predict_forest_{}_f64(inputs[i]));\n    }}\n    return 0;\n}}\n",
+        inputs.len(),
+        variant.suffix()
+    ));
+    std::fs::write(&src_path, source).expect("write source");
+    let compile = Command::new("cc")
+        .args(["-O2", "-o"])
+        .arg(&bin_path)
+        .arg(&src_path)
+        .output()
+        .expect("invoke cc");
+    assert!(
+        compile.status.success(),
+        "cc failed:\n{}",
+        String::from_utf8_lossy(&compile.stderr)
+    );
+    let run = Command::new(&bin_path).output().expect("run generated binary");
+    assert!(run.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+    String::from_utf8(run.stdout)
+        .expect("utf8 output")
+        .lines()
+        .map(|l| l.trim().parse().expect("class integer"))
+        .collect()
+}
+
+#[test]
+fn generated_f64_c_matches_rust() {
+    if !have_cc() {
+        eprintln!("skipping: no C compiler on this system");
+        return;
+    }
+    let data = SynthSpec::new(200, 4, 2)
+        .cluster_std(1.0)
+        .negative_fraction(0.5)
+        .seed(21)
+        .generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(3, 6)).expect("trains");
+    let inputs: Vec<Vec<f32>> = (0..60).map(|i| data.sample(i).to_vec()).collect();
+    // Widening features and thresholds to f64 is exact, so predictions
+    // must match the f32 reference.
+    let want: Vec<u32> = inputs.iter().map(|x| reference(&forest, x)).collect();
+    for variant in [CVariant::Standard, CVariant::Flint] {
+        let got = run_c_forest_f64(&forest, variant, &inputs);
+        assert_eq!(got, want, "f64 variant {variant:?} diverges");
+    }
+}
+
+#[test]
+fn exact_float_literals_round_trip() {
+    // The literal formatter itself must be exact for the test above to
+    // prove anything.
+    for v in [1.5f32, -2.935417, 10.074347, 0.1, -0.0, 0.0, 1e-40, f32::MAX] {
+        let text = format!("{}", ExactFloat(v));
+        assert!(text.ends_with('f'), "{text}");
+    }
+}

