@@ -1,0 +1,63 @@
+//! Throughput of the batch inference engine versus the scalar
+//! one-sample-at-a-time loop, for every backend configuration of the
+//! paper's evaluation.
+//!
+//! Three shapes per backend:
+//!
+//! * `scalar`          — `CompiledForest::predict_dataset` (per-sample
+//!   vote allocation, whole forest streamed per sample);
+//! * `blocked`         — `BatchEngine`, tree-block × sample-block
+//!   traversal with reused scratch, one thread;
+//! * `blocked+threads` — the same with 4 scoped worker threads.
+//!
+//! The forest is deliberately deep (many more node bytes than L2) so
+//! the cache-blocking effect is visible even on a single core; on
+//! multi-core hosts the threaded row adds near-linear scaling on top.
+//! Equivalence of all three paths is asserted before timing — a
+//! benchmark of a wrong result is worthless.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use flint_data::train_test_split;
+use flint_data::uci::{Scale, UciDataset};
+use flint_data::FeatureMatrix;
+use flint_exec::{BackendKind, BatchEngine, BatchOptions, CompiledForest};
+use flint_forest::{ForestConfig, RandomForest};
+
+fn bench_batch(c: &mut Criterion) {
+    let data = UciDataset::Magic.generate(Scale::Small);
+    let split = train_test_split(&data, 0.25, 42);
+    let forest = RandomForest::fit(&split.train, &ForestConfig::grid(24, 16)).expect("trainable");
+    let matrix = FeatureMatrix::from_dataset(&split.test);
+    let n = split.test.n_samples();
+
+    let mut group = c.benchmark_group("batch_throughput");
+    for kind in BackendKind::PAPER_SET {
+        let backend =
+            CompiledForest::compile(&forest, kind, Some(&split.train)).expect("compilable");
+        let blocked = BatchEngine::new(&backend, BatchOptions::default());
+        let threaded = BatchEngine::new(&backend, BatchOptions::default().threads(4));
+
+        let reference = backend.predict_dataset(&split.test);
+        assert_eq!(blocked.predict(&matrix), reference, "blocked diverges");
+        assert_eq!(threaded.predict(&matrix), reference, "threaded diverges");
+
+        let name = kind.name().replace(' ', "_");
+        group.bench_with_input(BenchmarkId::new(format!("{name}/scalar"), n), &n, |b, _| {
+            b.iter(|| backend.predict_dataset(black_box(&split.test)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/blocked"), n),
+            &n,
+            |b, _| b.iter(|| blocked.predict(black_box(&matrix))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("{name}/blocked+threads4"), n),
+            &n,
+            |b, _| b.iter(|| threaded.predict(black_box(&matrix))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -27,7 +27,8 @@ fn bench_fig3(c: &mut Criterion) {
                     b.iter(|| {
                         let mut acc = 0u32;
                         for i in 0..split.test.n_samples() {
-                            acc = acc.wrapping_add(backend.predict(black_box(split.test.sample(i))));
+                            acc =
+                                acc.wrapping_add(backend.predict(black_box(split.test.sample(i))));
                         }
                         acc
                     })

@@ -23,25 +23,33 @@ fn bench_fig4(c: &mut Criterion) {
             RandomForest::fit(&split.train, &ForestConfig::grid(10, depth)).expect("trainable");
         let flat = CompiledForest::compile(&forest, BackendKind::Flint, None).expect("compilable");
         let vm = VmForest::compile(&forest, VmVariant::Flint);
-        group.bench_with_input(BenchmarkId::new("flint_flat_c_analog", depth), &depth, |b, _| {
-            b.iter(|| {
-                let mut acc = 0u32;
-                for i in 0..split.test.n_samples() {
-                    acc = acc.wrapping_add(flat.predict(black_box(split.test.sample(i))));
-                }
-                acc
-            })
-        });
-        group.bench_with_input(BenchmarkId::new("flint_vm_asm_analog", depth), &depth, |b, _| {
-            b.iter(|| {
-                let mut acc = 0u32;
-                for i in 0..split.test.n_samples() {
-                    let (class, _) = vm.run(black_box(split.test.sample(i))).expect("runs");
-                    acc = acc.wrapping_add(class);
-                }
-                acc
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("flint_flat_c_analog", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for i in 0..split.test.n_samples() {
+                        acc = acc.wrapping_add(flat.predict(black_box(split.test.sample(i))));
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flint_vm_asm_analog", depth),
+            &depth,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for i in 0..split.test.n_samples() {
+                        let (class, _) = vm.run(black_box(split.test.sample(i))).expect("runs");
+                        acc = acc.wrapping_add(class);
+                    }
+                    acc
+                })
+            },
+        );
     }
     group.finish();
 }

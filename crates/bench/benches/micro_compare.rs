@@ -35,7 +35,10 @@ fn bench_compare(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0u32;
             for &x in &xs {
-                acc += u32::from(ge_bits::<f32>(threshold_bits, black_box(x).to_signed_bits()));
+                acc += u32::from(ge_bits::<f32>(
+                    threshold_bits,
+                    black_box(x).to_signed_bits(),
+                ));
             }
             acc
         })

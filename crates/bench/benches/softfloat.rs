@@ -18,7 +18,11 @@ fn bench_softfloat(c: &mut Criterion) {
     let xs = pairs(4096);
     let mut group = c.benchmark_group("softfloat_vs_hardware");
     group.bench_function("hw_add", |b| {
-        b.iter(|| xs.iter().map(|&(a, x)| black_box(a) + black_box(x)).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(a, x)| black_box(a) + black_box(x))
+                .sum::<f32>()
+        })
     });
     group.bench_function("soft_add", |b| {
         b.iter(|| {
@@ -28,7 +32,11 @@ fn bench_softfloat(c: &mut Criterion) {
         })
     });
     group.bench_function("hw_mul", |b| {
-        b.iter(|| xs.iter().map(|&(a, x)| black_box(a) * black_box(x)).sum::<f32>())
+        b.iter(|| {
+            xs.iter()
+                .map(|&(a, x)| black_box(a) * black_box(x))
+                .sum::<f32>()
+        })
     });
     group.bench_function("soft_mul", |b| {
         b.iter(|| {

@@ -92,7 +92,10 @@ int main(void) {{
     let run = Command::new(&bin).output().expect("run binary");
     assert!(run.status.success(), "generated binary failed");
     let _ = std::fs::remove_dir_all(&dir);
-    String::from_utf8_lossy(&run.stdout).trim().parse().expect("ns value")
+    String::from_utf8_lossy(&run.stdout)
+        .trim()
+        .parse()
+        .expect("ns value")
 }
 
 fn main() {

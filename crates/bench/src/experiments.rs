@@ -78,8 +78,9 @@ pub fn train_grid(scale: GridScale) -> Vec<GridPoint> {
         let split = train_test_split(&data, 0.25, 42);
         for &n_trees in scale.trees() {
             for &max_depth in scale.depths() {
-                let forest = RandomForest::fit(&split.train, &ForestConfig::grid(n_trees, max_depth))
-                    .expect("synthetic data always trains");
+                let forest =
+                    RandomForest::fit(&split.train, &ForestConfig::grid(n_trees, max_depth))
+                        .expect("synthetic data always trains");
                 points.push(GridPoint {
                     dataset,
                     n_trees,
@@ -269,10 +270,24 @@ mod tests {
         // Sorted by SI; FP must then follow the paper's V-shape: strictly
         // decreasing over the negative half and increasing over the
         // positive half.
-        let neg: Vec<f32> = series.iter().filter(|(si, _)| *si < 0).map(|&(_, v)| v).collect();
-        let pos: Vec<f32> = series.iter().filter(|(si, _)| *si >= 0).map(|&(_, v)| v).collect();
-        assert!(neg.windows(2).all(|w| w[0] >= w[1]), "negative half decreasing");
-        assert!(pos.windows(2).all(|w| w[0] <= w[1]), "positive half increasing");
+        let neg: Vec<f32> = series
+            .iter()
+            .filter(|(si, _)| *si < 0)
+            .map(|&(_, v)| v)
+            .collect();
+        let pos: Vec<f32> = series
+            .iter()
+            .filter(|(si, _)| *si >= 0)
+            .map(|&(_, v)| v)
+            .collect();
+        assert!(
+            neg.windows(2).all(|w| w[0] >= w[1]),
+            "negative half decreasing"
+        );
+        assert!(
+            pos.windows(2).all(|w| w[0] <= w[1]),
+            "positive half increasing"
+        );
     }
 
     #[test]
@@ -282,8 +297,8 @@ mod tests {
         let split = train_test_split(&data, 0.25, 42);
         let mut grid = Vec::new();
         for (n_trees, depth) in [(1, 5), (5, 20)] {
-            let forest =
-                RandomForest::fit(&split.train, &ForestConfig::grid(n_trees, depth)).expect("trains");
+            let forest = RandomForest::fit(&split.train, &ForestConfig::grid(n_trees, depth))
+                .expect("trains");
             grid.push(GridPoint {
                 dataset: UciDataset::Wine,
                 n_trees,

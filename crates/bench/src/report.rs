@@ -10,7 +10,10 @@ use std::fmt::Write;
 /// noted.
 pub fn table1() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE I: MACHINE DETAILS FOR EVALUATION (simulated cost models)");
+    let _ = writeln!(
+        out,
+        "TABLE I: MACHINE DETAILS FOR EVALUATION (simulated cost models)"
+    );
     let _ = writeln!(
         out,
         "{:<10} {:<22} {:<26} {:<12} {:<16}",
@@ -18,7 +21,15 @@ pub fn table1() -> String {
     );
     for m in Machine::PAPER_SET {
         let (sys, cpu, ram, kernel) = m.table1_row();
-        let _ = writeln!(out, "{:<10} {:<22} {:<26} {:<12} {:<16}", m.name(), sys, cpu, ram, kernel);
+        let _ = writeln!(
+            out,
+            "{:<10} {:<22} {:<26} {:<12} {:<16}",
+            m.name(),
+            sys,
+            cpu,
+            ram,
+            kernel
+        );
     }
     let (sys, cpu, ram, kernel) = Machine::EmbeddedNoFpu.table1_row();
     let _ = writeln!(
@@ -52,7 +63,11 @@ pub fn fig2(n_points: usize) -> String {
 
 /// Renders one machine's Fig. 3 panel.
 pub fn fig3_panel(machine: Machine, grid: &[GridPoint]) -> String {
-    let configs = [SimConfig::cags(), SimConfig::flint(), SimConfig::cags_flint()];
+    let configs = [
+        SimConfig::cags(),
+        SimConfig::flint(),
+        SimConfig::cags_flint(),
+    ];
     let series = fig3_series(machine, grid, &configs).expect("paper machines have FPUs");
     let mut out = String::new();
     let _ = writeln!(
@@ -84,7 +99,14 @@ pub fn fig3_panel(machine: Machine, grid: &[GridPoint]) -> String {
         let _ = writeln!(
             out,
             "{:<6} {:>8.3} {:>11.3} ({:.3}) {:>6.3} ({:.3}) {:>10.3} ({:.3})",
-            depth, 1.0, cags.mean, cags.variance, flint.mean, flint.variance, both.mean, both.variance
+            depth,
+            1.0,
+            cags.mean,
+            cags.variance,
+            flint.mean,
+            flint.variance,
+            both.mean,
+            both.variance
         );
     }
     out
@@ -293,7 +315,15 @@ mod tests {
     #[test]
     fn table1_contains_all_machines() {
         let t = table1();
-        for name in ["X86 S", "X86 D", "ARMv8 S", "ARMv8 D", "EPYC", "ThunderX2", "M1"] {
+        for name in [
+            "X86 S",
+            "X86 D",
+            "ARMv8 S",
+            "ARMv8 D",
+            "EPYC",
+            "ThunderX2",
+            "M1",
+        ] {
             assert!(t.contains(name), "missing {name}:\n{t}");
         }
     }

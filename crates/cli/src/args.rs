@@ -34,6 +34,11 @@ pub enum Command {
         backend: String,
         /// Also print accuracy against the CSV labels.
         accuracy: bool,
+        /// Sample block size for the batch engine (`None` = scalar
+        /// one-sample-at-a-time loop, unless `threads > 1`).
+        batch_size: Option<usize>,
+        /// Worker threads for the batch engine.
+        threads: usize,
     },
     /// Emit source code for a stored model.
     Emit {
@@ -152,6 +157,15 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .cloned()
                 .unwrap_or_else(|| "flint".to_owned()),
             accuracy: map.contains_key("accuracy"),
+            batch_size: map
+                .get("batch-size")
+                .map(|v| parse_number(v, "batch-size"))
+                .transpose()?,
+            threads: map
+                .get("threads")
+                .map(|v| parse_number(v, "threads"))
+                .transpose()?
+                .unwrap_or(1),
         }),
         "emit" => Ok(Command::Emit {
             model: required(&map, "model")?,
@@ -189,7 +203,7 @@ flint — FLInt random forest toolchain
 
 USAGE:
   flint train      --data d.csv --classes K [--trees N] [--depth D] [--seed S] [--out model.txt]
-  flint predict    --model model.txt --data d.csv --classes K [--backend naive|flint|cags|cags-flint|quickscorer] [--accuracy]
+  flint predict    --model model.txt --data d.csv --classes K [--backend naive|flint|cags|cags-flint|quickscorer] [--accuracy] [--batch-size B] [--threads T]
   flint emit       --model model.txt [--lang c|c64|rust|asm-arm|asm-x86] [--variant std|flint]
   flint importance --model model.txt
   flint simulate   --model model.txt --data d.csv --classes K [--machine x86s|x86d|arms|armd|embedded] [--config naive|cags|flint|cags-flint|flint-asm|softfloat]
@@ -250,13 +264,43 @@ mod tests {
         .expect("parses");
         match cmd {
             Command::Predict {
-                backend, accuracy, ..
+                backend,
+                accuracy,
+                batch_size,
+                threads,
+                ..
             } => {
                 assert_eq!(backend, "cags-flint");
                 assert!(accuracy);
+                assert_eq!(batch_size, None);
+                assert_eq!(threads, 1);
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_predict_batch_flags() {
+        let cmd = parse(&argv(
+            "predict --model m.txt --data d.csv --classes 2 --batch-size 128 --threads 4",
+        ))
+        .expect("parses");
+        match cmd {
+            Command::Predict {
+                batch_size,
+                threads,
+                ..
+            } => {
+                assert_eq!(batch_size, Some(128));
+                assert_eq!(threads, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse(&argv(
+            "predict --model m.txt --data d.csv --classes 2 --batch-size many",
+        ))
+        .unwrap_err();
+        assert!(err.0.contains("batch-size"), "{err}");
     }
 
     #[test]

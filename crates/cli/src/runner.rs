@@ -7,7 +7,7 @@ use flint_codegen::{
     RustVariant,
 };
 use flint_data::{csv, Dataset};
-use flint_exec::{BackendKind, CompiledForest};
+use flint_exec::{BackendKind, BatchOptions, CompiledForest};
 use flint_forest::metrics::accuracy;
 use flint_forest::{io as model_io, ForestConfig, RandomForest};
 use flint_qscorer::{QsCompare, QsForest};
@@ -171,18 +171,30 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
             classes,
             backend,
             accuracy: report_accuracy,
+            batch_size,
+            threads,
         } => {
             let forest = load_model(&model)?;
             let dataset = load_csv(&data, classes)?;
             let predictions: Vec<u32> = if backend == "quickscorer" {
+                // QuickScorer always scores through reused scratch; the
+                // batch flags only shape the if-else-tree engine.
                 let qs = QsForest::build(&forest);
-                (0..dataset.n_samples())
-                    .map(|i| qs.predict(dataset.sample(i), QsCompare::Flint))
-                    .collect()
+                let rows: Vec<&[f32]> = (0..dataset.n_samples())
+                    .map(|i| dataset.sample(i))
+                    .collect();
+                qs.predict_batch(&rows, QsCompare::Flint)
             } else {
                 let compiled = CompiledForest::compile(&forest, backend_kind(&backend)?, None)
                     .map_err(|e| RunError::Invalid(e.to_string()))?;
-                compiled.predict_dataset(&dataset)
+                if batch_size.is_some() || threads > 1 {
+                    let opts = BatchOptions::default()
+                        .block_samples(batch_size.unwrap_or(64))
+                        .threads(threads.max(1));
+                    compiled.predict_dataset_batched(&dataset, opts)
+                } else {
+                    compiled.predict_dataset(&dataset)
+                }
             };
             for p in &predictions {
                 writeln!(out, "{p}")?;
@@ -255,7 +267,11 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
                 .map_err(|e| RunError::Invalid(e.to_string()))?;
             writeln!(out, "machine: {}", m.name())?;
             writeln!(out, "config: {}", config.name())?;
-            writeln!(out, "cycles/inference: {:.1}", report.cycles_per_inference())?;
+            writeln!(
+                out,
+                "cycles/inference: {:.1}",
+                report.cycles_per_inference()
+            )?;
             writeln!(
                 out,
                 "breakdown: instr {:.0} + cache {:.0} + layout {:.0} + calls {:.0}",
@@ -289,7 +305,10 @@ mod tests {
     }
 
     fn write_dataset_csv(name: &str, seed: u64) -> (std::path::PathBuf, Dataset) {
-        let ds = SynthSpec::new(120, 4, 2).cluster_std(0.6).seed(seed).generate();
+        let ds = SynthSpec::new(120, 4, 2)
+            .cluster_std(0.6)
+            .seed(seed)
+            .generate();
         let path = temp_path(name);
         let mut buf = Vec::new();
         csv::write_csv(&ds, &mut buf).expect("write");
@@ -358,6 +377,39 @@ mod tests {
     }
 
     #[test]
+    fn batched_predict_flags_change_nothing_but_the_engine() {
+        let (data_path, _) = write_dataset_csv("batched.csv", 6);
+        let model_path = temp_path("batched_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 5 --depth 7 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let scalar = run_argv(&format!(
+            "predict --model {} --data {} --classes 2 --backend flint --accuracy",
+            model_path.display(),
+            data_path.display()
+        ))
+        .expect("predicts");
+        for flags in [
+            "--batch-size 16",
+            "--threads 4",
+            "--batch-size 1 --threads 2",
+        ] {
+            let batched = run_argv(&format!(
+                "predict --model {} --data {} --classes 2 --backend flint --accuracy {flags}",
+                model_path.display(),
+                data_path.display()
+            ))
+            .expect("predicts");
+            assert_eq!(batched, scalar, "{flags}");
+        }
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
     fn emit_and_importance_and_simulate() {
         let (data_path, _) = write_dataset_csv("emit.csv", 3);
         let model_path = temp_path("emit_model.txt");
@@ -367,11 +419,14 @@ mod tests {
             model_path.display()
         ))
         .expect("trains");
-        let c = run_argv(&format!("emit --model {} --lang c --variant flint", model_path.display()))
-            .expect("emits");
+        let c = run_argv(&format!(
+            "emit --model {} --lang c --variant flint",
+            model_path.display()
+        ))
+        .expect("emits");
         assert!(c.contains("predict_forest_flint"));
-        let c64 = run_argv(&format!("emit --model {} --lang c64", model_path.display()))
-            .expect("emits");
+        let c64 =
+            run_argv(&format!("emit --model {} --lang c64", model_path.display())).expect("emits");
         assert!(c64.contains("_f64"));
         let asm = run_argv(&format!(
             "emit --model {} --lang asm-arm --variant flint",
@@ -379,8 +434,8 @@ mod tests {
         ))
         .expect("emits");
         assert!(asm.contains("movz"));
-        let imp = run_argv(&format!("importance --model {}", model_path.display()))
-            .expect("importances");
+        let imp =
+            run_argv(&format!("importance --model {}", model_path.display())).expect("importances");
         assert_eq!(imp.lines().count(), 4);
         let sim = run_argv(&format!(
             "simulate --model {} --data {} --classes 2 --machine embedded --config flint",
@@ -417,7 +472,8 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.to_string().contains("unknown machine"));
-        let err = run_argv("predict --model /nonexistent --data also-nope --classes 2").unwrap_err();
+        let err =
+            run_argv("predict --model /nonexistent --data also-nope --classes 2").unwrap_err();
         assert!(matches!(err, RunError::Io(_)));
         let _ = std::fs::remove_file(data_path);
         let _ = std::fs::remove_file(model_path);

@@ -32,7 +32,14 @@ pub enum AsmTarget {
 pub fn emit_tree_asm(tree: &DecisionTree, tree_index: usize, target: AsmTarget) -> String {
     let mut out = String::new();
     let mut label_counter = 0usize;
-    emit_node(&mut out, tree, NodeId::ROOT, tree_index, target, &mut label_counter);
+    emit_node(
+        &mut out,
+        tree,
+        NodeId::ROOT,
+        tree_index,
+        target,
+        &mut label_counter,
+    );
     out
 }
 
@@ -113,7 +120,14 @@ fn emit_node(
 pub fn emit_tree_asm_f64(tree: &DecisionTree, tree_index: usize, target: AsmTarget) -> String {
     let mut out = String::new();
     let mut label_counter = 0usize;
-    emit_node_f64(&mut out, tree, NodeId::ROOT, tree_index, target, &mut label_counter);
+    emit_node_f64(
+        &mut out,
+        tree,
+        NodeId::ROOT,
+        tree_index,
+        target,
+        &mut label_counter,
+    );
     out
 }
 
@@ -163,7 +177,11 @@ fn emit_node_f64(
                     let _ = writeln!(
                         out,
                         "    {} {label}",
-                        if prepared.flips_sign() { "b.lt" } else { "b.gt" }
+                        if prepared.flips_sign() {
+                            "b.lt"
+                        } else {
+                            "b.gt"
+                        }
                     );
                 }
                 AsmTarget::X86 => {
@@ -245,10 +263,7 @@ mod tests {
                 }
             }
             // One leaf return per leaf.
-            let rets = asm
-                .lines()
-                .filter(|l| l.contains("rtitt_done_7"))
-                .count();
+            let rets = asm.lines().filter(|l| l.contains("rtitt_done_7")).count();
             assert_eq!(rets, tree.n_leaves());
         }
     }

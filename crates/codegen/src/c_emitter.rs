@@ -102,9 +102,7 @@ pub fn condition(feature: u32, threshold: f32, variant: CVariant) -> String {
                 PreparedThreshold::new(threshold).expect("validated trees have no NaN thresholds");
             let key = prepared.key() as u32;
             if prepared.flips_sign() {
-                format!(
-                    "((int)(0x{key:08x})) <= ((*(((int*)(pX))+{feature})) ^ (0b1<<31))"
-                )
+                format!("((int)(0x{key:08x})) <= ((*(((int*)(pX))+{feature})) ^ (0b1<<31))")
             } else {
                 format!("(*(((int*)(pX))+{feature})) <= ((int)(0x{key:08x}))")
             }
@@ -150,7 +148,11 @@ pub fn c_float_literal(v: f32) -> String {
 /// a majority vote (ties to the lower class, matching `flint-exec`).
 pub fn emit_forest_c(forest: &RandomForest, variant: CVariant) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "/* Generated by flint-codegen ({}) */", variant.suffix());
+    let _ = writeln!(
+        out,
+        "/* Generated by flint-codegen ({}) */",
+        variant.suffix()
+    );
     let _ = writeln!(out, "#include <stddef.h>\n");
     for (i, tree) in forest.trees().iter().enumerate() {
         out.push_str(&emit_tree_c(tree, i, variant));
@@ -161,7 +163,11 @@ pub fn emit_forest_c(forest: &RandomForest, variant: CVariant) -> String {
         "unsigned int predict_forest_{}(const float* pX) {{",
         variant.suffix()
     );
-    let _ = writeln!(out, "    unsigned int votes[{}] = {{0}};", forest.n_classes());
+    let _ = writeln!(
+        out,
+        "    unsigned int votes[{}] = {{0}};",
+        forest.n_classes()
+    );
     for i in 0..forest.n_trees() {
         let _ = writeln!(
             out,
@@ -274,7 +280,11 @@ pub fn emit_forest_c_f64(forest: &RandomForest, variant: CVariant) -> String {
         "unsigned int predict_forest_{}_f64(const double* pX) {{",
         variant.suffix()
     );
-    let _ = writeln!(out, "    unsigned int votes[{}] = {{0}};", forest.n_classes());
+    let _ = writeln!(
+        out,
+        "    unsigned int votes[{}] = {{0}};",
+        forest.n_classes()
+    );
     for i in 0..forest.n_trees() {
         let _ = writeln!(
             out,
@@ -334,7 +344,10 @@ mod tests {
                 "unbalanced braces in {variant:?}"
             );
             assert_eq!(code.matches("return").count(), tree.n_leaves());
-            assert_eq!(code.matches("if (").count(), tree.n_nodes() - tree.n_leaves());
+            assert_eq!(
+                code.matches("if (").count(),
+                tree.n_nodes() - tree.n_leaves()
+            );
         }
     }
 
@@ -346,7 +359,10 @@ mod tests {
         let forest = RandomForest::fit(&data, &ForestConfig::grid(3, 4)).expect("trainable");
         let code = emit_forest_c(&forest, CVariant::Flint);
         for i in 0..3 {
-            assert!(code.contains(&format!("predict_tree_{i}_flint")), "tree {i}");
+            assert!(
+                code.contains(&format!("predict_tree_{i}_flint")),
+                "tree {i}"
+            );
         }
         assert!(code.contains("predict_forest_flint"));
         assert!(code.contains("votes["));

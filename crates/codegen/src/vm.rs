@@ -403,8 +403,7 @@ impl VmProgram {
                     stats.movk += 1;
                     let mask = 0xffffu64 << shift;
                     let old = int_regs[dst as usize] as u64;
-                    int_regs[dst as usize] =
-                        ((old & !mask) | (u64::from(imm) << shift)) as i64;
+                    int_regs[dst as usize] = ((old & !mask) | (u64::from(imm) << shift)) as i64;
                 }
                 Instr::LoadFloatConst { dst, value } => {
                     stats.load_float_const += 1;
@@ -760,12 +759,7 @@ impl VmForest {
             votes[class as usize] += 1;
             stats.add(&s);
         }
-        let class = votes
-            .iter()
-            .enumerate()
-            .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
-            .map(|(i, _)| i as u32)
-            .expect("n_classes >= 1");
+        let class = flint_forest::metrics::majority_vote(&votes);
         Ok((class, stats))
     }
 }

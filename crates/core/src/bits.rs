@@ -381,10 +381,7 @@ mod tests {
     #[test]
     fn abs_and_negate_bits() {
         assert_eq!((-1.5f32).abs_bits(), 1.5f32.to_unsigned_bits());
-        assert_eq!(
-            f32::from_signed_bits((-1.5f32).negated_bits()),
-            1.5f32
-        );
+        assert_eq!(f32::from_signed_bits((-1.5f32).negated_bits()), 1.5f32);
         assert_eq!(f32::from_signed_bits(1.5f32.negated_bits()), -1.5f32);
         // Negating +0.0 yields -0.0 (distinct pattern).
         assert_eq!(

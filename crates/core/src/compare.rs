@@ -247,10 +247,10 @@ mod tests {
         [
             0.0,
             -0.0,
-            f32::from_bits(1),              // smallest positive denormal
-            -f32::from_bits(1),             // largest negative denormal
-            f32::from_bits(0x0040_0000),    // mid denormal
-            f32::MIN_POSITIVE,              // smallest normal
+            f32::from_bits(1),           // smallest positive denormal
+            -f32::from_bits(1),          // largest negative denormal
+            f32::from_bits(0x0040_0000), // mid denormal
+            f32::MIN_POSITIVE,           // smallest normal
             -f32::MIN_POSITIVE,
             1.0,
             -1.0,
@@ -260,7 +260,7 @@ mod tests {
             -2.0,
             10.074347,
             11.974715,
-            10430.507324,
+            10430.507,
             -2.935417,
             f32::MAX,
             f32::MIN,

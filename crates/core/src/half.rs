@@ -122,7 +122,8 @@ impl Half {
                 // significant bit at position p encodes 2^(p-24) times a
                 // normalized mantissa, i.e. f32 exponent 103 + p where
                 // p = 10 - lead.
-                let lead = man.leading_zeros() - 21; // zeros above bit 10
+                // `lead` counts zeros above bit 10.
+                let lead = man.leading_zeros() - 21;
                 // Shift the MSB up to the implicit-one position (bit
                 // 10); the remaining low 10 bits are the fraction.
                 let shifted = (man << lead) & 0x3ff;
@@ -217,7 +218,12 @@ mod tests {
                 continue;
             }
             let back = Half::from_f32(h.to_f32());
-            assert_eq!(back.to_bits(), bits, "pattern {bits:#06x} -> {}", h.to_f32());
+            assert_eq!(
+                back.to_bits(),
+                bits,
+                "pattern {bits:#06x} -> {}",
+                h.to_f32()
+            );
         }
     }
 

@@ -53,7 +53,6 @@ use crate::error::PrepareThresholdError;
 /// # }
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PreparedThreshold<F: FloatBits> {
     /// The integer immediate: `SI(split)` for positive splits,
     /// `SI(-split)` (sign bit cleared) for negative splits.
@@ -88,7 +87,10 @@ impl<F: FloatBits> PreparedThreshold<F> {
                 flip: true,
             })
         } else {
-            Ok(Self { key: bits, flip: false })
+            Ok(Self {
+                key: bits,
+                flip: false,
+            })
         }
     }
 
@@ -164,7 +166,7 @@ mod tests {
             10.074347,
             -2.935417,
             2.935417,
-            10430.507324,
+            10430.507,
             f32::MAX,
             f32::MIN,
             f32::INFINITY,

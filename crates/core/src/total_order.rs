@@ -141,7 +141,16 @@ mod tests {
     #[test]
     fn sorts_like_ieee_with_signed_zero_refinement() {
         let mut xs: Vec<f32> = vec![
-            3.5, -1.0, 0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY, 2.0, -2.0, 1e-40, -1e-40,
+            3.5,
+            -1.0,
+            0.0,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            2.0,
+            -2.0,
+            1e-40,
+            -1e-40,
         ];
         let mut wrapped: Vec<FlintOrd<f32>> = xs.iter().map(|&v| FlintOrd::new(v)).collect();
         wrapped.sort();

@@ -187,6 +187,5 @@ fn mini_format_sanity() {
     assert_eq!(fp(0x78), Some(f64::INFINITY));
     assert_eq!(fp(0xf8), Some(f64::NEG_INFINITY));
     assert_eq!(fp(0x79), None); // NaN
-    // Smallest positive denormal: 2^-6 * 1/8 = 2^-9.
-    assert_eq!(fp(0x01), Some(2f64.powi(-9)));
+    assert_eq!(fp(0x01), Some(2f64.powi(-9))); // smallest denormal: 2^-6 * 1/8
 }

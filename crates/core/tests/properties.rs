@@ -9,18 +9,22 @@ use proptest::prelude::*;
 /// Arbitrary non-NaN f32 drawn uniformly over *bit patterns*, so
 /// denormals, both zeros and infinities appear with realistic density.
 fn non_nan_f32() -> impl Strategy<Value = f32> {
-    any::<u32>().prop_map(f32::from_bits).prop_filter("NaN", |v| !v.is_nan())
+    any::<u32>()
+        .prop_map(f32::from_bits)
+        .prop_filter("NaN", |v| !v.is_nan())
 }
 
 fn non_nan_f64() -> impl Strategy<Value = f64> {
-    any::<u64>().prop_map(f64::from_bits).prop_filter("NaN", |v| !v.is_nan())
+    any::<u64>()
+        .prop_map(f64::from_bits)
+        .prop_filter("NaN", |v| !v.is_nan())
 }
 
 /// The paper's order: IEEE `>=` except that `-0.0 < +0.0`.
 fn paper_ge<F: FloatBits + PartialOrd>(x: F, y: F) -> bool {
     if x == y {
         // equal by IEEE; break ties by sign bit (only ±0 pairs differ)
-        !(x.sign_bit() && !y.sign_bit())
+        !x.sign_bit() || y.sign_bit()
     } else {
         x >= y
     }

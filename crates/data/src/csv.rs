@@ -139,8 +139,8 @@ pub fn read_csv<R: BufRead>(reader: R, n_classes: usize) -> Result<Dataset, Read
         rows.push((feats, label));
     }
     let n_features = n_features.ok_or(ReadCsvError::Empty)?;
-    Dataset::from_rows(n_features, n_classes, rows)
-        .map_err(|_| ReadCsvError::Empty) // unreachable: validated above
+    Dataset::from_rows(n_features, n_classes, rows).map_err(|_| ReadCsvError::Empty)
+    // unreachable: validated above
 }
 
 #[cfg(test)]

@@ -1,7 +1,5 @@
 //! The in-memory dataset representation shared by the whole workspace.
 
-use serde::{Deserialize, Serialize};
-
 /// A dense classification dataset: row-major `f32` feature matrix plus
 /// one integer class label per row.
 ///
@@ -22,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(ds.sample(1), &[1.0, 0.0]);
 /// assert_eq!(ds.label(1), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     n_features: usize,
     n_classes: usize,

@@ -8,6 +8,13 @@
 //! paper's 75/25 train/test split ([`split`]) and CSV persistence
 //! ([`csv`]) for users who do have the real files.
 //!
+//! For batch inference the crate additionally provides
+//! [`matrix::FeatureMatrix`], a structure-of-arrays (column-major)
+//! transpose of a [`Dataset`] with row-view conversions back
+//! ([`matrix::FeatureMatrix::gather_row`] /
+//! [`matrix::FeatureMatrix::gather_block`]) — the storage the
+//! `flint-exec` batch engine blocks over.
+//!
 //! ```
 //! use flint_data::{uci::{Scale, UciDataset}, split::train_test_split};
 //!
@@ -21,9 +28,11 @@
 
 pub mod csv;
 pub mod dataset;
+pub mod matrix;
 pub mod split;
 pub mod synth;
 pub mod uci;
 
 pub use dataset::{BuildDatasetError, Dataset};
+pub use matrix::FeatureMatrix;
 pub use split::{train_test_split, TrainTestSplit};

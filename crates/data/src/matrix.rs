@@ -1,0 +1,237 @@
+//! Structure-of-arrays feature storage for batch inference.
+//!
+//! [`Dataset`] stores samples row-major (all features of sample 0, then
+//! sample 1, …), which is the natural layout for one-sample-at-a-time
+//! traversal. Batch engines want the transpose: a **structure of
+//! arrays** where each feature's values are contiguous across samples,
+//! so that gathering a *block* of samples touches one dense column
+//! slice per feature instead of striding across the whole row buffer,
+//! and per-feature scans (QuickScorer-style) stream linearly.
+//!
+//! [`FeatureMatrix`] is that transpose, plus the row-view conversions
+//! back: [`FeatureMatrix::gather_row`] materializes one sample into a
+//! caller-owned buffer, and [`FeatureMatrix::gather_block`] transposes
+//! a contiguous sample range into a row-major scratch block (the shape
+//! the flat-array tree backends consume).
+
+use crate::dataset::Dataset;
+
+/// A dense `f32` feature matrix in column-major (structure-of-arrays)
+/// order: `values[f * n_samples + i]` is feature `f` of sample `i`.
+///
+/// # Examples
+///
+/// ```
+/// use flint_data::{Dataset, FeatureMatrix};
+///
+/// let ds = Dataset::from_rows(2, 2, vec![
+///     (vec![1.0, 2.0], 0),
+///     (vec![3.0, 4.0], 1),
+/// ]).expect("consistent rows");
+/// let m = FeatureMatrix::from_dataset(&ds);
+/// assert_eq!(m.get(1, 0), 3.0);
+/// assert_eq!(m.column(1), &[2.0, 4.0]);
+/// let mut row = [0.0; 2];
+/// m.gather_row(1, &mut row);
+/// assert_eq!(row, [3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    n_samples: usize,
+    n_features: usize,
+    /// Column-major storage, `n_features * n_samples` long.
+    values: Vec<f32>,
+}
+
+impl FeatureMatrix {
+    /// Transposes `dataset` into structure-of-arrays order.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self::from_row_major(
+            dataset.n_samples(),
+            dataset.n_features(),
+            dataset.features_flat(),
+        )
+    }
+
+    /// Builds a matrix from flat row-major values (`rows[i * n_features
+    /// + f]` is feature `f` of sample `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != n_samples * n_features`.
+    pub fn from_row_major(n_samples: usize, n_features: usize, rows: &[f32]) -> Self {
+        assert_eq!(
+            rows.len(),
+            n_samples * n_features,
+            "row-major buffer length"
+        );
+        let mut values = vec![0.0f32; rows.len()];
+        for f in 0..n_features {
+            let column = &mut values[f * n_samples..(f + 1) * n_samples];
+            for (i, slot) in column.iter_mut().enumerate() {
+                *slot = rows[i * n_features + f];
+            }
+        }
+        Self {
+            n_samples,
+            n_features,
+            values,
+        }
+    }
+
+    /// Number of samples (rows of the logical matrix).
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of features (columns of the logical matrix).
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Feature `f` of sample `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    #[inline]
+    pub fn get(&self, sample: usize, feature: usize) -> f32 {
+        assert!(sample < self.n_samples, "sample index");
+        self.values[feature * self.n_samples + sample]
+    }
+
+    /// The contiguous value slice of one feature across all samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature >= n_features()`.
+    #[inline]
+    pub fn column(&self, feature: usize) -> &[f32] {
+        &self.values[feature * self.n_samples..(feature + 1) * self.n_samples]
+    }
+
+    /// Copies sample `i` into `row` (row-view conversion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != n_features()` or `i` is out of range.
+    pub fn gather_row(&self, sample: usize, row: &mut [f32]) {
+        assert_eq!(row.len(), self.n_features, "row buffer length");
+        for (f, slot) in row.iter_mut().enumerate() {
+            *slot = self.column(f)[sample];
+        }
+    }
+
+    /// Transposes samples `start..start + block_len` into `block`, a
+    /// row-major scratch of `block_len * n_features()` values, so each
+    /// sample of the block is a contiguous row slice.
+    ///
+    /// The copy walks column-by-column: each feature's source values
+    /// are contiguous, which is the access pattern this layout exists
+    /// for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds `n_samples()` or `block` is not
+    /// `block_len * n_features()` long.
+    pub fn gather_block(&self, start: usize, block_len: usize, block: &mut [f32]) {
+        assert!(start + block_len <= self.n_samples, "block range");
+        assert_eq!(
+            block.len(),
+            block_len * self.n_features,
+            "block buffer length"
+        );
+        for f in 0..self.n_features {
+            let column = &self.column(f)[start..start + block_len];
+            for (k, &v) in column.iter().enumerate() {
+                block[k * self.n_features + f] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset::from_rows(
+            3,
+            2,
+            vec![
+                (vec![1.0, 2.0, 3.0], 0),
+                (vec![4.0, 5.0, 6.0], 1),
+                (vec![7.0, 8.0, 9.0], 0),
+                (vec![10.0, 11.0, 12.0], 1),
+            ],
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let ds = dataset();
+        let m = FeatureMatrix::from_dataset(&ds);
+        assert_eq!(m.n_samples(), 4);
+        assert_eq!(m.n_features(), 3);
+        let mut row = vec![0.0; 3];
+        for i in 0..ds.n_samples() {
+            m.gather_row(i, &mut row);
+            assert_eq!(&row[..], ds.sample(i), "sample {i}");
+            for f in 0..3 {
+                assert_eq!(m.get(i, f), ds.sample(i)[f]);
+            }
+        }
+    }
+
+    #[test]
+    fn columns_are_contiguous_per_feature() {
+        let m = FeatureMatrix::from_dataset(&dataset());
+        assert_eq!(m.column(0), &[1.0, 4.0, 7.0, 10.0]);
+        assert_eq!(m.column(2), &[3.0, 6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn gather_block_is_row_major() {
+        let ds = dataset();
+        let m = FeatureMatrix::from_dataset(&ds);
+        let mut block = vec![0.0; 2 * 3];
+        m.gather_block(1, 2, &mut block);
+        assert_eq!(&block[0..3], ds.sample(1));
+        assert_eq!(&block[3..6], ds.sample(2));
+    }
+
+    #[test]
+    fn empty_matrix_is_fine() {
+        let m = FeatureMatrix::from_row_major(0, 3, &[]);
+        assert_eq!(m.n_samples(), 0);
+        assert_eq!(m.column(2), &[] as &[f32]);
+        m.gather_block(0, 0, &mut []);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-major buffer length")]
+    fn length_mismatch_panics() {
+        let _ = FeatureMatrix::from_row_major(2, 3, &[0.0; 5]);
+    }
+
+    #[test]
+    fn bit_patterns_survive_transpose() {
+        let specials = [
+            0.0f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            1e-40,
+            -1e-40,
+        ];
+        let rows: Vec<(Vec<f32>, u32)> = specials.iter().map(|&v| (vec![v, -v], 0)).collect();
+        let ds = Dataset::from_rows(2, 1, rows).expect("valid");
+        let m = FeatureMatrix::from_dataset(&ds);
+        for i in 0..ds.n_samples() {
+            for f in 0..2 {
+                assert_eq!(m.get(i, f).to_bits(), ds.sample(i)[f].to_bits());
+            }
+        }
+    }
+}

@@ -205,8 +205,8 @@ mod tests {
             .cluster_std(0.1)
             .generate();
         for d in 0..3 {
-            let mean: f32 = (0..ds.n_samples()).map(|i| ds.sample(i)[d]).sum::<f32>()
-                / ds.n_samples() as f32;
+            let mean: f32 =
+                (0..ds.n_samples()).map(|i| ds.sample(i)[d]).sum::<f32>() / ds.n_samples() as f32;
             assert!(mean > 0.0, "feature {d} mean {mean}");
         }
     }
@@ -216,7 +216,10 @@ mod tests {
         // Tight clusters far apart: nearest-centroid classification on
         // the generated data should be near perfect; we check that the
         // per-class feature means differ.
-        let ds = SynthSpec::new(300, 4, 2).cluster_std(0.05).seed(3).generate();
+        let ds = SynthSpec::new(300, 4, 2)
+            .cluster_std(0.05)
+            .seed(3)
+            .generate();
         let mean_of = |class: u32, d: usize| -> f32 {
             let vals: Vec<f32> = (0..ds.n_samples())
                 .filter(|&i| ds.label(i) == class)

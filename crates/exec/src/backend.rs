@@ -74,7 +74,7 @@ impl BackendKind {
     }
 }
 
-enum Trees {
+pub(crate) enum Trees {
     Float(Vec<FloatTree>),
     Int(Vec<IntTree>),
     Soft(Vec<FloatTree>),
@@ -190,6 +190,12 @@ impl CompiledForest {
         }
     }
 
+    /// The compiled per-tree arrays, for the batch engine's
+    /// tree-blocked traversal.
+    pub(crate) fn trees(&self) -> &Trees {
+        &self.trees
+    }
+
     /// Predicts the majority-vote class of `features`.
     ///
     /// # Panics
@@ -215,12 +221,7 @@ impl CompiledForest {
                 }
             }
         }
-        votes
-            .iter()
-            .enumerate()
-            .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
-            .map(|(i, _)| i as u32)
-            .expect("n_classes >= 1")
+        flint_forest::metrics::majority_vote(&votes)
     }
 
     /// Batch prediction over a dataset.
@@ -295,8 +296,8 @@ mod tests {
     #[test]
     fn cags_without_profile_data_still_works() {
         let (data, forest) = setup();
-        let with = CompiledForest::compile(&forest, BackendKind::Cags, Some(&data))
-            .expect("compilable");
+        let with =
+            CompiledForest::compile(&forest, BackendKind::Cags, Some(&data)).expect("compilable");
         let without =
             CompiledForest::compile(&forest, BackendKind::Cags, None).expect("compilable");
         // Layouts differ but predictions must not.

@@ -87,7 +87,10 @@ impl core::fmt::Display for CompileTreeError {
         match self {
             Self::NanThreshold { node } => write!(f, "node {node} has a NaN split value"),
             Self::FeatureTooLarge { node } => {
-                write!(f, "node {node} has a feature index colliding with the flip bit")
+                write!(
+                    f,
+                    "node {node} has a feature index colliding with the flip bit"
+                )
             }
         }
     }

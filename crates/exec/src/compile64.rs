@@ -186,7 +186,11 @@ mod tests {
     use flint_layout::{LayoutStrategy, TreeLayout, TreeProfile};
 
     fn layout_of(tree: &DecisionTree) -> TreeLayout {
-        TreeLayout::compute(tree, &TreeProfile::uniform(tree), LayoutStrategy::ArenaOrder)
+        TreeLayout::compute(
+            tree,
+            &TreeProfile::uniform(tree),
+            LayoutStrategy::ArenaOrder,
+        )
     }
 
     #[test]

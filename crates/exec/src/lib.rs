@@ -11,7 +11,12 @@
 //! * [`backend::CompiledForest`] — the forest-level backends with
 //!   majority-vote aggregation, identical across configurations so the
 //!   "accuracy unchanged" claim is testable bit-for-bit;
-//! * a software float backend as the no-FPU motivational baseline.
+//! * a software float backend as the no-FPU motivational baseline;
+//! * [`batch::BatchEngine`] — throughput-oriented batch inference over
+//!   a structure-of-arrays `FeatureMatrix`: tree-block × sample-block
+//!   interleaved traversal, reusable per-worker scratch buffers, and
+//!   scoped-thread data parallelism over sample blocks. Predictions
+//!   are bit-identical to the scalar path for every [`BackendKind`].
 //!
 //! ```
 //! use flint_data::synth::SynthSpec;
@@ -32,9 +37,11 @@
 #![deny(unsafe_code)]
 
 pub mod backend;
+pub mod batch;
 pub mod compile;
 pub mod compile64;
 
 pub use backend::{BackendKind, CompareMode, CompiledForest};
+pub use batch::{BatchEngine, BatchOptions};
 pub use compile::{CompileTreeError, FloatNode, FloatTree, IntNode, IntTree};
 pub use compile64::{FloatNode64, FloatTree64, IntNode64, IntTree64};

@@ -5,7 +5,6 @@ use crate::tree::DecisionTree;
 use flint_data::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Random forest hyperparameters.
 ///
@@ -63,7 +62,7 @@ impl ForestConfig {
 /// Prediction averages the per-leaf class distributions of all trees
 /// (scikit-learn's soft voting), breaking ties toward the lower class
 /// index.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     n_features: usize,
@@ -247,7 +246,10 @@ mod tests {
     use flint_data::train_test_split;
 
     fn data() -> Dataset {
-        SynthSpec::new(300, 5, 3).cluster_std(0.5).seed(2).generate()
+        SynthSpec::new(300, 5, 3)
+            .cluster_std(0.5)
+            .seed(2)
+            .generate()
     }
 
     #[test]
@@ -282,10 +284,7 @@ mod tests {
     fn bootstrap_trees_differ() {
         let ds = data();
         let forest = RandomForest::fit(&ds, &ForestConfig::grid(5, 10)).expect("trainable");
-        let distinct = forest
-            .trees()
-            .iter()
-            .any(|t| t != &forest.trees()[0]);
+        let distinct = forest.trees().iter().any(|t| t != &forest.trees()[0]);
         assert!(distinct, "bootstrap should diversify trees");
     }
 
@@ -337,7 +336,10 @@ mod tests {
         assert_eq!(imp.len(), 5);
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         let informative: f64 = imp[..2].iter().sum();
-        assert!(informative > 0.7, "informative mass {informative} of {imp:?}");
+        assert!(
+            informative > 0.7,
+            "informative mass {informative} of {imp:?}"
+        );
     }
 
     #[test]

@@ -113,8 +113,7 @@ pub fn write_forest<W: Write>(forest: &RandomForest, writer: W) -> std::io::Resu
                     right.0
                 )?,
                 Node::Leaf { class, counts } => {
-                    let counts_text: Vec<String> =
-                        counts.iter().map(|c| c.to_string()).collect();
+                    let counts_text: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
                     writeln!(w, "leaf class={class} counts={}", counts_text.join(","))?
                 }
             }
@@ -161,7 +160,10 @@ pub fn read_forest<R: BufRead>(reader: R) -> Result<RandomForest, ReadModelError
     }
     let (ln, forest_line) = next_line()?;
     let fields = parse_fields(&forest_line, "forest").ok_or_else(|| {
-        syntax(ln, "expected `forest n_features=.. n_classes=.. n_trees=..`")
+        syntax(
+            ln,
+            "expected `forest n_features=.. n_classes=.. n_trees=..`",
+        )
     })?;
     let n_features = get_usize(&fields, "n_features").ok_or_else(|| syntax(ln, "n_features"))?;
     let n_classes = get_usize(&fields, "n_classes").ok_or_else(|| syntax(ln, "n_classes"))?;
@@ -281,9 +283,18 @@ mod tests {
                     left: NodeId(3),
                     right: NodeId(4),
                 },
-                Node::Leaf { class: 1, counts: vec![0, 5] },
-                Node::Leaf { class: 0, counts: vec![5, 0] },
-                Node::Leaf { class: 1, counts: vec![1, 2] },
+                Node::Leaf {
+                    class: 1,
+                    counts: vec![0, 5],
+                },
+                Node::Leaf {
+                    class: 0,
+                    counts: vec![5, 0],
+                },
+                Node::Leaf {
+                    class: 1,
+                    counts: vec![1, 2],
+                },
             ],
             1,
             2,

@@ -2,6 +2,37 @@
 //! paper's correctness claim: FLInt "keeps the model accuracy
 //! unchanged").
 
+/// Majority vote over a per-class count histogram, ties broken to the
+/// lower class index.
+///
+/// This is **the** canonical vote aggregation of the workspace: every
+/// ensemble execution path (reference forest, the `flint-exec` scalar
+/// and batch backends, QuickScorer, the codegen VM) must use it, so
+/// that "bit-identical predictions across backends" can never be
+/// broken by two copies of the tie-break drifting apart.
+///
+/// # Panics
+///
+/// Panics if `votes` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use flint_forest::metrics::majority_vote;
+///
+/// assert_eq!(majority_vote(&[2, 5, 1]), 1);
+/// assert_eq!(majority_vote(&[3, 3, 1]), 0); // tie -> lower index
+/// ```
+#[inline]
+pub fn majority_vote(votes: &[u32]) -> u32 {
+    votes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
+        .map(|(i, _)| i as u32)
+        .expect("majority_vote requires at least one class")
+}
+
 /// Fraction of predictions equal to the true labels.
 ///
 /// Returns 1.0 for empty inputs (vacuous truth keeps aggregate code
@@ -93,9 +124,9 @@ mod tests {
     #[test]
     fn confusion_matrix_diagonal() {
         let m = confusion_matrix(&[0, 1, 2], &[0, 1, 2], 3);
-        for i in 0..3 {
-            for j in 0..3 {
-                assert_eq!(m[i][j], u32::from(i == j));
+        for (i, row) in m.iter().enumerate() {
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, u32::from(i == j));
             }
         }
     }

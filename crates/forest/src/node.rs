@@ -6,10 +6,8 @@
 //! nodes in an arena (`Vec<Node>`) addressed by [`NodeId`]; the
 //! execution crates flatten this arena into cache-conscious layouts.
 
-use serde::{Deserialize, Serialize};
-
 /// Index of a node within its tree's arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -30,7 +28,7 @@ impl core::fmt::Display for NodeId {
 }
 
 /// One decision tree node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Node {
     /// Inner node: `feature <= threshold` goes left, else right.
     Split {

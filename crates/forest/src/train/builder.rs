@@ -214,7 +214,10 @@ mod tests {
     use flint_data::synth::SynthSpec;
 
     fn easy_data() -> Dataset {
-        SynthSpec::new(200, 4, 3).cluster_std(0.2).seed(5).generate()
+        SynthSpec::new(200, 4, 3)
+            .cluster_std(0.2)
+            .seed(5)
+            .generate()
     }
 
     #[test]
@@ -303,12 +306,8 @@ mod tests {
 
     #[test]
     fn single_class_data_yields_single_leaf() {
-        let data = Dataset::from_rows(
-            1,
-            2,
-            vec![(vec![1.0], 1), (vec![2.0], 1), (vec![3.0], 1)],
-        )
-        .expect("valid");
+        let data = Dataset::from_rows(1, 2, vec![(vec![1.0], 1), (vec![2.0], 1), (vec![3.0], 1)])
+            .expect("valid");
         let tree = train_tree(&data, &TrainConfig::default()).expect("trainable");
         assert_eq!(tree.n_nodes(), 1);
         assert_eq!(tree.predict(&[9.0]), 1);

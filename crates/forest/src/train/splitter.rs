@@ -126,12 +126,8 @@ mod tests {
 
     #[test]
     fn constant_features_yield_none() {
-        let data = Dataset::from_rows(
-            1,
-            2,
-            vec![(vec![3.0], 0), (vec![3.0], 1), (vec![3.0], 0)],
-        )
-        .expect("valid");
+        let data = Dataset::from_rows(1, 2, vec![(vec![3.0], 0), (vec![3.0], 1), (vec![3.0], 0)])
+            .expect("valid");
         let samples: Vec<usize> = (0..3).collect();
         assert_eq!(best_split(&data, &samples, &[0], 1), None);
     }

@@ -1,7 +1,6 @@
 //! Decision tree container, traversal and structural queries.
 
 use crate::node::{Node, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A trained decision tree.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// Inference follows the paper's traversal rule: at every split node
 /// take the left child when `x[feature] <= threshold`, otherwise the
 /// right child, until a leaf is reached.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
     n_features: usize,
@@ -296,7 +295,13 @@ impl DecisionTree {
             return importances;
         }
         for (i, node) in self.nodes.iter().enumerate() {
-            if let Node::Split { feature, left, right, .. } = node {
+            if let Node::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = node
+            {
                 let node_counts = memo[i].as_ref().expect("memoized");
                 let left_counts = memo[left.index()].as_ref().expect("memoized");
                 let right_counts = memo[right.index()].as_ref().expect("memoized");

@@ -54,11 +54,7 @@ impl TreeLayout {
     /// Panics if the profile does not cover the tree
     /// (`profile.len() != tree.n_nodes()`).
     pub fn compute(tree: &DecisionTree, profile: &TreeProfile, strategy: LayoutStrategy) -> Self {
-        assert_eq!(
-            profile.len(),
-            tree.n_nodes(),
-            "profile must cover the tree"
-        );
+        assert_eq!(profile.len(), tree.n_nodes(), "profile must cover the tree");
         let order = match strategy {
             LayoutStrategy::ArenaOrder => (0..tree.n_nodes() as u32).map(NodeId).collect(),
             LayoutStrategy::BreadthFirst => breadth_first(tree),
@@ -316,7 +312,8 @@ mod tests {
         let profile = skewed_profile(&tree);
         let block = 2;
         let naive = TreeLayout::compute(&tree, &profile, LayoutStrategy::ArenaOrder);
-        let cags = TreeLayout::compute(&tree, &profile, LayoutStrategy::Cags { block_nodes: block });
+        let cags =
+            TreeLayout::compute(&tree, &profile, LayoutStrategy::Cags { block_nodes: block });
         let naive_cost = naive.expected_block_transitions(&tree, &profile, block);
         let cags_cost = cags.expected_block_transitions(&tree, &profile, block);
         assert!(

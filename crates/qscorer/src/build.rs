@@ -144,13 +144,18 @@ mod tests {
     fn conditions_sorted_by_threshold() {
         use flint_data::synth::SynthSpec;
         use flint_forest::train::{train_tree, TrainConfig};
-        let data = SynthSpec::new(250, 3, 2).cluster_std(1.5).seed(13).generate();
+        let data = SynthSpec::new(250, 3, 2)
+            .cluster_std(1.5)
+            .seed(13)
+            .generate();
         let tree = train_tree(&data, &TrainConfig::with_max_depth(8)).expect("trains");
         let qs = QsTree::build(&tree);
         for f in 0..3 {
             let conditions = qs.conditions(f);
             assert!(
-                conditions.windows(2).all(|w| w[0].threshold <= w[1].threshold),
+                conditions
+                    .windows(2)
+                    .all(|w| w[0].threshold <= w[1].threshold),
                 "feature {f} not sorted"
             );
             // Order keys must sort identically to the floats.

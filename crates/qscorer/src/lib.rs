@@ -42,4 +42,4 @@ pub mod score;
 
 pub use bitset::LeafBitset;
 pub use build::{Condition, QsTree};
-pub use score::{QsCompare, QsForest};
+pub use score::{QsCompare, QsForest, QsScratch};

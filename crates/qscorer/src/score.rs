@@ -63,6 +63,18 @@ impl QsTree {
     }
 }
 
+/// Reusable per-forest scoring state: one reachability bitset per tree
+/// plus one vote accumulator, allocated once and reused across
+/// predictions so the hot loop performs no allocation at all.
+///
+/// Build with [`QsForest::scratch`]; feed to
+/// [`QsForest::predict_with_scratch`].
+#[derive(Debug, Clone)]
+pub struct QsScratch {
+    bitsets: Vec<LeafBitset>,
+    votes: Vec<u32>,
+}
+
 /// A whole forest compiled for QuickScorer traversal with majority-vote
 /// aggregation (same tie-breaking as `flint-exec`).
 ///
@@ -109,49 +121,66 @@ impl QsForest {
         self.n_classes
     }
 
+    /// Allocates scoring state sized for this forest, reusable across
+    /// any number of predictions.
+    pub fn scratch(&self) -> QsScratch {
+        QsScratch {
+            bitsets: self
+                .trees
+                .iter()
+                .map(|t| LeafBitset::all_set(t.n_leaves()))
+                .collect(),
+            votes: vec![0u32; self.n_classes],
+        }
+    }
+
     /// Majority-vote prediction (ties to the lower class index).
+    ///
+    /// Allocates a fresh [`QsScratch`] per call; hot paths should hold
+    /// one and use [`QsForest::predict_with_scratch`].
     ///
     /// # Panics
     ///
     /// Panics if `features.len() != n_features`.
     pub fn predict(&self, features: &[f32], compare: QsCompare) -> u32 {
-        assert_eq!(features.len(), self.n_features, "feature vector length");
-        let mut votes = vec![0u32; self.n_classes];
-        for tree in &self.trees {
-            let mut scratch = LeafBitset::all_set(tree.n_leaves());
-            votes[tree.score(features, compare, &mut scratch) as usize] += 1;
-        }
-        votes
-            .iter()
-            .enumerate()
-            .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
-            .map(|(i, _)| i as u32)
-            .expect("n_classes >= 1")
+        self.predict_with_scratch(features, compare, &mut self.scratch())
     }
 
-    /// Batch prediction reusing per-tree scratch bitsets (the
-    /// performance shape QuickScorer is built for).
+    /// Majority-vote prediction through caller-owned scratch: the hot
+    /// loop performs no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features`, or if `scratch` was
+    /// built for a different forest (debug builds).
+    pub fn predict_with_scratch(
+        &self,
+        features: &[f32],
+        compare: QsCompare,
+        scratch: &mut QsScratch,
+    ) -> u32 {
+        assert_eq!(features.len(), self.n_features, "feature vector length");
+        debug_assert_eq!(
+            scratch.bitsets.len(),
+            self.trees.len(),
+            "scratch forest size"
+        );
+        scratch.votes.fill(0);
+        for (tree, bitset) in self.trees.iter().zip(&mut scratch.bitsets) {
+            scratch.votes[tree.score(features, compare, bitset) as usize] += 1;
+        }
+        flint_forest::metrics::majority_vote(&scratch.votes)
+    }
+
+    /// Batch prediction through one reused [`QsScratch`] (the
+    /// performance shape QuickScorer is built for): bitsets and the
+    /// vote accumulator are allocated once for the whole batch instead
+    /// of per sample.
     pub fn predict_batch(&self, batch: &[&[f32]], compare: QsCompare) -> Vec<u32> {
-        let mut scratches: Vec<LeafBitset> = self
-            .trees
-            .iter()
-            .map(|t| LeafBitset::all_set(t.n_leaves()))
-            .collect();
+        let mut scratch = self.scratch();
         batch
             .iter()
-            .map(|features| {
-                assert_eq!(features.len(), self.n_features, "feature vector length");
-                let mut votes = vec![0u32; self.n_classes];
-                for (tree, scratch) in self.trees.iter().zip(&mut scratches) {
-                    votes[tree.score(features, compare, scratch) as usize] += 1;
-                }
-                votes
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
-                    .map(|(i, _)| i as u32)
-                    .expect("n_classes >= 1")
-            })
+            .map(|features| self.predict_with_scratch(features, compare, &mut scratch))
             .collect()
     }
 }
@@ -174,8 +203,16 @@ mod tests {
             [-3.0, 7.0],
         ] {
             let want = tree.predict(&input);
-            assert_eq!(qs.score(&input, QsCompare::Float, &mut scratch), want, "{input:?}");
-            assert_eq!(qs.score(&input, QsCompare::Flint, &mut scratch), want, "{input:?}");
+            assert_eq!(
+                qs.score(&input, QsCompare::Float, &mut scratch),
+                want,
+                "{input:?}"
+            );
+            assert_eq!(
+                qs.score(&input, QsCompare::Flint, &mut scratch),
+                want,
+                "{input:?}"
+            );
         }
     }
 
@@ -224,12 +261,42 @@ mod tests {
     }
 
     #[test]
+    fn reused_scratch_never_leaks_state_between_samples() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::ForestConfig;
+        let data = SynthSpec::new(90, 3, 3).seed(9).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 6)).expect("trains");
+        let qs = QsForest::build(&forest);
+        let mut scratch = qs.scratch();
+        for compare in [QsCompare::Float, QsCompare::Flint] {
+            for i in 0..data.n_samples() {
+                let x = data.sample(i);
+                assert_eq!(
+                    qs.predict_with_scratch(x, compare, &mut scratch),
+                    qs.predict(x, compare),
+                    "sample {i} ({compare:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn boundary_inputs_agree_with_reference() {
         let tree = example_tree();
         let qs = QsTree::build(&tree);
         let mut scratch = LeafBitset::all_set(qs.n_leaves());
-        let specials = [0.0f32, -0.0, 0.5, -1.25, f32::MAX, f32::MIN, 1e-40, -1e-40,
-                        f32::INFINITY, f32::NEG_INFINITY];
+        let specials = [
+            0.0f32,
+            -0.0,
+            0.5,
+            -1.25,
+            f32::MAX,
+            f32::MIN,
+            1e-40,
+            -1e-40,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+        ];
         for &a in &specials {
             for &b in &specials {
                 let input = [a, b];

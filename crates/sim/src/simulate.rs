@@ -162,7 +162,10 @@ impl core::fmt::Display for SimulateError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             Self::FpuRequired => {
-                write!(f, "configuration uses float instructions on an FPU-less machine")
+                write!(
+                    f,
+                    "configuration uses float instructions on an FPU-less machine"
+                )
             }
             Self::Vm(e) => write!(f, "vm failure during simulation: {e}"),
         }
@@ -265,7 +268,13 @@ pub fn normalized_time(
     test_data: &Dataset,
     config: &SimConfig,
 ) -> Result<f64, SimulateError> {
-    let naive = simulate_forest(machine, forest, profile_data, test_data, &SimConfig::naive())?;
+    let naive = simulate_forest(
+        machine,
+        forest,
+        profile_data,
+        test_data,
+        &SimConfig::naive(),
+    )?;
     let it = simulate_forest(machine, forest, profile_data, test_data, config)?;
     Ok(it.total_cycles() / naive.total_cycles())
 }
@@ -389,8 +398,7 @@ mod tests {
             simulate_forest(m, &forest, &data, &data, &SimConfig::naive()).unwrap_err(),
             SimulateError::FpuRequired
         );
-        let soft =
-            simulate_forest(m, &forest, &data, &data, &SimConfig::softfloat()).expect("sim");
+        let soft = simulate_forest(m, &forest, &data, &data, &SimConfig::softfloat()).expect("sim");
         let flint = simulate_forest(m, &forest, &data, &data, &SimConfig::flint()).expect("sim");
         let ratio = flint.total_cycles() / soft.total_cycles();
         assert!(
@@ -413,8 +421,7 @@ mod tests {
         assert!(r.instruction_cycles > 0.0);
         assert!(r.call_overhead > 0.0);
         assert!(r.layout_overhead > 0.0);
-        let sum =
-            r.instruction_cycles + r.cache_cycles + r.layout_overhead + r.call_overhead;
+        let sum = r.instruction_cycles + r.cache_cycles + r.layout_overhead + r.call_overhead;
         assert!((r.total_cycles() - sum).abs() < 1e-9);
         assert!(r.cycles_per_inference() > 0.0);
         assert_eq!(r.n_inferences, data.n_samples() as u64);

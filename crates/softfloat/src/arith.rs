@@ -20,7 +20,8 @@ const GUARD: u32 = 3;
 /// position. `sig == 0` must be handled by the caller.
 fn round_pack<F: SoftFloatFormat>(sign: bool, mut exp: i32, mut sig: u128) -> u64 {
     debug_assert!(sig != 0);
-    let top = F::MAN_BITS + GUARD; // implicit-one bit index
+    // `top` is the implicit-one bit index.
+    let top = F::MAN_BITS + GUARD;
     // Normalize left (result of subtraction may be small).
     while sig < (1u128 << top) && exp > 0 {
         sig <<= 1;
@@ -174,7 +175,11 @@ pub fn soft_add<F: SoftFloatFormat>(a: F, b: F) -> F {
         let lost = bsig & ((1u128 << shift) - 1);
         (bsig >> shift) | u128::from(lost != 0)
     };
-    let sum = if asign == bsign { asig + bsig } else { asig - bsig };
+    let sum = if asign == bsign {
+        asig + bsig
+    } else {
+        asig - bsig
+    };
     if sum == 0 {
         // Exact cancellation: +0 under round-to-nearest.
         return F::from_bits64(pack_zero::<F>(false));
@@ -433,7 +438,10 @@ mod tests {
         // Deep underflow.
         assert_eq!(soft_mul(f32::from_bits(1), f32::from_bits(1)).to_bits(), 0);
         // Subnormal times large: normal result.
-        assert_eq!(soft_mul(f32::from_bits(1), 1e38f32), f32::from_bits(1) * 1e38f32);
+        assert_eq!(
+            soft_mul(f32::from_bits(1), 1e38f32),
+            f32::from_bits(1) * 1e38f32
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ pub fn soft_total_cmp<F: SoftFloatFormat>(a: F, b: F) -> Ordering {
             bits as i64
         };
         if v < 0 {
-            !(v) ^ (if F::SIGN_SHIFT == 31 { i64::from((sign_mask as u32) as i32) } else { sign_mask as i64 })
+            !(v) ^ (if F::SIGN_SHIFT == 31 {
+                i64::from((sign_mask as u32) as i32)
+            } else {
+                sign_mask as i64
+            })
         } else {
             v
         }
@@ -179,8 +183,16 @@ mod tests {
     #[test]
     fn cmp_matches_hardware_f64() {
         let probes = [
-            0.0f64, -0.0, 1.0, -1.0, f64::from_bits(1), f64::MAX, f64::MIN,
-            f64::INFINITY, f64::NEG_INFINITY, f64::NAN,
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::from_bits(1),
+            f64::MAX,
+            f64::MIN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
         ];
         for &a in &probes {
             for &b in &probes {
@@ -206,7 +218,16 @@ mod tests {
 
     #[test]
     fn total_cmp_matches_std_f64() {
-        let probes = [0.0f64, -0.0, 1.0, -1.0, f64::NAN, -f64::NAN, f64::INFINITY, f64::NEG_INFINITY];
+        let probes = [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::NAN,
+            -f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
         for &a in &probes {
             for &b in &probes {
                 assert_eq!(soft_total_cmp(a, b), a.total_cmp(&b), "({a}, {b})");

@@ -58,14 +58,29 @@ impl Unpacked {
         let frac = bits & F::MAN_MASK;
         if exp_field == F::EXP_MAX {
             return if frac == 0 {
-                Self { sign, exponent: 0, significand: 0, class: FpClass::Infinite }
+                Self {
+                    sign,
+                    exponent: 0,
+                    significand: 0,
+                    class: FpClass::Infinite,
+                }
             } else {
-                Self { sign, exponent: 0, significand: frac, class: FpClass::Nan }
+                Self {
+                    sign,
+                    exponent: 0,
+                    significand: frac,
+                    class: FpClass::Nan,
+                }
             };
         }
         if exp_field == 0 {
             return if frac == 0 {
-                Self { sign, exponent: 0, significand: 0, class: FpClass::Zero }
+                Self {
+                    sign,
+                    exponent: 0,
+                    significand: 0,
+                    class: FpClass::Zero,
+                }
             } else {
                 Self {
                     sign,
@@ -147,7 +162,15 @@ mod tests {
     #[test]
     fn classify_matches_std_f64() {
         use std::num::FpCategory;
-        for v in [0.0f64, -0.0, 1.0, f64::from_bits(1), f64::MAX, f64::NAN, f64::INFINITY] {
+        for v in [
+            0.0f64,
+            -0.0,
+            1.0,
+            f64::from_bits(1),
+            f64::MAX,
+            f64::NAN,
+            f64::INFINITY,
+        ] {
             let want = match v.classify() {
                 FpCategory::Nan => FpClass::Nan,
                 FpCategory::Infinite => FpClass::Infinite,

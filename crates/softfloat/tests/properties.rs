@@ -3,8 +3,8 @@
 //! patterns (which hit denormals, zeros, infinities and NaNs).
 
 use flint_softfloat::{
-    soft_add, soft_cmp, soft_div, soft_eq, soft_ge, soft_gt, soft_le, soft_lt, soft_mul,
-    soft_neg, soft_sub, soft_total_cmp,
+    soft_add, soft_cmp, soft_div, soft_eq, soft_ge, soft_gt, soft_le, soft_lt, soft_mul, soft_neg,
+    soft_sub, soft_total_cmp,
 };
 use proptest::prelude::*;
 

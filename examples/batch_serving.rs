@@ -1,0 +1,74 @@
+//! Batch serving demo: score a synthetic UCI-shaped workload through
+//! the blocked, multi-threaded batch engine on all four paper
+//! configurations and print a throughput table.
+//!
+//! ```text
+//! cargo run --release --example batch_serving
+//! ```
+
+use flint_suite::data::uci::{Scale, UciDataset};
+use flint_suite::data::{train_test_split, FeatureMatrix};
+use flint_suite::exec::{BackendKind, BatchEngine, BatchOptions, CompiledForest};
+use flint_suite::forest::{ForestConfig, RandomForest};
+use std::time::Instant;
+
+/// Medians the per-run wall clock over `runs` scoring passes.
+fn time_runs(runs: usize, mut f: impl FnMut() -> Vec<u32>) -> f64 {
+    let mut secs: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let out = f();
+            let took = start.elapsed().as_secs_f64();
+            assert!(!out.is_empty());
+            took
+        })
+        .collect();
+    secs.sort_by(f64::total_cmp);
+    secs[secs.len() / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let threads = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .clamp(2, 8);
+    let data = UciDataset::Magic.generate(Scale::Small);
+    let split = train_test_split(&data, 0.25, 42);
+    let forest = RandomForest::fit(&split.train, &ForestConfig::grid(24, 16))?;
+    let matrix = FeatureMatrix::from_dataset(&split.test);
+    let n = split.test.n_samples() as f64;
+
+    println!(
+        "batch serving: {} test samples, {} trees, depth cap 16, {threads} threads\n",
+        split.test.n_samples(),
+        forest.n_trees(),
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>9}",
+        "backend", "scalar/s", "blocked/s", "threaded/s", "speedup"
+    );
+    for kind in BackendKind::PAPER_SET {
+        let backend = CompiledForest::compile(&forest, kind, Some(&split.train))?;
+        let blocked = BatchEngine::new(&backend, BatchOptions::default());
+        let threaded = BatchEngine::new(&backend, BatchOptions::default().threads(threads));
+
+        // Serving a wrong answer fast is not serving: check equivalence.
+        let reference = backend.predict_dataset(&split.test);
+        assert_eq!(blocked.predict(&matrix), reference);
+        assert_eq!(threaded.predict(&matrix), reference);
+
+        let scalar_s = time_runs(9, || backend.predict_dataset(&split.test));
+        let blocked_s = time_runs(9, || blocked.predict(&matrix));
+        let threaded_s = time_runs(9, || threaded.predict(&matrix));
+        let best = blocked_s.min(threaded_s);
+        println!(
+            "{:<14} {:>14.0} {:>14.0} {:>14.0} {:>8.2}x",
+            kind.name(),
+            n / scalar_s,
+            n / blocked_s,
+            n / threaded_s,
+            scalar_s / best,
+        );
+    }
+    println!("\n(samples/second; speedup = scalar time / best batched time)");
+    Ok(())
+}

@@ -10,8 +10,8 @@
 //! Run with: `cargo run --example embedded_no_fpu`
 
 use flint_suite::codegen::{VmForest, VmProgram, VmVariant};
-use flint_suite::data::uci::{Scale, UciDataset};
 use flint_suite::data::train_test_split;
+use flint_suite::data::uci::{Scale, UciDataset};
 use flint_suite::forest::{ForestConfig, RandomForest};
 use flint_suite::sim::{simulate_forest, Machine, SimConfig};
 
@@ -47,9 +47,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = Machine::EmbeddedNoFpu;
     println!("\n== {} ==", machine.name());
     println!("(naive hardware floats are impossible here — no FPU)");
-    let soft = simulate_forest(machine, &forest, &split.train, &split.test, &SimConfig::softfloat())?;
-    let flint = simulate_forest(machine, &forest, &split.train, &split.test, &SimConfig::flint())?;
-    let asm = simulate_forest(machine, &forest, &split.train, &split.test, &SimConfig::flint_asm())?;
+    let soft = simulate_forest(
+        machine,
+        &forest,
+        &split.train,
+        &split.test,
+        &SimConfig::softfloat(),
+    )?;
+    let flint = simulate_forest(
+        machine,
+        &forest,
+        &split.train,
+        &split.test,
+        &SimConfig::flint(),
+    )?;
+    let asm = simulate_forest(
+        machine,
+        &forest,
+        &split.train,
+        &split.test,
+        &SimConfig::flint_asm(),
+    )?;
     println!(
         "softfloat fallback: {:>10.1} cycles/inference",
         soft.cycles_per_inference()

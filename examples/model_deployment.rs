@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --example model_deployment`
 
-use flint_suite::data::uci::{Scale, UciDataset};
 use flint_suite::data::train_test_split;
+use flint_suite::data::uci::{Scale, UciDataset};
 use flint_suite::exec::{BackendKind, CompiledForest};
 use flint_suite::forest::metrics::{accuracy, confusion_matrix};
 use flint_suite::forest::{io, ForestConfig, RandomForest};

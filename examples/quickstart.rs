@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n== Backend agreement (the paper's correctness claim) ==");
     let naive = CompiledForest::compile(&forest, BackendKind::Naive, Some(&split.train))?;
     let reference = naive.predict_dataset(&split.test);
-    for kind in [BackendKind::Cags, BackendKind::Flint, BackendKind::CagsFlint] {
+    for kind in [
+        BackendKind::Cags,
+        BackendKind::Flint,
+        BackendKind::CagsFlint,
+    ] {
         let backend = CompiledForest::compile(&forest, kind, Some(&split.train))?;
         let preds = backend.predict_dataset(&split.test);
         let agree = preds == reference;

@@ -13,9 +13,7 @@ use rand::{Rng, SeedableRng};
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
-    let readings: Vec<f32> = (0..20)
-        .map(|_| rng.gen_range(-50.0f32..50.0))
-        .collect();
+    let readings: Vec<f32> = (0..20).map(|_| rng.gen_range(-50.0f32..50.0)).collect();
     println!("raw sensor readings: {readings:.3?}");
 
     // Sort with integer comparisons only.
@@ -62,6 +60,11 @@ fn main() {
         });
     println!("decade histogram:");
     for (bucket, count) in &histogram {
-        println!("  [{:>6.1}, {:>6.1}): {}", bucket.value(), bucket.value() + 10.0, count);
+        println!(
+            "  [{:>6.1}, {:>6.1}): {}",
+            bucket.value(),
+            bucket.value() + 10.0,
+            count
+        );
     }
 }

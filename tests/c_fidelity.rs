@@ -67,7 +67,9 @@ fn run_c_forest(forest: &RandomForest, variant: CVariant, inputs: &[Vec<f32>]) -
         "cc failed:\n{}",
         String::from_utf8_lossy(&compile.stderr)
     );
-    let run = Command::new(&bin_path).output().expect("run generated binary");
+    let run = Command::new(&bin_path)
+        .output()
+        .expect("run generated binary");
     assert!(run.status.success());
     let _ = std::fs::remove_dir_all(&dir);
     String::from_utf8(run.stdout)
@@ -137,7 +139,10 @@ fn generated_c_matches_rust_for_both_variants() {
     let want: Vec<u32> = inputs.iter().map(|x| reference(&forest, x)).collect();
     for variant in [CVariant::Standard, CVariant::Flint] {
         let got = run_c_forest(&forest, variant, &inputs);
-        assert_eq!(got, want, "variant {variant:?} diverges from Rust reference");
+        assert_eq!(
+            got, want,
+            "variant {variant:?} diverges from Rust reference"
+        );
     }
 }
 
@@ -184,7 +189,9 @@ fn run_c_forest_f64(forest: &RandomForest, variant: CVariant, inputs: &[Vec<f32>
         "cc failed:\n{}",
         String::from_utf8_lossy(&compile.stderr)
     );
-    let run = Command::new(&bin_path).output().expect("run generated binary");
+    let run = Command::new(&bin_path)
+        .output()
+        .expect("run generated binary");
     assert!(run.status.success());
     let _ = std::fs::remove_dir_all(&dir);
     String::from_utf8(run.stdout)
@@ -220,7 +227,16 @@ fn generated_f64_c_matches_rust() {
 fn exact_float_literals_round_trip() {
     // The literal formatter itself must be exact for the test above to
     // prove anything.
-    for v in [1.5f32, -2.935417, 10.074347, 0.1, -0.0, 0.0, 1e-40, f32::MAX] {
+    for v in [
+        1.5f32,
+        -2.935417,
+        10.074347,
+        0.1,
+        -0.0,
+        0.0,
+        1e-40,
+        f32::MAX,
+    ] {
         let text = format!("{}", ExactFloat(v));
         assert!(text.ends_with('f'), "{text}");
     }

@@ -11,7 +11,11 @@ use flint_suite::forest::{io, ForestConfig, RandomForest};
 use flint_suite::layout::{LayoutStrategy, TreeLayout, TreeProfile};
 use flint_suite::sim::{simulate_forest, Machine, SimConfig};
 
-fn trained() -> (flint_suite::data::Dataset, flint_suite::data::Dataset, RandomForest) {
+fn trained() -> (
+    flint_suite::data::Dataset,
+    flint_suite::data::Dataset,
+    RandomForest,
+) {
     let data = UciDataset::Eye.generate(Scale::Tiny);
     let split = train_test_split(&data, 0.25, 99);
     let forest = RandomForest::fit(&split.train, &ForestConfig::grid(8, 10)).expect("trains");
@@ -23,21 +27,32 @@ fn pipeline_train_compile_execute_simulate() {
     let (train, test, forest) = trained();
     // Execution backends agree.
     let naive = CompiledForest::compile(&forest, BackendKind::Naive, Some(&train)).expect("ok");
-    let flint =
-        CompiledForest::compile(&forest, BackendKind::CagsFlint, Some(&train)).expect("ok");
+    let flint = CompiledForest::compile(&forest, BackendKind::CagsFlint, Some(&train)).expect("ok");
     let reference = naive.predict_dataset(&test);
     assert_eq!(flint.predict_dataset(&test), reference);
     // The VM agrees too.
     let vm = VmForest::compile(&forest, VmVariant::Flint);
-    for i in 0..test.n_samples() {
+    for (i, &want) in reference.iter().enumerate() {
         let (class, _) = vm.run(test.sample(i)).expect("runs");
-        assert_eq!(class, reference[i], "sample {i}");
+        assert_eq!(class, want, "sample {i}");
     }
     // Simulation produces a sane FLInt win.
-    let base = simulate_forest(Machine::X86Server, &forest, &train, &test, &SimConfig::naive())
-        .expect("simulates");
-    let fast = simulate_forest(Machine::X86Server, &forest, &train, &test, &SimConfig::flint())
-        .expect("simulates");
+    let base = simulate_forest(
+        Machine::X86Server,
+        &forest,
+        &train,
+        &test,
+        &SimConfig::naive(),
+    )
+    .expect("simulates");
+    let fast = simulate_forest(
+        Machine::X86Server,
+        &forest,
+        &train,
+        &test,
+        &SimConfig::flint(),
+    )
+    .expect("simulates");
     let ratio = fast.total_cycles() / base.total_cycles();
     assert!(ratio < 1.0 && ratio > 0.4, "normalized time {ratio}");
 }

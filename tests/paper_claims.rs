@@ -1,8 +1,8 @@
 //! The paper's headline claims, asserted end-to-end at workspace level.
 
 use flint_suite::core::{flint_ge, FloatBits, PreparedThreshold};
-use flint_suite::data::uci::{Scale, UciDataset};
 use flint_suite::data::train_test_split;
+use flint_suite::data::uci::{Scale, UciDataset};
 use flint_suite::forest::{ForestConfig, RandomForest};
 use flint_suite::sim::{normalized_time, Machine, SimConfig};
 
@@ -70,8 +70,14 @@ fn claim_speedup_magnitudes() {
     let mut best_flint: f64 = 1.0;
     let mut best_both: f64 = 1.0;
     for machine in Machine::PAPER_SET {
-        let flint = normalized_time(machine, &forest, &split.train, &split.test, &SimConfig::flint())
-            .expect("simulates");
+        let flint = normalized_time(
+            machine,
+            &forest,
+            &split.train,
+            &split.test,
+            &SimConfig::flint(),
+        )
+        .expect("simulates");
         let both = normalized_time(
             machine,
             &forest,
@@ -119,10 +125,22 @@ fn claim_deep_trees_keep_the_win() {
         RandomForest::fit(&split.train, &ForestConfig::grid(5, 5)).expect("trains");
     let deep_forest = RandomForest::fit(&split.train, &ForestConfig::grid(5, 30)).expect("trains");
     let m = Machine::X86Server;
-    let shallow = normalized_time(m, &shallow_forest, &split.train, &split.test, &SimConfig::flint())
-        .expect("simulates");
-    let deep = normalized_time(m, &deep_forest, &split.train, &split.test, &SimConfig::flint())
-        .expect("simulates");
+    let shallow = normalized_time(
+        m,
+        &shallow_forest,
+        &split.train,
+        &split.test,
+        &SimConfig::flint(),
+    )
+    .expect("simulates");
+    let deep = normalized_time(
+        m,
+        &deep_forest,
+        &split.train,
+        &split.test,
+        &SimConfig::flint(),
+    )
+    .expect("simulates");
     assert!(deep < 1.0 && shallow < 1.0);
     assert!(
         deep <= shallow + 0.05,

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so this
+//! in-workspace crate implements the criterion API surface the
+//! workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a simple wall-clock measurement loop:
+//! a short warm-up, then timed batches until a sampling budget is
+//! reached, reporting the mean and minimum time per iteration.
+//!
+//! It is intentionally minimal: no statistics engine, no HTML reports,
+//! no CLI filtering. Median-of-batches over a fixed time budget is
+//! plenty to read off the paper's speedup *ratios* on the host.
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle, passed to every benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warm_up: Duration::from_millis(80),
+            budget: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors criterion's CLI hook; accepts no options here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related measurements.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup { c: self, name }
+    }
+
+    /// Measures a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.warm_up, self.budget, &id.to_string(), &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a common prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.c.warm_up, self.c.budget, &label, &mut f);
+        self
+    }
+
+    /// Measures one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.c.warm_up, self.c.budget, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reports are printed eagerly; this is a no-op hook).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark, optionally `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { text: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(text: String) -> Self {
+        Self { text }
+    }
+}
+
+/// Timing loop handle handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    mean_ns: f64,
+    /// Fastest single batch, nanoseconds per iteration.
+    best_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then sampling batches until
+    /// the time budget is exhausted.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and estimate a batch size that lasts >= ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                // Aim each sample at ~budget/10.
+                let per_iter = took.as_secs_f64() / batch as f64;
+                let target = self.budget.as_secs_f64() / 10.0;
+                batch = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+                break;
+            }
+            batch *= 2;
+        }
+        let warm_until = Instant::now() + self.warm_up;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        // Timed samples.
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut best = f64::INFINITY;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = start.elapsed();
+            total += took;
+            iters += batch;
+            best = best.min(took.as_secs_f64() * 1e9 / batch as f64);
+        }
+        self.mean_ns = total.as_secs_f64() * 1e9 / iters.max(1) as f64;
+        self.best_ns = best;
+        self.iters = iters;
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(warm_up: Duration, budget: Duration, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        warm_up,
+        budget,
+        mean_ns: f64::NAN,
+        best_ns: f64::NAN,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("  {label:<48} (no measurement)");
+    } else {
+        println!(
+            "  {label:<48} mean {:>12}  best {:>12}  ({} iters)",
+            format_ns(b.mean_ns),
+            format_ns(b.best_ns),
+            b.iters,
+        );
+    }
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            budget: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("noop", |b| b.iter(|| black_box(1u32 + 1)));
+        group.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,75 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use rand::{Rng, RngCore};
+
+/// Acceptable length specifications for [`vec`]: a fixed `usize` or a
+/// half-open `Range<usize>`.
+#[derive(Debug, Clone)]
+pub enum SizeRange {
+    /// Exactly this many elements.
+    Fixed(usize),
+    /// A uniformly drawn length in `[start, end)`.
+    Range(core::ops::Range<usize>),
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self::Fixed(n)
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        Self::Range(r)
+    }
+}
+
+/// Strategy producing `Vec`s of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose elements come from `element` and whose
+/// length is described by `size` (a `usize` or `Range<usize>`).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn try_gen<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<Self::Value> {
+        let len = match &self.size {
+            SizeRange::Fixed(n) => *n,
+            SizeRange::Range(r) => {
+                if r.is_empty() {
+                    r.start
+                } else {
+                    rng.gen_range(r.clone())
+                }
+            }
+        };
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            // Retry rejected elements locally so a sparse filter does
+            // not reject the entire vector.
+            let mut tries = 0;
+            loop {
+                if let Some(v) = self.element.try_gen(rng) {
+                    out.push(v);
+                    break;
+                }
+                tries += 1;
+                if tries > 1000 {
+                    return None;
+                }
+            }
+        }
+        Some(out)
+    }
+}
