@@ -1,26 +1,28 @@
-//! Throughput of the batch inference engine versus the scalar
-//! one-sample-at-a-time loop, for every backend configuration of the
-//! paper's evaluation.
+//! Throughput of every registered inference engine over one fixed
+//! workload, driven by the `flint-exec` engine registry instead of
+//! hand-rolled per-backend match arms.
 //!
-//! Three shapes per backend:
-//!
-//! * `scalar`          — `CompiledForest::predict_dataset` (per-sample
-//!   vote allocation, whole forest streamed per sample);
-//! * `blocked`         — `BatchEngine`, tree-block × sample-block
-//!   traversal with reused scratch, one thread;
-//! * `blocked+threads` — the same with 4 scoped worker threads.
+//! Rows are the registry ([`EngineKind::ALL`]): the five if-else
+//! configurations scalar and blocked, QuickScorer in both comparison
+//! modes, and the three instruction-level VM variants (the VM rows are
+//! interpreter-slow by design — they model the assembly backend for the
+//! cost simulator — but they are real prediction paths and belong in
+//! the same table). The blocked FLInt engine additionally gets a
+//! 4-thread row, the shape the serving front end will use.
 //!
 //! The forest is deliberately deep (many more node bytes than L2) so
-//! the cache-blocking effect is visible even on a single core; on
-//! multi-core hosts the threaded row adds near-linear scaling on top.
-//! Equivalence of all three paths is asserted before timing — a
-//! benchmark of a wrong result is worthless.
+//! the cache-blocking effect is visible even on a single core.
+//! Equivalence of every path against the forest's majority vote is
+//! asserted before timing — a benchmark of a wrong result is worthless.
+//!
+//! `flint bench` reproduces this table without cargo/criterion via
+//! [`flint_bench::batch_throughput_table`].
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use flint_data::train_test_split;
 use flint_data::uci::{Scale, UciDataset};
 use flint_data::FeatureMatrix;
-use flint_exec::{BackendKind, BatchEngine, BatchOptions, CompiledForest};
+use flint_exec::{BatchOptions, EngineBuilder, EngineKind};
 use flint_forest::{ForestConfig, RandomForest};
 
 fn bench_batch(c: &mut Criterion) {
@@ -29,33 +31,27 @@ fn bench_batch(c: &mut Criterion) {
     let forest = RandomForest::fit(&split.train, &ForestConfig::grid(24, 16)).expect("trainable");
     let matrix = FeatureMatrix::from_dataset(&split.test);
     let n = split.test.n_samples();
+    let reference = forest.predict_dataset_majority(&split.test);
+    let builder = EngineBuilder::new(&forest).profile_data(&split.train);
 
     let mut group = c.benchmark_group("batch_throughput");
-    for kind in BackendKind::PAPER_SET {
-        let backend =
-            CompiledForest::compile(&forest, kind, Some(&split.train)).expect("compilable");
-        let blocked = BatchEngine::new(&backend, BatchOptions::default());
-        let threaded = BatchEngine::new(&backend, BatchOptions::default().threads(4));
-
-        let reference = backend.predict_dataset(&split.test);
-        assert_eq!(blocked.predict(&matrix), reference, "blocked diverges");
-        assert_eq!(threaded.predict(&matrix), reference, "threaded diverges");
-
-        let name = kind.name().replace(' ', "_");
-        group.bench_with_input(BenchmarkId::new(format!("{name}/scalar"), n), &n, |b, _| {
-            b.iter(|| backend.predict_dataset(black_box(&split.test)))
+    for kind in EngineKind::ALL {
+        let engine = builder.build(kind).expect("registered engines build");
+        assert_eq!(engine.predict_matrix(&matrix), reference, "{kind} diverges");
+        group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+            b.iter(|| engine.predict_matrix(black_box(&matrix)))
         });
-        group.bench_with_input(
-            BenchmarkId::new(format!("{name}/blocked"), n),
-            &n,
-            |b, _| b.iter(|| blocked.predict(black_box(&matrix))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new(format!("{name}/blocked+threads4"), n),
-            &n,
-            |b, _| b.iter(|| threaded.predict(black_box(&matrix))),
-        );
     }
+
+    // The serving shape: blocked FLInt with a worker pool.
+    let threaded = builder
+        .options(BatchOptions::default().threads(4))
+        .build(EngineKind::parse("flint-blocked").expect("registered"))
+        .expect("builds");
+    assert_eq!(threaded.predict_matrix(&matrix), reference);
+    group.bench_with_input(BenchmarkId::new("flint-blocked+threads4", n), &n, |b, _| {
+        b.iter(|| threaded.predict_matrix(black_box(&matrix)))
+    });
     group.finish();
 }
 

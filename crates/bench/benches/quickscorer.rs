@@ -5,37 +5,30 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use flint_data::train_test_split;
 use flint_data::uci::{Scale, UciDataset};
-use flint_exec::{BackendKind, CompiledForest};
+use flint_data::FeatureMatrix;
+use flint_exec::{EngineBuilder, EngineKind};
 use flint_forest::{ForestConfig, RandomForest};
-use flint_qscorer::{QsCompare, QsForest};
 
 fn bench_quickscorer(c: &mut Criterion) {
     let data = UciDataset::Magic.generate(Scale::Small);
     let split = train_test_split(&data, 0.25, 42);
-    let rows: Vec<&[f32]> = (0..split.test.n_samples())
-        .map(|i| split.test.sample(i))
-        .collect();
+    let matrix = FeatureMatrix::from_dataset(&split.test);
+    // The contrast the related-work section draws, as registry engines:
+    // QuickScorer's per-feature scans (both comparison modes) against
+    // the flat if-else FLInt trees.
+    let contrast = ["quickscorer-float", "quickscorer", "flint"]
+        .map(|name| EngineKind::parse(name).expect("registered"));
     let mut group = c.benchmark_group("quickscorer_vs_ifelse");
     for depth in [5usize, 15] {
         let forest =
             RandomForest::fit(&split.train, &ForestConfig::grid(10, depth)).expect("trainable");
-        let qs = QsForest::build(&forest);
-        let flat = CompiledForest::compile(&forest, BackendKind::Flint, None).expect("compilable");
-        group.bench_with_input(BenchmarkId::new("qs_float", depth), &depth, |b, _| {
-            b.iter(|| qs.predict_batch(black_box(&rows), QsCompare::Float))
-        });
-        group.bench_with_input(BenchmarkId::new("qs_flint", depth), &depth, |b, _| {
-            b.iter(|| qs.predict_batch(black_box(&rows), QsCompare::Flint))
-        });
-        group.bench_with_input(BenchmarkId::new("ifelse_flint", depth), &depth, |b, _| {
-            b.iter(|| {
-                let mut acc = 0u32;
-                for row in &rows {
-                    acc = acc.wrapping_add(flat.predict(black_box(row)));
-                }
-                acc
-            })
-        });
+        let builder = EngineBuilder::new(&forest);
+        for kind in contrast {
+            let engine = builder.build(kind).expect("builds");
+            group.bench_with_input(BenchmarkId::new(kind.name(), depth), &depth, |b, _| {
+                b.iter(|| engine.predict_matrix(black_box(&matrix)))
+            });
+        }
     }
     group.finish();
 }

@@ -2,10 +2,12 @@
 //! aggregation used by its figures and tables.
 
 use flint_data::uci::{Scale, UciDataset};
-use flint_data::{train_test_split, TrainTestSplit};
+use flint_data::{train_test_split, Dataset, FeatureMatrix, TrainTestSplit};
+use flint_exec::{BatchOptions, BuildEngineError, EngineBuilder, EngineKind};
 use flint_forest::{ForestConfig, RandomForest};
 use flint_sim::{simulate_forest, Machine, SimConfig, SimulateError};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Ensemble sizes swept by the paper.
 pub const PAPER_TREES: [usize; 9] = [1, 5, 10, 15, 20, 30, 50, 80, 100];
@@ -230,6 +232,97 @@ pub fn aggregate(
     })
 }
 
+/// One row of the batch-throughput table: one registered engine's
+/// measured scoring rate over a fixed workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputRow {
+    /// Which engine.
+    pub kind: EngineKind,
+    /// Median wall-clock seconds per full scoring pass.
+    pub median_secs: f64,
+    /// Samples scored per second (workload size / median).
+    pub samples_per_sec: f64,
+    /// Speedup relative to the table's first row (>1 = faster).
+    pub speedup_vs_first: f64,
+}
+
+/// Measures the batch-throughput table over registered engines — the
+/// experiment behind `cargo bench --bench batch_throughput`, exposed as
+/// a library function so the `flint bench` CLI subcommand can reproduce
+/// it without cargo or criterion.
+///
+/// Every engine is built from the registry with `opts` bound, its
+/// predictions are asserted bit-identical to the forest's majority vote
+/// (a throughput number for a wrong result is worthless), and then
+/// `runs` scoring passes are timed; the median is reported. Rows come
+/// back in the order of `kinds`, each with its speedup relative to the
+/// first row (pass a scalar baseline first to reproduce the
+/// `batch_throughput` layout).
+///
+/// # Errors
+///
+/// [`BuildEngineError`] if an engine fails to build.
+///
+/// # Panics
+///
+/// Panics if `kinds` is empty, the matrix width differs from the
+/// model's, or an engine's predictions diverge from the reference.
+pub fn batch_throughput_table(
+    forest: &RandomForest,
+    profile: Option<&Dataset>,
+    matrix: &FeatureMatrix,
+    opts: BatchOptions,
+    kinds: &[EngineKind],
+    runs: usize,
+) -> Result<Vec<ThroughputRow>, BuildEngineError> {
+    assert!(!kinds.is_empty(), "at least one engine");
+    let mut builder = EngineBuilder::new(forest).options(opts);
+    if let Some(data) = profile {
+        builder = builder.profile_data(data);
+    }
+    let reference = {
+        let mut row = vec![0.0f32; matrix.n_features()];
+        (0..matrix.n_samples())
+            .map(|i| {
+                matrix.gather_row(i, &mut row);
+                forest.predict_majority(&row)
+            })
+            .collect::<Vec<u32>>()
+    };
+    let runs = runs.max(1);
+    let n = matrix.n_samples() as f64;
+    let mut rows = Vec::with_capacity(kinds.len());
+    let mut first_secs = None;
+    for &kind in kinds {
+        let engine = builder.build(kind)?;
+        assert_eq!(
+            engine.predict_matrix(matrix),
+            reference,
+            "{} diverges from the forest majority vote",
+            engine.name()
+        );
+        let mut secs: Vec<f64> = (0..runs)
+            .map(|_| {
+                let start = Instant::now();
+                let out = engine.predict_matrix(matrix);
+                let took = start.elapsed().as_secs_f64();
+                debug_assert_eq!(out.len(), matrix.n_samples());
+                took
+            })
+            .collect();
+        secs.sort_by(f64::total_cmp);
+        let median = secs[secs.len() / 2].max(f64::MIN_POSITIVE);
+        let first = *first_secs.get_or_insert(median);
+        rows.push(ThroughputRow {
+            kind,
+            median_secs: median,
+            samples_per_sec: n / median,
+            speedup_vs_first: first / median,
+        });
+    }
+    Ok(rows)
+}
+
 /// The Fig. 2 data series: evenly sampled 32-bit patterns (NaN and the
 /// infinities excluded) as `(SI(B), FP(B))` pairs.
 pub fn fig2_series(n_points: usize) -> Vec<(i32, f32)> {
@@ -288,6 +381,35 @@ mod tests {
             pos.windows(2).all(|w| w[0] <= w[1]),
             "positive half increasing"
         );
+    }
+
+    #[test]
+    fn throughput_table_covers_requested_engines() {
+        let data = UciDataset::Wine.generate(Scale::Tiny);
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 8)).expect("trains");
+        let matrix = FeatureMatrix::from_dataset(&data);
+        let kinds = [
+            EngineKind::parse("flint").expect("registered"),
+            EngineKind::parse("flint-blocked").expect("registered"),
+            EngineKind::parse("quickscorer").expect("registered"),
+        ];
+        let rows = batch_throughput_table(
+            &forest,
+            Some(&data),
+            &matrix,
+            BatchOptions::default(),
+            &kinds,
+            3,
+        )
+        .expect("builds and measures");
+        assert_eq!(rows.len(), kinds.len());
+        for (row, kind) in rows.iter().zip(kinds) {
+            assert_eq!(row.kind, kind);
+            assert!(row.median_secs > 0.0);
+            assert!(row.samples_per_sec > 0.0);
+            assert!(row.speedup_vs_first > 0.0);
+        }
+        assert_eq!(rows[0].speedup_vs_first, 1.0, "first row is the baseline");
     }
 
     #[test]

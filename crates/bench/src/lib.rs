@@ -11,9 +11,19 @@
 //! | Fig. 4 (C vs ASM vs depth) | [`report::fig4`], `cargo bench --bench fig4_host` |
 //! | Table III (ASM aggregates) | [`report::table3`] |
 //! | No-FPU ablation (ours) | [`report::ablation_nofpu`] |
+//! | Batch throughput (ours) | [`experiments::batch_throughput_table`], `flint bench`, `cargo bench --bench batch_throughput` |
 //!
 //! The `figures` binary prints any of them:
 //! `cargo run -p flint-bench --bin figures -- table2`.
+//!
+//! Host-side throughput experiments run over the `flint-exec` engine
+//! registry ([`flint_exec::EngineKind`]): every registered prediction
+//! path — scalar/blocked if-else backends, QuickScorer, the codegen
+//! VM — is measured through the one [`flint_exec::Predictor`] API, and
+//! equivalence against the forest's majority vote is asserted before
+//! any timing. The `flint bench` CLI subcommand reproduces the
+//! `batch_throughput` table through the same function, without cargo
+//! or criterion.
 //!
 //! Simulated numbers come from `flint-sim` cost models (the four paper
 //! machines are not available); host wall-clock shape comes from the
@@ -27,6 +37,7 @@ pub mod experiments;
 pub mod report;
 
 pub use experiments::{
-    aggregate, fig2_series, fig3_series, geometric_mean, train_grid, variance, AggregateRow,
-    DepthPoint, GridPoint, GridScale, PAPER_DEPTHS, PAPER_TREES,
+    aggregate, batch_throughput_table, fig2_series, fig3_series, geometric_mean, train_grid,
+    variance, AggregateRow, DepthPoint, GridPoint, GridScale, ThroughputRow, PAPER_DEPTHS,
+    PAPER_TREES,
 };

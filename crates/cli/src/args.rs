@@ -40,6 +40,34 @@ pub enum Command {
         /// Worker threads for the batch engine.
         threads: usize,
     },
+    /// Measure every registered engine's throughput over a CSV
+    /// workload (the `batch_throughput` table without cargo/criterion),
+    /// or list the engine registry.
+    Bench {
+        /// Input CSV used as the workload (required unless `list`).
+        data: Option<String>,
+        /// Number of classes in the CSV's label column (required
+        /// unless `list`).
+        classes: Option<usize>,
+        /// Stored model to serve (`None` = train on the workload).
+        model: Option<String>,
+        /// Ensemble size when training in-process.
+        trees: usize,
+        /// Depth cap when training in-process.
+        depth: Option<usize>,
+        /// RNG seed when training in-process.
+        seed: u64,
+        /// Sample block size for the engines' batch options.
+        batch_size: Option<usize>,
+        /// Worker threads for the engines' batch options.
+        threads: usize,
+        /// Timed scoring passes per engine (median reported).
+        runs: usize,
+        /// Comma-separated engine names (`None` = the full registry).
+        engines: Option<String>,
+        /// Print the engine registry (names and strategies) and exit.
+        list: bool,
+    },
     /// Emit source code for a stored model.
     Emit {
         /// Model file.
@@ -91,7 +119,7 @@ fn flags(args: &[String]) -> Result<BTreeMap<String, String>, ParseArgsError> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| ParseArgsError(format!("expected --flag, got {:?}", args[i])))?;
-        if key == "accuracy" {
+        if key == "accuracy" || key == "list" {
             map.insert(key.to_owned(), "true".to_owned());
             i += 1;
             continue;
@@ -167,6 +195,45 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .transpose()?
                 .unwrap_or(1),
         }),
+        "bench" => Ok(Command::Bench {
+            data: map.get("data").cloned(),
+            classes: map
+                .get("classes")
+                .map(|v| parse_number(v, "classes"))
+                .transpose()?,
+            model: map.get("model").cloned(),
+            trees: map
+                .get("trees")
+                .map(|v| parse_number(v, "trees"))
+                .transpose()?
+                .unwrap_or(24),
+            depth: map
+                .get("depth")
+                .map(|v| parse_number(v, "depth"))
+                .transpose()?
+                .or(Some(16)),
+            seed: map
+                .get("seed")
+                .map(|v| parse_number(v, "seed"))
+                .transpose()?
+                .unwrap_or(0),
+            batch_size: map
+                .get("batch-size")
+                .map(|v| parse_number(v, "batch-size"))
+                .transpose()?,
+            threads: map
+                .get("threads")
+                .map(|v| parse_number(v, "threads"))
+                .transpose()?
+                .unwrap_or(1),
+            runs: map
+                .get("runs")
+                .map(|v| parse_number(v, "runs"))
+                .transpose()?
+                .unwrap_or(5),
+            engines: map.get("engines").cloned(),
+            list: map.contains_key("list"),
+        }),
         "emit" => Ok(Command::Emit {
             model: required(&map, "model")?,
             lang: map.get("lang").cloned().unwrap_or_else(|| "c".to_owned()),
@@ -203,11 +270,19 @@ flint — FLInt random forest toolchain
 
 USAGE:
   flint train      --data d.csv --classes K [--trees N] [--depth D] [--seed S] [--out model.txt]
-  flint predict    --model model.txt --data d.csv --classes K [--backend naive|flint|cags|cags-flint|quickscorer] [--accuracy] [--batch-size B] [--threads T]
+  flint predict    --model model.txt --data d.csv --classes K [--backend ENGINE] [--accuracy] [--batch-size B] [--threads T]
+  flint bench      --data d.csv --classes K [--model model.txt] [--trees N] [--depth D] [--seed S]
+                   [--batch-size B] [--threads T] [--runs R] [--engines a,b,c]
+  flint bench      --list
   flint emit       --model model.txt [--lang c|c64|rust|asm-arm|asm-x86] [--variant std|flint]
   flint importance --model model.txt
   flint simulate   --model model.txt --data d.csv --classes K [--machine x86s|x86d|arms|armd|embedded] [--config naive|cags|flint|cags-flint|flint-asm|softfloat]
   flint help
+
+ENGINE is any name from the engine registry (`flint bench --list`):
+the five if-else configurations (naive|cags|flint|cags-flint|softfloat),
+their blocked batch counterparts (*-blocked), quickscorer[-float], and
+the instruction-level VM variants (vm-flint|vm-float|vm-softfloat).
 
 CSV format: one row per sample, float features followed by an integer
 class label, no header.
@@ -301,6 +376,61 @@ mod tests {
         ))
         .unwrap_err();
         assert!(err.0.contains("batch-size"), "{err}");
+    }
+
+    #[test]
+    fn parse_bench_defaults_and_flags() {
+        let cmd = parse(&argv("bench --data d.csv --classes 2")).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                data: Some("d.csv".into()),
+                classes: Some(2),
+                model: None,
+                trees: 24,
+                depth: Some(16),
+                seed: 0,
+                batch_size: None,
+                threads: 1,
+                runs: 5,
+                engines: None,
+                list: false,
+            }
+        );
+        let cmd = parse(&argv(
+            "bench --data d.csv --classes 3 --model m.txt --batch-size 128 --threads 4 \
+             --runs 9 --engines flint,flint-blocked",
+        ))
+        .expect("parses");
+        match cmd {
+            Command::Bench {
+                model,
+                batch_size,
+                threads,
+                runs,
+                engines,
+                ..
+            } => {
+                assert_eq!(model.as_deref(), Some("m.txt"));
+                assert_eq!(batch_size, Some(128));
+                assert_eq!(threads, 4);
+                assert_eq!(runs, 9);
+                assert_eq!(engines.as_deref(), Some("flint,flint-blocked"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_bench_list() {
+        let cmd = parse(&argv("bench --list")).expect("parses");
+        match cmd {
+            Command::Bench { list, data, .. } => {
+                assert!(list);
+                assert_eq!(data, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

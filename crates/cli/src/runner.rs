@@ -2,15 +2,15 @@
 //! real process invocation.
 
 use crate::args::{Command, USAGE};
+use flint_bench::batch_throughput_table;
 use flint_codegen::{
     emit_forest_c, emit_forest_c_f64, emit_forest_rust, emit_tree_asm, AsmTarget, CVariant,
     RustVariant,
 };
-use flint_data::{csv, Dataset};
-use flint_exec::{BackendKind, BatchOptions, CompiledForest};
+use flint_data::{csv, Dataset, FeatureMatrix};
+use flint_exec::{BatchOptions, EngineBuilder, EngineKind};
 use flint_forest::metrics::accuracy;
 use flint_forest::{io as model_io, ForestConfig, RandomForest};
-use flint_qscorer::{QsCompare, QsForest};
 use flint_sim::{simulate_forest, Machine, SimConfig};
 use std::fmt::Write as FmtWrite;
 use std::fs::File;
@@ -74,18 +74,13 @@ fn load_model(path: &str) -> Result<RandomForest, RunError> {
     Ok(model_io::read_forest(BufReader::new(File::open(path)?))?)
 }
 
-fn backend_kind(name: &str) -> Result<BackendKind, RunError> {
-    Ok(match name {
-        "naive" => BackendKind::Naive,
-        "cags" => BackendKind::Cags,
-        "flint" => BackendKind::Flint,
-        "cags-flint" => BackendKind::CagsFlint,
-        "softfloat" => BackendKind::SoftFloat,
-        other => {
-            return Err(RunError::Invalid(format!(
-                "unknown backend {other:?} (try naive|flint|cags|cags-flint|softfloat|quickscorer)"
-            )))
-        }
+fn engine_kind(name: &str) -> Result<EngineKind, RunError> {
+    EngineKind::parse(name).ok_or_else(|| {
+        let registered: Vec<&str> = EngineKind::ALL.iter().map(|k| k.name()).collect();
+        RunError::Invalid(format!(
+            "unknown backend {name:?} (registered engines: {})",
+            registered.join("|")
+        ))
     })
 }
 
@@ -176,26 +171,17 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
         } => {
             let forest = load_model(&model)?;
             let dataset = load_csv(&data, classes)?;
-            let predictions: Vec<u32> = if backend == "quickscorer" {
-                // QuickScorer always scores through reused scratch; the
-                // batch flags only shape the if-else-tree engine.
-                let qs = QsForest::build(&forest);
-                let rows: Vec<&[f32]> = (0..dataset.n_samples())
-                    .map(|i| dataset.sample(i))
-                    .collect();
-                qs.predict_batch(&rows, QsCompare::Flint)
-            } else {
-                let compiled = CompiledForest::compile(&forest, backend_kind(&backend)?, None)
-                    .map_err(|e| RunError::Invalid(e.to_string()))?;
-                if batch_size.is_some() || threads > 1 {
-                    let opts = BatchOptions::default()
-                        .block_samples(batch_size.unwrap_or(64))
-                        .threads(threads.max(1));
-                    compiled.predict_dataset_batched(&dataset, opts)
-                } else {
-                    compiled.predict_dataset(&dataset)
-                }
-            };
+            // Every backend name is an engine-registry entry; the batch
+            // flags shape the options any engine honors.
+            let kind = engine_kind(&backend)?;
+            let opts = BatchOptions::default()
+                .block_samples(batch_size.unwrap_or(64))
+                .threads(threads.max(1));
+            let engine = EngineBuilder::new(&forest)
+                .options(opts)
+                .build(kind)
+                .map_err(|e| RunError::Invalid(e.to_string()))?;
+            let predictions = engine.predict_dataset(&dataset);
             for p in &predictions {
                 writeln!(out, "{p}")?;
             }
@@ -206,6 +192,94 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
                     accuracy(&predictions, dataset.labels())
                 )?;
             }
+        }
+        Command::Bench {
+            data,
+            classes,
+            model,
+            trees,
+            depth,
+            seed,
+            batch_size,
+            threads,
+            runs,
+            engines,
+            list,
+        } => {
+            if list {
+                writeln!(out, "{:<20} strategy", "engine")?;
+                for kind in EngineKind::ALL {
+                    writeln!(out, "{:<20} {}", kind.name(), kind.describe())?;
+                }
+                return Ok(());
+            }
+            let (Some(data), Some(classes)) = (data, classes) else {
+                return Err(RunError::Invalid(
+                    "bench needs --data and --classes (or --list)".to_owned(),
+                ));
+            };
+            let dataset = load_csv(&data, classes)?;
+            let forest = match model {
+                Some(path) => load_model(&path)?,
+                None => {
+                    let config = ForestConfig {
+                        n_trees: trees,
+                        max_depth: depth,
+                        seed,
+                        ..ForestConfig::default()
+                    };
+                    RandomForest::fit(&dataset, &config)?
+                }
+            };
+            if forest.n_features() != dataset.n_features() {
+                return Err(RunError::Invalid(format!(
+                    "model expects {} features but the workload has {}",
+                    forest.n_features(),
+                    dataset.n_features()
+                )));
+            }
+            let kinds: Vec<EngineKind> = match engines {
+                Some(names) => names
+                    .split(',')
+                    .map(|n| engine_kind(n.trim()))
+                    .collect::<Result<_, _>>()?,
+                None => EngineKind::ALL.to_vec(),
+            };
+            if kinds.is_empty() {
+                return Err(RunError::Invalid("--engines lists no engine".to_owned()));
+            }
+            let opts = BatchOptions::default()
+                .block_samples(batch_size.unwrap_or(64))
+                .threads(threads.max(1));
+            let matrix = FeatureMatrix::from_dataset(&dataset);
+            writeln!(
+                out,
+                "workload: {} samples x {} features, {} trees, block {} x {} threads, {} runs",
+                dataset.n_samples(),
+                dataset.n_features(),
+                forest.n_trees(),
+                opts.block_samples,
+                opts.threads,
+                runs.max(1)
+            )?;
+            writeln!(
+                out,
+                "{:<20} {:>12} {:>12} {:>9}",
+                "engine", "samples/s", "median ms", "speedup"
+            )?;
+            let rows = batch_throughput_table(&forest, Some(&dataset), &matrix, opts, &kinds, runs)
+                .map_err(|e| RunError::Invalid(e.to_string()))?;
+            for row in rows {
+                writeln!(
+                    out,
+                    "{:<20} {:>12.0} {:>12.3} {:>8.2}x",
+                    row.kind.name(),
+                    row.samples_per_sec,
+                    row.median_secs * 1e3,
+                    row.speedup_vs_first
+                )?;
+            }
+            writeln!(out, "(speedup is relative to the first listed engine)")?;
         }
         Command::Emit {
             model,
@@ -335,7 +409,15 @@ mod tests {
         ))
         .expect("trains");
         assert!(trained.contains("trained 5 trees"), "{trained}");
-        for backend in ["naive", "flint", "cags", "cags-flint", "quickscorer"] {
+        for backend in [
+            "naive",
+            "flint",
+            "cags",
+            "cags-flint",
+            "quickscorer",
+            "flint-blocked",
+            "vm-flint",
+        ] {
             let output = run_argv(&format!(
                 "predict --model {} --data {} --classes 2 --backend {backend} --accuracy",
                 model_path.display(),
@@ -360,17 +442,27 @@ mod tests {
             model_path.display()
         ))
         .expect("trains");
-        let outputs: Vec<String> = ["naive", "flint", "cags-flint", "quickscorer"]
-            .iter()
-            .map(|b| {
-                run_argv(&format!(
-                    "predict --model {} --data {} --classes 2 --backend {b}",
-                    model_path.display(),
-                    data_path.display()
-                ))
-                .expect("predicts")
-            })
-            .collect();
+        let outputs: Vec<String> = [
+            "naive",
+            "flint",
+            "cags-flint",
+            "quickscorer",
+            "quickscorer-float",
+            "naive-blocked",
+            "cags-flint-blocked",
+            "vm-flint",
+            "vm-softfloat",
+        ]
+        .iter()
+        .map(|b| {
+            run_argv(&format!(
+                "predict --model {} --data {} --classes 2 --backend {b}",
+                model_path.display(),
+                data_path.display()
+            ))
+            .expect("predicts")
+        })
+        .collect();
         assert!(outputs.windows(2).all(|w| w[0] == w[1]));
         let _ = std::fs::remove_file(data_path);
         let _ = std::fs::remove_file(model_path);
@@ -407,6 +499,98 @@ mod tests {
         }
         let _ = std::fs::remove_file(data_path);
         let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn bench_list_prints_the_registry() {
+        let text = run_argv("bench --list").expect("lists");
+        for kind in EngineKind::ALL {
+            assert!(text.contains(kind.name()), "missing {}", kind.name());
+        }
+        assert_eq!(text.lines().count(), EngineKind::ALL.len() + 1, "{text}");
+    }
+
+    #[test]
+    fn bench_measures_selected_engines() {
+        let (data_path, _) = write_dataset_csv("bench.csv", 9);
+        let output = run_argv(&format!(
+            "bench --data {} --classes 2 --trees 3 --depth 6 --runs 1 \
+             --batch-size 32 --threads 2 --engines flint,flint-blocked,quickscorer",
+            data_path.display()
+        ))
+        .expect("benches");
+        assert!(output.contains("block 32 x 2 threads"), "{output}");
+        for engine in ["flint", "flint-blocked", "quickscorer"] {
+            assert!(
+                output.lines().any(|l| l.starts_with(engine)),
+                "{engine} missing from {output}"
+            );
+        }
+        let _ = std::fs::remove_file(data_path);
+    }
+
+    #[test]
+    fn bench_on_full_registry_with_stored_model() {
+        let (data_path, _) = write_dataset_csv("benchall.csv", 10);
+        let model_path = temp_path("benchall_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 3 --depth 5 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let output = run_argv(&format!(
+            "bench --data {} --classes 2 --model {} --runs 1",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("benches");
+        // One row per registered engine plus the two headers and the
+        // trailing note.
+        assert_eq!(
+            output.lines().count(),
+            EngineKind::ALL.len() + 3,
+            "{output}"
+        );
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn bench_without_data_or_list_errors() {
+        let err = run_argv("bench").unwrap_err();
+        assert!(err.to_string().contains("--data"), "{err}");
+        let (data_path, _) = write_dataset_csv("benchbad.csv", 11);
+        let err = run_argv(&format!(
+            "bench --data {} --classes 2 --engines warp",
+            data_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown backend"), "{err}");
+        // A stored model whose width differs from the workload must
+        // error cleanly, not panic inside the reference loop.
+        let model_path = temp_path("benchbad_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 2 --depth 4 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let narrow_path = temp_path("benchbad_narrow.csv");
+        std::fs::write(&narrow_path, "0.5,1.5,0\n-0.5,2.0,1\n").expect("write file");
+        let err = run_argv(&format!(
+            "bench --data {} --classes 2 --model {}",
+            narrow_path.display(),
+            model_path.display()
+        ))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("model expects 4 features"),
+            "{err}"
+        );
+        let _ = std::fs::remove_file(narrow_path);
+        let _ = std::fs::remove_file(model_path);
+        let _ = std::fs::remove_file(data_path);
     }
 
     #[test]

@@ -746,6 +746,11 @@ impl VmForest {
         &self.programs
     }
 
+    /// Number of classes voted over.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
     /// Majority-vote prediction plus accumulated instruction counts.
     ///
     /// # Errors
@@ -920,31 +925,11 @@ mod tests {
         let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 6)).expect("trainable");
         let vm = VmForest::compile(&forest, VmVariant::Flint);
         assert_eq!(vm.programs().len(), 5);
-        // Agreement with the exec backends' majority vote on samples.
-        use flint_exec_shim::majority_reference;
+        // Agreement with the majority vote every engine implements.
         for i in 0..data.n_samples() {
             let (class, stats) = vm.run(data.sample(i)).expect("runs");
-            assert_eq!(class, majority_reference(&forest, data.sample(i)));
+            assert_eq!(class, forest.predict_majority(data.sample(i)));
             assert!(stats.total() > 0);
-        }
-    }
-
-    /// Local reimplementation of the exec crate's majority vote (this
-    /// crate cannot depend on flint-exec without a cycle).
-    mod flint_exec_shim {
-        use flint_forest::RandomForest;
-
-        pub fn majority_reference(forest: &RandomForest, features: &[f32]) -> u32 {
-            let mut votes = vec![0u32; forest.n_classes()];
-            for tree in forest.trees() {
-                votes[tree.predict(features) as usize] += 1;
-            }
-            votes
-                .iter()
-                .enumerate()
-                .max_by_key(|&(i, &v)| (v, core::cmp::Reverse(i)))
-                .map(|(i, _)| i as u32)
-                .expect("non-empty")
         }
     }
 }

@@ -22,8 +22,8 @@
 //!
 //! Votes, tie-breaking and traversal order per tree are byte-identical
 //! to the scalar path, so predictions are **bit-identical** for every
-//! [`BackendKind`] — asserted by `tests/batch.rs` across block sizes
-//! and thread counts.
+//! [`BackendKind`](crate::BackendKind) — asserted by `tests/batch.rs`
+//! across block sizes and thread counts.
 //!
 //! ```
 //! use flint_data::{synth::SynthSpec, FeatureMatrix};
@@ -154,26 +154,10 @@ impl<'f> BatchEngine<'f> {
             self.forest.n_features(),
             "feature matrix width"
         );
-        let n = matrix.n_samples();
-        let mut out = vec![0u32; n];
-        if n == 0 {
-            return out;
-        }
-        let block = self.opts.block_samples.max(1);
-        let threads = self.opts.threads.max(1).min(n.div_ceil(block));
-        if threads == 1 {
-            self.score_span(matrix, 0, &mut out);
-        } else {
-            // Hand each worker a contiguous span of whole blocks; every
-            // span is disjoint, so workers never share output cells.
-            let blocks_per_worker = n.div_ceil(block).div_ceil(threads);
-            let span = blocks_per_worker * block;
-            std::thread::scope(|scope| {
-                for (w, chunk) in out.chunks_mut(span).enumerate() {
-                    scope.spawn(move || self.score_span(matrix, w * span, chunk));
-                }
-            });
-        }
+        let mut out = vec![0u32; matrix.n_samples()];
+        score_spans(&self.opts, &mut out, |start, span| {
+            self.score_span(matrix, start, span)
+        });
         out
     }
 
@@ -270,6 +254,39 @@ impl<'f> BatchEngine<'f> {
             *slot =
                 flint_forest::metrics::majority_vote(&votes[k * n_classes..(k + 1) * n_classes]);
         }
+    }
+}
+
+/// Splits `out` into contiguous spans of whole sample blocks and runs
+/// `score(start, span)` on each — inline when one worker suffices,
+/// otherwise over [`std::thread::scope`] workers. Every span is
+/// disjoint, so workers never share output cells and results are
+/// deterministic regardless of scheduling.
+///
+/// This is the one span-partitioning implementation in the crate: the
+/// engine layer's row-wise adapters reuse it, so every registered
+/// engine parallelizes over identical boundaries by construction.
+pub(crate) fn score_spans(
+    opts: &BatchOptions,
+    out: &mut [u32],
+    score: impl Fn(usize, &mut [u32]) + Sync,
+) {
+    let n = out.len();
+    if n == 0 {
+        return;
+    }
+    let block = opts.block_samples.max(1);
+    let threads = opts.threads.max(1).min(n.div_ceil(block));
+    if threads == 1 {
+        score(0, out);
+    } else {
+        let span = n.div_ceil(block).div_ceil(threads) * block;
+        std::thread::scope(|scope| {
+            for (w, chunk) in out.chunks_mut(span).enumerate() {
+                let score = &score;
+                scope.spawn(move || score(w * span, chunk));
+            }
+        });
     }
 }
 

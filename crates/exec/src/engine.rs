@@ -1,0 +1,712 @@
+//! The unified inference engine layer: one [`Predictor`] trait over
+//! every prediction path in the workspace, and the [`EngineKind`]
+//! registry that names, describes and builds them.
+//!
+//! The paper's point is that FLInt is a *drop-in replacement*: swapping
+//! float comparisons for integer comparisons changes no prediction.
+//! Before this module, demonstrating that required five incompatible
+//! APIs (`CompiledForest::predict`, the [`BatchEngine`] blocked walk,
+//! `QsForest` QuickScorer traversal, the `VmForest` instruction-level
+//! interpreter, plus the softfloat baseline), and every consumer — CLI,
+//! benches, examples, equivalence tests — re-implemented the wiring.
+//! Here they are all one thing:
+//!
+//! * [`Predictor`] — `predict_one` / `predict_batch` plus `name` /
+//!   `describe` metadata; every engine aggregates by the same majority
+//!   vote ([`flint_forest::RandomForest::predict_majority`]), so all
+//!   registered engines are interchangeable prediction-for-prediction;
+//! * [`EngineKind`] — the engine space: the five [`BackendKind`]
+//!   if-else configurations × {scalar, blocked}, QuickScorer in both
+//!   comparison modes, and the three codegen VM variants (15 engines;
+//!   [`BackendKind::PAPER_SET`] maps to [`EngineKind::PAPER_SET`], a
+//!   subset of this space);
+//! * [`EngineBuilder`] — turns `(RandomForest, EngineKind,
+//!   BatchOptions)` into a boxed engine, owning its compiled artifacts.
+//!
+//! This is the seam future work plugs into: an async micro-batch front
+//! end queues rows into a [`FeatureMatrix`] and calls any `Predictor`;
+//! SIMD kernels become new `EngineKind`s; sharding partitions the
+//! `BatchOptions` spans across engines on different nodes.
+//!
+//! ```
+//! use flint_data::{synth::SynthSpec, FeatureMatrix};
+//! use flint_exec::engine::{EngineBuilder, EngineKind};
+//! use flint_forest::{ForestConfig, RandomForest};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = SynthSpec::new(150, 4, 3).generate();
+//! let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 7))?;
+//! let matrix = FeatureMatrix::from_dataset(&data);
+//! let builder = EngineBuilder::new(&forest).profile_data(&data);
+//! let reference = forest.predict_dataset_majority(&data);
+//! for kind in EngineKind::ALL {
+//!     let engine = builder.build(kind)?;
+//!     assert_eq!(engine.predict_matrix(&matrix), reference, "{}", engine.name());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::backend::{BackendKind, CompiledForest};
+// `score_spans` is the batch module's span partitioner: reusing it here
+// means every engine parallelizes over identical worker boundaries by
+// construction.
+use crate::batch::{score_spans, BatchEngine, BatchOptions};
+use crate::compile::CompileTreeError;
+use flint_codegen::{VmForest, VmVariant};
+use flint_data::{Dataset, FeatureMatrix};
+use flint_forest::RandomForest;
+use flint_qscorer::{QsCompare, QsForest};
+
+/// A forest inference engine: one of the registered prediction paths,
+/// compiled and ready to score.
+///
+/// All engines implement the same majority-vote aggregation (ties to
+/// the lower class index), so any two registered engines built from the
+/// same forest return bit-identical labels on every input — the
+/// workspace-wide generalization of the paper's "accuracy unchanged"
+/// claim, asserted by `tests/engine_equivalence.rs`.
+pub trait Predictor: core::fmt::Debug + Send + Sync {
+    /// Which registry entry this engine is.
+    fn kind(&self) -> EngineKind;
+
+    /// Expected feature vector length.
+    fn n_features(&self) -> usize;
+
+    /// Number of classes.
+    fn n_classes(&self) -> usize;
+
+    /// The batch options this engine was built with (used by
+    /// [`predict_matrix`](Self::predict_matrix)).
+    fn options(&self) -> BatchOptions;
+
+    /// Scores one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features()`.
+    fn predict_one(&self, features: &[f32]) -> u32;
+
+    /// Scores every sample of `matrix` under explicit batch options,
+    /// returning one class per sample. Options the engine cannot use
+    /// are ignored (e.g. `block_trees` outside the blocked engines);
+    /// `threads` is honored by every engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix.n_features()` differs from the model's.
+    fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32>;
+
+    /// The engine's registry name (stable, CLI-addressable).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// One-line human-readable description of the execution strategy.
+    fn describe(&self) -> &'static str {
+        self.kind().describe()
+    }
+
+    /// [`predict_batch`](Self::predict_batch) under the engine's own
+    /// [`options`](Self::options).
+    fn predict_matrix(&self, matrix: &FeatureMatrix) -> Vec<u32> {
+        self.predict_batch(matrix, &self.options())
+    }
+
+    /// Convenience: transpose `data` and run
+    /// [`predict_matrix`](Self::predict_matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's feature count differs from the model's.
+    fn predict_dataset(&self, data: &Dataset) -> Vec<u32> {
+        self.predict_matrix(&FeatureMatrix::from_dataset(data))
+    }
+}
+
+/// One entry of the engine registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// One of the five if-else configurations, scored one sample at a
+    /// time through [`CompiledForest::predict`].
+    Scalar(BackendKind),
+    /// The same configuration through the blocked, interleaved
+    /// [`BatchEngine`] traversal.
+    Blocked(BackendKind),
+    /// QuickScorer per-feature threshold scans over leaf bitsets.
+    QuickScorer(QsCompare),
+    /// The instruction-level tree VM of `flint-codegen` (the executable
+    /// stand-in for the paper's assembly backend).
+    Vm(VmVariant),
+}
+
+impl EngineKind {
+    /// Every registered engine, in registry order: the five scalar
+    /// if-else configurations, their blocked counterparts, QuickScorer
+    /// in both comparison modes, and the three VM variants.
+    pub const ALL: [EngineKind; 15] = [
+        EngineKind::Scalar(BackendKind::Naive),
+        EngineKind::Scalar(BackendKind::Cags),
+        EngineKind::Scalar(BackendKind::Flint),
+        EngineKind::Scalar(BackendKind::CagsFlint),
+        EngineKind::Scalar(BackendKind::SoftFloat),
+        EngineKind::Blocked(BackendKind::Naive),
+        EngineKind::Blocked(BackendKind::Cags),
+        EngineKind::Blocked(BackendKind::Flint),
+        EngineKind::Blocked(BackendKind::CagsFlint),
+        EngineKind::Blocked(BackendKind::SoftFloat),
+        EngineKind::QuickScorer(QsCompare::Flint),
+        EngineKind::QuickScorer(QsCompare::Float),
+        EngineKind::Vm(VmVariant::Flint),
+        EngineKind::Vm(VmVariant::NativeFloat),
+        EngineKind::Vm(VmVariant::SoftFloat),
+    ];
+
+    /// The four configurations of the paper's Fig. 3, as engines —
+    /// [`BackendKind::PAPER_SET`] embedded in the engine space.
+    pub const PAPER_SET: [EngineKind; 4] = [
+        EngineKind::Scalar(BackendKind::Naive),
+        EngineKind::Scalar(BackendKind::Cags),
+        EngineKind::Scalar(BackendKind::Flint),
+        EngineKind::Scalar(BackendKind::CagsFlint),
+    ];
+
+    /// The stable registry name (what the CLI accepts).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Scalar(BackendKind::Naive) => "naive",
+            EngineKind::Scalar(BackendKind::Cags) => "cags",
+            EngineKind::Scalar(BackendKind::Flint) => "flint",
+            EngineKind::Scalar(BackendKind::CagsFlint) => "cags-flint",
+            EngineKind::Scalar(BackendKind::SoftFloat) => "softfloat",
+            EngineKind::Blocked(BackendKind::Naive) => "naive-blocked",
+            EngineKind::Blocked(BackendKind::Cags) => "cags-blocked",
+            EngineKind::Blocked(BackendKind::Flint) => "flint-blocked",
+            EngineKind::Blocked(BackendKind::CagsFlint) => "cags-flint-blocked",
+            EngineKind::Blocked(BackendKind::SoftFloat) => "softfloat-blocked",
+            EngineKind::QuickScorer(QsCompare::Flint) => "quickscorer",
+            EngineKind::QuickScorer(QsCompare::Float) => "quickscorer-float",
+            EngineKind::Vm(VmVariant::Flint) => "vm-flint",
+            EngineKind::Vm(VmVariant::NativeFloat) => "vm-float",
+            EngineKind::Vm(VmVariant::SoftFloat) => "vm-softfloat",
+        }
+    }
+
+    /// One-line description of the execution strategy.
+    pub fn describe(self) -> &'static str {
+        match self {
+            EngineKind::Scalar(BackendKind::Naive) => {
+                "scalar if-else trees, float compares, arena layout"
+            }
+            EngineKind::Scalar(BackendKind::Cags) => {
+                "scalar if-else trees, float compares, CAGS cache-aware layout"
+            }
+            EngineKind::Scalar(BackendKind::Flint) => {
+                "scalar if-else trees, FLInt integer compares, arena layout"
+            }
+            EngineKind::Scalar(BackendKind::CagsFlint) => {
+                "scalar if-else trees, FLInt integer compares, CAGS layout"
+            }
+            EngineKind::Scalar(BackendKind::SoftFloat) => {
+                "scalar if-else trees, software float compares (no-FPU baseline)"
+            }
+            EngineKind::Blocked(BackendKind::Naive) => {
+                "tree-block x sample-block interleaved walk, float compares"
+            }
+            EngineKind::Blocked(BackendKind::Cags) => {
+                "tree-block x sample-block interleaved walk, float compares, CAGS layout"
+            }
+            EngineKind::Blocked(BackendKind::Flint) => {
+                "tree-block x sample-block interleaved walk, FLInt integer compares"
+            }
+            EngineKind::Blocked(BackendKind::CagsFlint) => {
+                "tree-block x sample-block interleaved walk, FLInt compares, CAGS layout"
+            }
+            EngineKind::Blocked(BackendKind::SoftFloat) => {
+                "tree-block x sample-block interleaved walk, software float compares"
+            }
+            EngineKind::QuickScorer(QsCompare::Flint) => {
+                "QuickScorer per-feature threshold scans, FLInt order-key compares"
+            }
+            EngineKind::QuickScorer(QsCompare::Float) => {
+                "QuickScorer per-feature threshold scans, float compares"
+            }
+            EngineKind::Vm(VmVariant::Flint) => {
+                "instruction-level tree VM, integer loads and compares only"
+            }
+            EngineKind::Vm(VmVariant::NativeFloat) => {
+                "instruction-level tree VM, float loads and fcmp"
+            }
+            EngineKind::Vm(VmVariant::SoftFloat) => {
+                "instruction-level tree VM, software float comparison calls"
+            }
+        }
+    }
+
+    /// Looks a registry name up (the inverse of
+    /// [`name`](Self::name)). Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<EngineKind> {
+        EngineKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl core::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error building an engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BuildEngineError {
+    /// FLInt threshold preparation failed while compiling the if-else
+    /// trees.
+    Compile(CompileTreeError),
+}
+
+impl core::fmt::Display for BuildEngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Compile(e) => write!(f, "engine compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildEngineError {}
+
+impl From<CompileTreeError> for BuildEngineError {
+    fn from(e: CompileTreeError) -> Self {
+        Self::Compile(e)
+    }
+}
+
+/// The engine registry's constructor: binds a trained forest (plus
+/// optional CAGS profiling data and default batch options) and builds
+/// any [`EngineKind`] into a boxed [`Predictor`] owning its compiled
+/// artifacts — the borrowed forest can be dropped afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use flint_data::synth::SynthSpec;
+/// use flint_exec::engine::{EngineBuilder, EngineKind};
+/// use flint_exec::BatchOptions;
+/// use flint_forest::{ForestConfig, RandomForest};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = SynthSpec::new(120, 4, 2).generate();
+/// let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 6))?;
+/// let engine = EngineBuilder::new(&forest)
+///     .profile_data(&data)
+///     .options(BatchOptions::default().threads(2))
+///     .build(EngineKind::parse("flint-blocked").expect("registered"))?;
+/// assert_eq!(engine.predict_one(data.sample(0)), forest.predict_majority(data.sample(0)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EngineBuilder<'f> {
+    forest: &'f RandomForest,
+    profile: Option<&'f Dataset>,
+    opts: BatchOptions,
+}
+
+impl<'f> EngineBuilder<'f> {
+    /// Binds `forest` with no profiling data and default options.
+    pub fn new(forest: &'f RandomForest) -> Self {
+        Self {
+            forest,
+            profile: None,
+            opts: BatchOptions::default(),
+        }
+    }
+
+    /// Sets the dataset CAGS layouts profile branch probabilities on
+    /// (pass the training set, as the paper does).
+    #[must_use]
+    pub fn profile_data(mut self, data: &'f Dataset) -> Self {
+        self.profile = Some(data);
+        self
+    }
+
+    /// Sets the default batch options engines are bound to.
+    #[must_use]
+    pub fn options(mut self, opts: BatchOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Builds one engine.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildEngineError`] if FLInt threshold preparation fails.
+    pub fn build(&self, kind: EngineKind) -> Result<Box<dyn Predictor>, BuildEngineError> {
+        Ok(match kind {
+            EngineKind::Scalar(backend) => Box::new(ScalarEngine {
+                forest: CompiledForest::compile(self.forest, backend, self.profile)?,
+                opts: self.opts,
+            }),
+            EngineKind::Blocked(backend) => Box::new(BlockedEngine {
+                forest: CompiledForest::compile(self.forest, backend, self.profile)?,
+                opts: self.opts,
+            }),
+            EngineKind::QuickScorer(compare) => Box::new(QuickScorerEngine {
+                qs: QsForest::build(self.forest),
+                compare,
+                opts: self.opts,
+            }),
+            EngineKind::Vm(variant) => Box::new(VmEngine {
+                vm: VmForest::compile(self.forest, variant),
+                variant,
+                n_features: self.forest.n_features(),
+                opts: self.opts,
+            }),
+        })
+    }
+
+    /// Builds every engine of the registry, in registry order.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildEngineError`] from the first engine that fails to build.
+    pub fn build_all(&self) -> Result<Vec<Box<dyn Predictor>>, BuildEngineError> {
+        EngineKind::ALL.iter().map(|&k| self.build(k)).collect()
+    }
+}
+
+/// Row-at-a-time scoring over a matrix span through a per-worker row
+/// gather buffer — the shared batch shape of the scalar, QuickScorer
+/// and VM engines (the blocked engine has its own interleaved walk).
+fn score_rows(
+    matrix: &FeatureMatrix,
+    n_features: usize,
+    opts: &BatchOptions,
+    out: &mut [u32],
+    predict: impl Fn(&[f32]) -> u32 + Sync,
+) {
+    score_spans(opts, out, |start, span| {
+        let mut row = vec![0.0f32; n_features];
+        for (k, slot) in span.iter_mut().enumerate() {
+            matrix.gather_row(start + k, &mut row);
+            *slot = predict(&row);
+        }
+    });
+}
+
+/// [`EngineKind::Scalar`]: the paper's measured shape — one sample at a
+/// time through the flat if-else node arrays.
+#[derive(Debug)]
+struct ScalarEngine {
+    forest: CompiledForest,
+    opts: BatchOptions,
+}
+
+impl Predictor for ScalarEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Scalar(self.forest.kind())
+    }
+
+    fn n_features(&self) -> usize {
+        self.forest.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.forest.n_classes()
+    }
+
+    fn options(&self) -> BatchOptions {
+        self.opts
+    }
+
+    fn predict_one(&self, features: &[f32]) -> u32 {
+        self.forest.predict(features)
+    }
+
+    fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
+        assert_eq!(
+            matrix.n_features(),
+            self.forest.n_features(),
+            "feature matrix width"
+        );
+        let mut out = vec![0u32; matrix.n_samples()];
+        score_rows(matrix, self.forest.n_features(), opts, &mut out, |row| {
+            self.forest.predict(row)
+        });
+        out
+    }
+}
+
+/// [`EngineKind::Blocked`]: the cache-blocked, interleaved
+/// [`BatchEngine`] traversal.
+#[derive(Debug)]
+struct BlockedEngine {
+    forest: CompiledForest,
+    opts: BatchOptions,
+}
+
+impl Predictor for BlockedEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Blocked(self.forest.kind())
+    }
+
+    fn n_features(&self) -> usize {
+        self.forest.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.forest.n_classes()
+    }
+
+    fn options(&self) -> BatchOptions {
+        self.opts
+    }
+
+    fn predict_one(&self, features: &[f32]) -> u32 {
+        self.forest.predict(features)
+    }
+
+    fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
+        BatchEngine::new(&self.forest, *opts).predict(matrix)
+    }
+}
+
+/// [`EngineKind::QuickScorer`]: per-feature ascending threshold scans
+/// over leaf reachability bitsets, with reusable scratch per worker.
+#[derive(Debug)]
+struct QuickScorerEngine {
+    qs: QsForest,
+    compare: QsCompare,
+    opts: BatchOptions,
+}
+
+impl Predictor for QuickScorerEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::QuickScorer(self.compare)
+    }
+
+    fn n_features(&self) -> usize {
+        self.qs.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.qs.n_classes()
+    }
+
+    fn options(&self) -> BatchOptions {
+        self.opts
+    }
+
+    fn predict_one(&self, features: &[f32]) -> u32 {
+        self.qs.predict(features, self.compare)
+    }
+
+    fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
+        assert_eq!(
+            matrix.n_features(),
+            self.qs.n_features(),
+            "feature matrix width"
+        );
+        let mut out = vec![0u32; matrix.n_samples()];
+        score_spans(opts, &mut out, |start, span| {
+            // Per-worker scratch: bitsets, votes and the row buffer are
+            // allocated once per span, not per sample.
+            let mut scratch = self.qs.scratch();
+            let mut row = vec![0.0f32; self.qs.n_features()];
+            for (k, slot) in span.iter_mut().enumerate() {
+                matrix.gather_row(start + k, &mut row);
+                *slot = self
+                    .qs
+                    .predict_with_scratch(&row, self.compare, &mut scratch);
+            }
+        });
+        out
+    }
+}
+
+/// [`EngineKind::Vm`]: majority vote over per-tree bytecode programs
+/// interpreted instruction by instruction (slow by design — it models
+/// the paper's assembly backend for the cost simulator, but it is a
+/// real prediction path and must agree with all the others).
+#[derive(Debug)]
+struct VmEngine {
+    vm: VmForest,
+    variant: VmVariant,
+    n_features: usize,
+    opts: BatchOptions,
+}
+
+impl Predictor for VmEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Vm(self.variant)
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn n_classes(&self) -> usize {
+        self.vm.n_classes()
+    }
+
+    fn options(&self) -> BatchOptions {
+        self.opts
+    }
+
+    fn predict_one(&self, features: &[f32]) -> u32 {
+        assert_eq!(features.len(), self.n_features, "feature vector length");
+        // Programs compiled from validated trees never fault on a
+        // correctly sized feature vector.
+        self.vm
+            .run(features)
+            .expect("compiled VM programs run to a return")
+            .0
+    }
+
+    fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
+        assert_eq!(matrix.n_features(), self.n_features, "feature matrix width");
+        let mut out = vec![0u32; matrix.n_samples()];
+        score_rows(matrix, self.n_features, opts, &mut out, |row| {
+            self.vm
+                .run(row)
+                .expect("compiled VM programs run to a return")
+                .0
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_data::synth::SynthSpec;
+    use flint_forest::ForestConfig;
+
+    fn setup() -> (Dataset, RandomForest) {
+        let data = SynthSpec::new(180, 4, 3)
+            .cluster_std(1.0)
+            .negative_fraction(0.5)
+            .seed(21)
+            .generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 7)).expect("trainable");
+        (data, forest)
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_parse_round_trips() {
+        let mut seen = std::collections::BTreeSet::new();
+        for kind in EngineKind::ALL {
+            assert!(seen.insert(kind.name()), "duplicate name {}", kind.name());
+            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
+            assert!(!kind.describe().is_empty());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(EngineKind::parse("warp-drive"), None);
+    }
+
+    #[test]
+    fn paper_set_is_a_subset_of_the_registry() {
+        for (engine, backend) in EngineKind::PAPER_SET.iter().zip(BackendKind::PAPER_SET) {
+            assert_eq!(*engine, EngineKind::Scalar(backend));
+            assert!(EngineKind::ALL.contains(engine));
+        }
+    }
+
+    #[test]
+    fn every_engine_agrees_with_the_forest_majority_vote() {
+        let (data, forest) = setup();
+        let matrix = FeatureMatrix::from_dataset(&data);
+        let reference = forest.predict_dataset_majority(&data);
+        let builder = EngineBuilder::new(&forest).profile_data(&data);
+        for engine in builder.build_all().expect("all engines build") {
+            assert_eq!(engine.n_features(), forest.n_features());
+            assert_eq!(engine.n_classes(), forest.n_classes());
+            assert_eq!(
+                engine.predict_matrix(&matrix),
+                reference,
+                "{}",
+                engine.name()
+            );
+            assert_eq!(
+                engine.predict_dataset(&data),
+                reference,
+                "{}",
+                engine.name()
+            );
+            for i in (0..data.n_samples()).step_by(37) {
+                assert_eq!(
+                    engine.predict_one(data.sample(i)),
+                    reference[i],
+                    "{} sample {i}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engines_honor_thread_and_block_options() {
+        let (data, forest) = setup();
+        let matrix = FeatureMatrix::from_dataset(&data);
+        let reference = forest.predict_dataset_majority(&data);
+        let builder = EngineBuilder::new(&forest).profile_data(&data);
+        for kind in [
+            EngineKind::Scalar(BackendKind::Flint),
+            EngineKind::Blocked(BackendKind::CagsFlint),
+            EngineKind::QuickScorer(QsCompare::Flint),
+            EngineKind::Vm(VmVariant::Flint),
+        ] {
+            let engine = builder.build(kind).expect("builds");
+            for block in [1usize, 7, 1000] {
+                for threads in [1usize, 3] {
+                    let opts = BatchOptions::default()
+                        .block_samples(block)
+                        .threads(threads);
+                    assert_eq!(
+                        engine.predict_batch(&matrix, &opts),
+                        reference,
+                        "{} block {block} threads {threads}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builder_options_bind_the_default_batch_shape() {
+        let (data, forest) = setup();
+        let opts = BatchOptions::default().block_samples(17).threads(2);
+        let engine = EngineBuilder::new(&forest)
+            .options(opts)
+            .build(EngineKind::Blocked(BackendKind::Flint))
+            .expect("builds");
+        assert_eq!(engine.options(), opts);
+        assert_eq!(
+            engine.predict_matrix(&FeatureMatrix::from_dataset(&data)),
+            forest.predict_dataset_majority(&data)
+        );
+    }
+
+    #[test]
+    fn empty_batch_is_empty_for_every_engine() {
+        let (data, forest) = setup();
+        let empty = FeatureMatrix::from_row_major(0, forest.n_features(), &[]);
+        let builder = EngineBuilder::new(&forest).profile_data(&data);
+        for engine in builder.build_all().expect("all engines build") {
+            assert_eq!(engine.predict_matrix(&empty), Vec::<u32>::new());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature matrix width")]
+    fn wrong_width_panics_through_the_trait() {
+        let (_, forest) = setup();
+        let engine = EngineBuilder::new(&forest)
+            .build(EngineKind::QuickScorer(QsCompare::Flint))
+            .expect("builds");
+        let bad = FeatureMatrix::from_row_major(1, 1, &[0.0]);
+        let _ = engine.predict_matrix(&bad);
+    }
+}

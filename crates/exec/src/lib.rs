@@ -16,7 +16,29 @@
 //!   a structure-of-arrays `FeatureMatrix`: tree-block × sample-block
 //!   interleaved traversal, reusable per-worker scratch buffers, and
 //!   scoped-thread data parallelism over sample blocks. Predictions
-//!   are bit-identical to the scalar path for every [`BackendKind`].
+//!   are bit-identical to the scalar path for every [`BackendKind`];
+//! * [`engine`] — the unified engine layer: the [`Predictor`] trait
+//!   over **every** prediction path in the workspace (scalar and
+//!   blocked if-else backends, QuickScorer, the codegen VM) plus the
+//!   [`EngineKind`] registry and [`EngineBuilder`]. Consumers — CLI,
+//!   benches, examples, differential tests — select engines by name
+//!   from one registry instead of hand-wiring five APIs:
+//!
+//!   ```
+//!   use flint_data::{synth::SynthSpec, FeatureMatrix};
+//!   use flint_exec::{EngineBuilder, EngineKind};
+//!   use flint_forest::{ForestConfig, RandomForest};
+//!
+//!   # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//!   let data = SynthSpec::new(100, 3, 2).generate();
+//!   let forest = RandomForest::fit(&data, &ForestConfig::grid(3, 5))?;
+//!   let engine = EngineBuilder::new(&forest)
+//!       .build(EngineKind::parse("quickscorer").expect("registered"))?;
+//!   let labels = engine.predict_matrix(&FeatureMatrix::from_dataset(&data));
+//!   assert_eq!(labels, forest.predict_dataset_majority(&data));
+//!   # Ok(())
+//!   # }
+//!   ```
 //!
 //! ```
 //! use flint_data::synth::SynthSpec;
@@ -40,8 +62,10 @@ pub mod backend;
 pub mod batch;
 pub mod compile;
 pub mod compile64;
+pub mod engine;
 
 pub use backend::{BackendKind, CompareMode, CompiledForest};
 pub use batch::{BatchEngine, BatchOptions};
 pub use compile::{CompileTreeError, FloatNode, FloatTree, IntNode, IntTree};
 pub use compile64::{FloatNode64, FloatTree64, IntNode64, IntTree64};
+pub use engine::{BuildEngineError, EngineBuilder, EngineKind, Predictor};

@@ -79,16 +79,18 @@ fn tree_block_size_never_changes_predictions() {
 fn quickscorer_batch_equals_single_for_both_modes() {
     let (data, forest) = trained(23, 180, 8);
     let qs = QsForest::build(&forest);
-    let rows: Vec<&[f32]> = (0..data.n_samples()).map(|i| data.sample(i)).collect();
+    let matrix = FeatureMatrix::from_dataset(&data);
     for compare in [QsCompare::Float, QsCompare::Flint] {
-        let batch = qs.predict_batch(&rows, compare);
-        for (i, row) in rows.iter().enumerate() {
+        let batch = qs.predict_batch(&matrix, compare);
+        let rows = qs.predict_rows((0..data.n_samples()).map(|i| data.sample(i)), compare);
+        for (i, &label) in batch.iter().enumerate() {
             assert_eq!(
-                batch[i],
-                qs.predict(row, compare),
+                label,
+                qs.predict(data.sample(i), compare),
                 "sample {i} ({compare:?})"
             );
         }
+        assert_eq!(batch, rows, "({compare:?})");
     }
 }
 

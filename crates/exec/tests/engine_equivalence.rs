@@ -1,0 +1,159 @@
+//! Cross-engine differential suite: every engine of the registry —
+//! scalar and blocked if-else backends, QuickScorer in both comparison
+//! modes, the three codegen VM variants — must return **bit-identical**
+//! labels to the forest's own majority vote, on every dataset, for
+//! every batch shape and thread count.
+//!
+//! This is the workspace-wide generalization of the paper's claim: not
+//! only is FLInt a drop-in replacement for float comparison inside one
+//! traversal, but *every* registered execution strategy is a drop-in
+//! replacement for every other.
+//!
+//! The reference is [`RandomForest::predict_majority`] (one vote per
+//! tree, ties to the lower class index) — the aggregation every engine
+//! implements. `RandomForest::predict` is *not* the reference: it
+//! argmaxes averaged leaf class distributions, which is a different
+//! (probability-weighted) aggregation and can legitimately disagree
+//! with a vote count on close calls.
+
+use flint_data::synth::SynthSpec;
+use flint_data::uci::{Scale, UciDataset};
+use flint_data::FeatureMatrix;
+use flint_exec::{BatchOptions, EngineBuilder};
+use flint_forest::{ForestConfig, RandomForest};
+use proptest::prelude::*;
+
+#[test]
+fn all_registered_engines_agree_on_all_uci_datasets() {
+    for ds in UciDataset::ALL {
+        let data = ds.generate(Scale::Tiny);
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 10)).expect("trainable");
+        let matrix = FeatureMatrix::from_dataset(&data);
+        let reference = forest.predict_dataset_majority(&data);
+        let builder = EngineBuilder::new(&forest).profile_data(&data);
+        for engine in builder.build_all().expect("all engines build") {
+            assert_eq!(
+                engine.predict_matrix(&matrix),
+                reference,
+                "{} diverges on {}",
+                engine.name(),
+                ds.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_registered_engines_agree_across_batch_shapes_and_threads() {
+    let data = SynthSpec::new(230, 5, 3)
+        .cluster_std(1.0)
+        .negative_fraction(0.5)
+        .seed(13)
+        .generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(6, 9)).expect("trainable");
+    let matrix = FeatureMatrix::from_dataset(&data);
+    let reference = forest.predict_dataset_majority(&data);
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    for engine in builder.build_all().expect("all engines build") {
+        // 10_000 exceeds the dataset; 1 degenerates to per-sample spans.
+        for block in [1usize, 7, 64, 10_000] {
+            for threads in [1usize, 4] {
+                let opts = BatchOptions::default()
+                    .block_samples(block)
+                    .threads(threads);
+                assert_eq!(
+                    engine.predict_batch(&matrix, &opts),
+                    reference,
+                    "{} block {block} threads {threads}",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn predict_one_matches_predict_batch_for_every_engine() {
+    let data = SynthSpec::new(160, 4, 3).seed(7).generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 8)).expect("trainable");
+    let matrix = FeatureMatrix::from_dataset(&data);
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    for engine in builder.build_all().expect("all engines build") {
+        let batch = engine.predict_matrix(&matrix);
+        for (i, &label) in batch.iter().enumerate() {
+            assert_eq!(
+                engine.predict_one(data.sample(i)),
+                label,
+                "{} sample {i}",
+                engine.name()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any forest, any dataset, any batch options in the practical
+    /// envelope: every registered engine is indistinguishable from the
+    /// forest's majority vote.
+    #[test]
+    fn every_engine_is_bit_identical_under_random_options(
+        seed in 0u64..64,
+        depth in 1usize..9,
+        n_trees in 1usize..8,
+        block in 1usize..200,
+        block_trees in 1usize..9,
+        threads in 1usize..6,
+    ) {
+        let data = SynthSpec::new(90, 4, 3)
+            .cluster_std(1.1)
+            .negative_fraction(0.5)
+            .seed(seed)
+            .generate();
+        let forest =
+            RandomForest::fit(&data, &ForestConfig::grid(n_trees, depth)).expect("trainable");
+        let matrix = FeatureMatrix::from_dataset(&data);
+        let reference = forest.predict_dataset_majority(&data);
+        let opts = BatchOptions {
+            block_samples: block,
+            block_trees,
+            threads,
+        };
+        let builder = EngineBuilder::new(&forest).profile_data(&data).options(opts);
+        for engine in builder.build_all().expect("all engines build") {
+            prop_assert_eq!(
+                engine.predict_matrix(&matrix),
+                reference.clone(),
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    /// Adversarial bit patterns (both zeros, denormals, infinities):
+    /// engines agree sample-for-sample through `predict_one`.
+    #[test]
+    fn engines_agree_on_adversarial_bit_patterns(
+        seed in 0u64..32,
+        raw in proptest::collection::vec(any::<u32>(), 4),
+    ) {
+        let features: Vec<f32> = raw
+            .iter()
+            .map(|&b| {
+                let v = f32::from_bits(b);
+                if v.is_nan() { 0.0 } else { v }
+            })
+            .collect();
+        let data = SynthSpec::new(100, 4, 3)
+            .negative_fraction(0.6)
+            .seed(seed)
+            .generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 10)).expect("trainable");
+        let want = forest.predict_majority(&features);
+        let builder = EngineBuilder::new(&forest).profile_data(&data);
+        for engine in builder.build_all().expect("all engines build") {
+            prop_assert_eq!(engine.predict_one(&features), want, "{}", engine.name());
+        }
+    }
+}

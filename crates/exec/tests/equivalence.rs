@@ -5,32 +5,31 @@
 
 use flint_data::synth::SynthSpec;
 use flint_data::uci::{Scale, UciDataset};
-use flint_exec::{BackendKind, CompiledForest};
+use flint_exec::{BackendKind, CompiledForest, EngineBuilder, EngineKind};
 use flint_forest::{ForestConfig, RandomForest};
 use proptest::prelude::*;
 
 #[test]
-fn all_backends_agree_on_all_uci_datasets() {
+fn paper_backends_agree_on_all_uci_datasets() {
+    // The paper's Fig. 3 configurations plus the softfloat baseline,
+    // selected from the engine registry (the full-registry sweep,
+    // including blocked/QuickScorer/VM engines, lives in
+    // `tests/engine_equivalence.rs`).
     for ds in UciDataset::ALL {
         let data = ds.generate(Scale::Tiny);
         let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 10)).expect("trainable");
-        let backends: Vec<CompiledForest> = [
-            BackendKind::Naive,
-            BackendKind::Cags,
-            BackendKind::Flint,
-            BackendKind::CagsFlint,
-            BackendKind::SoftFloat,
-        ]
-        .iter()
-        .map(|&k| CompiledForest::compile(&forest, k, Some(&data)).expect("compilable"))
-        .collect();
-        let reference = backends[0].predict_dataset(&data);
-        for b in &backends[1..] {
+        let builder = EngineBuilder::new(&forest).profile_data(&data);
+        let reference = forest.predict_dataset_majority(&data);
+        for kind in EngineKind::PAPER_SET
+            .into_iter()
+            .chain([EngineKind::Scalar(BackendKind::SoftFloat)])
+        {
+            let engine = builder.build(kind).expect("builds");
             assert_eq!(
-                b.predict_dataset(&data),
+                engine.predict_dataset(&data),
                 reference,
                 "{} diverges on {}",
-                b.kind().name(),
+                engine.name(),
                 ds.name()
             );
         }
@@ -43,10 +42,11 @@ fn accuracy_is_bit_identical_across_backends() {
     let data = UciDataset::Magic.generate(Scale::Tiny);
     let split = flint_data::train_test_split(&data, 0.25, 0);
     let forest = RandomForest::fit(&split.train, &ForestConfig::grid(10, 15)).expect("trainable");
+    let builder = EngineBuilder::new(&forest).profile_data(&split.train);
     let mut accs = Vec::new();
-    for kind in BackendKind::PAPER_SET {
-        let b = CompiledForest::compile(&forest, kind, Some(&split.train)).expect("compilable");
-        let preds = b.predict_dataset(&split.test);
+    for kind in EngineKind::PAPER_SET {
+        let engine = builder.build(kind).expect("builds");
+        let preds = engine.predict_dataset(&split.test);
         accs.push(accuracy(&preds, split.test.labels()));
     }
     assert!(accs.windows(2).all(|w| w[0] == w[1]), "accuracies {accs:?}");

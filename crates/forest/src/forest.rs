@@ -219,6 +219,35 @@ impl RandomForest {
             .collect()
     }
 
+    /// Majority vote over the per-tree predicted classes, ties broken
+    /// to the lower class index.
+    ///
+    /// This is the aggregation every compiled inference engine in the
+    /// workspace implements (if-else backends, the batch engine,
+    /// QuickScorer, the codegen VM), so it is the reference for their
+    /// bit-identical-predictions differential tests. It can differ from
+    /// [`predict`](Self::predict), which argmaxes *averaged leaf class
+    /// distributions* rather than counting one vote per tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features()`.
+    pub fn predict_majority(&self, features: &[f32]) -> u32 {
+        let mut votes = vec![0u32; self.n_classes];
+        for tree in &self.trees {
+            votes[tree.predict(features) as usize] += 1;
+        }
+        crate::metrics::majority_vote(&votes)
+    }
+
+    /// Batch [`predict_majority`](Self::predict_majority) over a
+    /// dataset.
+    pub fn predict_dataset_majority(&self, data: &Dataset) -> Vec<u32> {
+        (0..data.n_samples())
+            .map(|i| self.predict_majority(data.sample(i)))
+            .collect()
+    }
+
     /// Mean Gini feature importances across the ensemble, normalized to
     /// sum to 1 (scikit-learn semantics).
     pub fn feature_importances(&self) -> Vec<f64> {
@@ -286,6 +315,27 @@ mod tests {
         let forest = RandomForest::fit(&ds, &ForestConfig::grid(5, 10)).expect("trainable");
         let distinct = forest.trees().iter().any(|t| t != &forest.trees()[0]);
         assert!(distinct, "bootstrap should diversify trees");
+    }
+
+    #[test]
+    fn majority_vote_counts_one_vote_per_tree() {
+        let ds = data();
+        let forest = RandomForest::fit(&ds, &ForestConfig::grid(7, 9)).expect("trainable");
+        for i in 0..ds.n_samples() {
+            let x = ds.sample(i);
+            let mut votes = vec![0u32; forest.n_classes()];
+            for tree in forest.trees() {
+                votes[tree.predict(x) as usize] += 1;
+            }
+            let want = crate::metrics::majority_vote(&votes);
+            assert_eq!(forest.predict_majority(x), want, "sample {i}");
+        }
+        assert_eq!(
+            forest.predict_dataset_majority(&ds),
+            (0..ds.n_samples())
+                .map(|i| forest.predict_majority(ds.sample(i)))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::bitset::LeafBitset;
 use crate::build::QsTree;
 use flint_core::FlintOrd;
+use flint_data::FeatureMatrix;
 use flint_forest::RandomForest;
 
 /// Which comparison the per-feature threshold scan uses.
@@ -121,6 +122,11 @@ impl QsForest {
         self.n_classes
     }
 
+    /// Expected feature vector length.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
     /// Allocates scoring state sized for this forest, reusable across
     /// any number of predictions.
     pub fn scratch(&self) -> QsScratch {
@@ -172,14 +178,41 @@ impl QsForest {
         flint_forest::metrics::majority_vote(&scratch.votes)
     }
 
-    /// Batch prediction through one reused [`QsScratch`] (the
-    /// performance shape QuickScorer is built for): bitsets and the
-    /// vote accumulator are allocated once for the whole batch instead
-    /// of per sample.
-    pub fn predict_batch(&self, batch: &[&[f32]], compare: QsCompare) -> Vec<u32> {
+    /// Batch prediction over a structure-of-arrays [`FeatureMatrix`]
+    /// through one reused [`QsScratch`] and one reused row buffer (the
+    /// performance shape QuickScorer is built for): bitsets, the vote
+    /// accumulator and the gather buffer are allocated once for the
+    /// whole batch instead of per sample, and callers no longer build
+    /// `Vec<&[f32]>` row-pointer tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix.n_features() != n_features()`.
+    pub fn predict_batch(&self, matrix: &FeatureMatrix, compare: QsCompare) -> Vec<u32> {
+        assert_eq!(matrix.n_features(), self.n_features, "feature matrix width");
         let mut scratch = self.scratch();
-        batch
-            .iter()
+        let mut row = vec![0.0f32; self.n_features];
+        (0..matrix.n_samples())
+            .map(|i| {
+                matrix.gather_row(i, &mut row);
+                self.predict_with_scratch(&row, compare, &mut scratch)
+            })
+            .collect()
+    }
+
+    /// Batch prediction over row slices, for callers whose data is
+    /// already row-major. Same scratch reuse as
+    /// [`predict_batch`](Self::predict_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `n_features()`.
+    pub fn predict_rows<'a, I>(&self, rows: I, compare: QsCompare) -> Vec<u32>
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut scratch = self.scratch();
+        rows.into_iter()
             .map(|features| self.predict_with_scratch(features, compare, &mut scratch))
             .collect()
     }
@@ -253,11 +286,28 @@ mod tests {
         let data = SynthSpec::new(100, 3, 2).seed(1).generate();
         let forest = RandomForest::fit(&data, &ForestConfig::grid(3, 5)).expect("trains");
         let qs = QsForest::build(&forest);
-        let rows: Vec<&[f32]> = (0..data.n_samples()).map(|i| data.sample(i)).collect();
-        let batch = qs.predict_batch(&rows, QsCompare::Flint);
-        for (i, row) in rows.iter().enumerate() {
-            assert_eq!(batch[i], qs.predict(row, QsCompare::Flint));
+        let matrix = FeatureMatrix::from_dataset(&data);
+        let batch = qs.predict_batch(&matrix, QsCompare::Flint);
+        let rows = qs.predict_rows(
+            (0..data.n_samples()).map(|i| data.sample(i)),
+            QsCompare::Flint,
+        );
+        for (i, &label) in batch.iter().enumerate() {
+            assert_eq!(label, qs.predict(data.sample(i), QsCompare::Flint));
         }
+        assert_eq!(batch, rows, "matrix and row-iterator paths agree");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature matrix width")]
+    fn batch_wrong_width_panics() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::ForestConfig;
+        let data = SynthSpec::new(60, 3, 2).seed(2).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(2, 4)).expect("trains");
+        let qs = QsForest::build(&forest);
+        let bad = FeatureMatrix::from_row_major(1, 2, &[0.0, 0.0]);
+        let _ = qs.predict_batch(&bad, QsCompare::Flint);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 
 use flint_suite::data::train_test_split;
 use flint_suite::data::uci::{Scale, UciDataset};
-use flint_suite::exec::{BackendKind, CompiledForest};
+use flint_suite::data::FeatureMatrix;
+use flint_suite::exec::{BatchOptions, EngineBuilder, EngineKind};
 use flint_suite::forest::metrics::{accuracy, confusion_matrix};
 use flint_suite::forest::{io, ForestConfig, RandomForest};
 
@@ -30,14 +31,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reloaded = io::read_forest(&buffer[..])?;
     assert_eq!(reloaded, forest, "round trip must be exact");
 
-    // 3. Compile the deployment backend: CAGS layout (profiled on the
-    //    training data, as the paper prescribes) + FLInt comparisons.
-    let backend = CompiledForest::compile(&reloaded, BackendKind::CagsFlint, Some(&split.train))?;
+    // 3. Build the deployment engine from the registry by name, the
+    //    way a config file would select it: CAGS layout (profiled on
+    //    the training data, as the paper prescribes) + FLInt
+    //    comparisons, through the blocked batch traversal with a small
+    //    worker pool.
+    let builder = EngineBuilder::new(&reloaded)
+        .profile_data(&split.train)
+        .options(BatchOptions::default().threads(2));
+    let engine = builder.build(EngineKind::parse("cags-flint-blocked").expect("registered"))?;
+    println!("deployed engine: {} — {}", engine.name(), engine.describe());
 
-    // 4. Serve the test set and report quality.
-    let preds = backend.predict_dataset(&split.test);
+    // 4. Serve the test set and report quality. One-off requests go
+    //    through `predict_one`; batches through the feature matrix.
+    let features = FeatureMatrix::from_dataset(&split.test);
+    let preds = engine.predict_matrix(&features);
+    assert_eq!(preds[0], engine.predict_one(split.test.sample(0)));
     let acc = accuracy(&preds, split.test.labels());
-    println!("deployed backend: {}", backend.kind().name());
     println!("test accuracy: {acc:.4}");
     let matrix = confusion_matrix(&preds, split.test.labels(), reloaded.n_classes());
     println!("confusion matrix (rows = truth):");
@@ -45,9 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  {row:?}");
     }
 
-    // 5. Sanity: identical to the naive float backend.
-    let naive = CompiledForest::compile(&reloaded, BackendKind::Naive, None)?;
-    assert_eq!(preds, naive.predict_dataset(&split.test));
-    println!("predictions identical to the naive float backend — accuracy unchanged.");
+    // 5. Sanity: identical to the naive float engine — swapping the
+    //    engine name is the whole migration.
+    let naive = builder.build(EngineKind::parse("naive").expect("registered"))?;
+    assert_eq!(preds, naive.predict_matrix(&features));
+    println!("predictions identical to the naive float engine — accuracy unchanged.");
     Ok(())
 }

@@ -6,8 +6,8 @@
 
 use flint_suite::core::{flint_le, PreparedThreshold};
 use flint_suite::data::synth::SynthSpec;
-use flint_suite::data::train_test_split;
-use flint_suite::exec::{BackendKind, CompiledForest};
+use flint_suite::data::{train_test_split, FeatureMatrix};
+use flint_suite::exec::{EngineBuilder, EngineKind};
 use flint_suite::forest::metrics::accuracy;
 use flint_suite::forest::{ForestConfig, RandomForest};
 
@@ -42,29 +42,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         forest.depth()
     );
 
-    // 3. Compile the four evaluation backends and compare predictions.
-    println!("\n== Backend agreement (the paper's correctness claim) ==");
-    let naive = CompiledForest::compile(&forest, BackendKind::Naive, Some(&split.train))?;
-    let reference = naive.predict_dataset(&split.test);
-    for kind in [
-        BackendKind::Cags,
-        BackendKind::Flint,
-        BackendKind::CagsFlint,
-    ] {
-        let backend = CompiledForest::compile(&forest, kind, Some(&split.train))?;
-        let preds = backend.predict_dataset(&split.test);
+    // 3. Build every engine of the registry and compare predictions —
+    //    the paper's correctness claim, generalized to every execution
+    //    strategy in the workspace.
+    println!("\n== Engine agreement (the paper's correctness claim) ==");
+    let matrix = FeatureMatrix::from_dataset(&split.test);
+    let reference = forest.predict_dataset_majority(&split.test);
+    let builder = EngineBuilder::new(&forest).profile_data(&split.train);
+    for kind in EngineKind::ALL {
+        let engine = builder.build(kind)?;
+        let preds = engine.predict_matrix(&matrix);
         let agree = preds == reference;
         println!(
-            "{:<14} accuracy {:.4}  identical to naive: {}",
-            backend.kind().name(),
+            "{:<20} accuracy {:.4}  identical: {}",
+            engine.name(),
             accuracy(&preds, split.test.labels()),
             agree
         );
-        assert!(agree, "backends must agree prediction-for-prediction");
+        assert!(agree, "engines must agree prediction-for-prediction");
     }
     println!(
-        "\nnaive accuracy {:.4} — unchanged by FLInt, as the paper proves.",
-        accuracy(&reference, split.test.labels())
+        "\naccuracy {:.4} on every one of the {} registered engines — \
+         unchanged by FLInt, as the paper proves.",
+        accuracy(&reference, split.test.labels()),
+        EngineKind::ALL.len(),
     );
     Ok(())
 }

@@ -9,7 +9,9 @@
 //! * [`forest`] — CART training and random forests,
 //! * [`layout`] — the CAGS cache-aware layout optimization,
 //! * [`qscorer`] — QuickScorer interleaved traversal with a FLInt mode,
-//! * [`exec`] — the four measured inference backends,
+//! * [`exec`] — the measured inference backends and the unified engine
+//!   layer (`Predictor` trait + `EngineKind` registry) every
+//!   prediction path plugs into,
 //! * [`codegen`] — C/ASM/Rust emitters and the integer-only tree VM,
 //! * [`sim`] — machine cost models and cycle accounting.
 //!

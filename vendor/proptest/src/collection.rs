@@ -3,8 +3,8 @@
 use crate::strategy::Strategy;
 use rand::{Rng, RngCore};
 
-/// Acceptable length specifications for [`vec`]: a fixed `usize` or a
-/// half-open `Range<usize>`.
+/// Acceptable length specifications for [`vec()`]: a fixed `usize` or
+/// a half-open `Range<usize>`.
 #[derive(Debug, Clone)]
 pub enum SizeRange {
     /// Exactly this many elements.
