@@ -1,0 +1,69 @@
+//! Serving latency under closed-loop load: batch-size cap vs p50/p99
+//! request latency and throughput through the `flint-serve`
+//! micro-batcher — the data behind the "Serving latency" section of
+//! EXPERIMENTS.md.
+//!
+//! Plain `main` (no criterion): the quantity of interest is the
+//! latency *distribution* of concurrent requests, not the mean runtime
+//! of a hot loop.
+//!
+//! ```text
+//! cargo bench -p flint-bench --bench serve_latency
+//! ```
+
+use flint_bench::loadgen::closed_loop;
+use flint_data::train_test_split;
+use flint_data::uci::{Scale, UciDataset};
+use flint_exec::{BatchOptions, EngineBuilder, EngineKind};
+use flint_forest::{ForestConfig, RandomForest};
+use flint_serve::{BatchPolicy, Batcher};
+use std::time::Duration;
+
+fn main() {
+    let clients = 8;
+    let per_client = 250;
+    let data = UciDataset::Magic.generate(Scale::Small);
+    let split = train_test_split(&data, 0.25, 42);
+    let forest = RandomForest::fit(&split.train, &ForestConfig::grid(24, 16)).expect("trainable");
+    let rows: Vec<Vec<f32>> = (0..split.test.n_samples())
+        .map(|i| split.test.sample(i).to_vec())
+        .collect();
+    let kind = EngineKind::parse("flint-blocked").expect("registered");
+
+    println!(
+        "serve_latency: {} closed-loop clients x {per_client} requests, {} trees, \
+         engine {kind}, 2 workers, linger 200us",
+        clients,
+        forest.n_trees()
+    );
+    println!(
+        "{:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "max_batch", "req/s", "mean fill", "p50 us", "p99 us", "max us"
+    );
+    for max_batch in [1usize, 8, 64] {
+        let engine = EngineBuilder::new(&forest)
+            .options(BatchOptions::default().block_samples(max_batch))
+            .build(kind)
+            .expect("builds");
+        let policy = BatchPolicy::default()
+            .max_batch(max_batch)
+            .linger(Duration::from_micros(200))
+            .workers(2);
+        let batcher = Batcher::start(engine, policy);
+        let report = closed_loop(&batcher, &rows, clients, per_client);
+        batcher.shutdown();
+        println!(
+            "{:>9} {:>10.0} {:>10.2} {:>10} {:>10} {:>10}",
+            max_batch,
+            report.requests_per_sec,
+            report.mean_fill,
+            report.latency.p50_us,
+            report.latency.p99_us,
+            report.latency.max_us
+        );
+    }
+    println!(
+        "(closed loop: one request in flight per client, so offered concurrency = {clients};\n\
+         max_batch 1 shows per-request dispatch overhead, larger caps amortize it)"
+    );
+}

@@ -12,6 +12,7 @@
 //! | Table III (ASM aggregates) | [`report::table3`] |
 //! | No-FPU ablation (ours) | [`report::ablation_nofpu`] |
 //! | Batch throughput (ours) | [`experiments::batch_throughput_table`], `flint bench`, `cargo bench --bench batch_throughput` |
+//! | Serving latency (ours) | [`loadgen::closed_loop`], `cargo bench --bench serve_latency` |
 //!
 //! The `figures` binary prints any of them:
 //! `cargo run -p flint-bench --bin figures -- table2`.
@@ -34,7 +35,10 @@
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod loadgen;
 pub mod report;
+
+pub use loadgen::{closed_loop, LatencySummary, LoadReport};
 
 pub use experiments::{
     aggregate, batch_throughput_table, fig2_series, fig3_series, geometric_mean, train_grid,

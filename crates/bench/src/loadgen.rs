@@ -1,0 +1,174 @@
+//! Closed-loop load generation against the `flint-serve` micro-batcher
+//! — the experiment behind the "Serving latency" section of
+//! EXPERIMENTS.md and `cargo bench --bench serve_latency`.
+//!
+//! Closed loop means each simulated client keeps exactly one request in
+//! flight: it sends a row, blocks until the response arrives, then
+//! sends the next. Offered concurrency therefore equals the client
+//! count, which is what makes batch-fill and latency measurements
+//! interpretable — an open-loop generator would conflate queueing delay
+//! with service time.
+
+use flint_serve::Batcher;
+use std::time::Instant;
+
+/// Latency distribution over one load-generation run, microseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Requests measured.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median (nearest rank).
+    pub p50_us: u64,
+    /// 99th percentile (nearest rank).
+    pub p99_us: u64,
+    /// Worst observed.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes raw per-request latencies (order irrelevant).
+    pub fn from_micros(mut samples_us: Vec<u64>) -> Self {
+        samples_us.sort_unstable();
+        let count = samples_us.len();
+        let mean_us = if count == 0 {
+            0.0
+        } else {
+            samples_us.iter().sum::<u64>() as f64 / count as f64
+        };
+        Self {
+            count,
+            mean_us,
+            p50_us: flint_serve::metrics::percentile(&samples_us, 50.0),
+            p99_us: flint_serve::metrics::percentile(&samples_us, 99.0),
+            max_us: samples_us.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// One closed-loop run: end-to-end latency distribution, throughput and
+/// the batcher's own fill statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Total requests completed.
+    pub requests: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall_secs: f64,
+    /// Completed requests per second.
+    pub requests_per_sec: f64,
+    /// Mean samples per scored batch (from the batcher's metrics).
+    pub mean_fill: f64,
+    /// Per-request latency distribution, measured at the callers.
+    pub latency: LatencySummary,
+}
+
+/// Drives `batcher` with `clients` concurrent closed-loop clients, each
+/// issuing `requests_per_client` rows drawn round-robin (strided by
+/// client) from `rows`.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty, a row has the wrong arity, or the batcher
+/// shuts down mid-run.
+pub fn closed_loop(
+    batcher: &Batcher,
+    rows: &[Vec<f32>],
+    clients: usize,
+    requests_per_client: usize,
+) -> LoadReport {
+    assert!(!rows.is_empty(), "need at least one request row");
+    let clients = clients.max(1);
+    let fill_before = batcher.metrics();
+    let start = Instant::now();
+    let mut samples_us: Vec<u64> = Vec::with_capacity(clients * requests_per_client);
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let handle = batcher.handle();
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(requests_per_client);
+                    for k in 0..requests_per_client {
+                        let row = &rows[(c + k * clients) % rows.len()];
+                        let sent = Instant::now();
+                        handle.predict(row).expect("request served");
+                        lat.push(u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for worker in workers {
+            samples_us.extend(worker.join().expect("client thread"));
+        }
+    });
+    let wall_secs = start.elapsed().as_secs_f64().max(f64::MIN_POSITIVE);
+    let fill_after = batcher.metrics();
+    let batches = fill_after.batches.saturating_sub(fill_before.batches);
+    let requests = samples_us.len();
+    LoadReport {
+        clients,
+        requests,
+        wall_secs,
+        requests_per_sec: requests as f64 / wall_secs,
+        mean_fill: if batches == 0 {
+            0.0
+        } else {
+            (fill_after.requests.saturating_sub(fill_before.requests)) as f64 / batches as f64
+        },
+        latency: LatencySummary::from_micros(samples_us),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_data::synth::SynthSpec;
+    use flint_exec::{EngineBuilder, EngineKind};
+    use flint_forest::{ForestConfig, RandomForest};
+    use flint_serve::BatchPolicy;
+    use std::time::Duration;
+
+    #[test]
+    fn summary_percentiles_are_exact_on_known_samples() {
+        let summary = LatencySummary::from_micros((1..=200).collect());
+        assert_eq!(summary.count, 200);
+        assert_eq!(summary.p50_us, 100);
+        assert_eq!(summary.p99_us, 198);
+        assert_eq!(summary.max_us, 200);
+        assert_eq!(summary.mean_us, 100.5);
+        let empty = LatencySummary::from_micros(Vec::new());
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean_us, 0.0);
+    }
+
+    #[test]
+    fn closed_loop_serves_every_request() {
+        let data = SynthSpec::new(80, 4, 2).seed(7).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 6)).expect("trainable");
+        let engine = EngineBuilder::new(&forest)
+            .build(EngineKind::parse("flint-blocked").expect("registered"))
+            .expect("builds");
+        let policy = BatchPolicy::default()
+            .max_batch(8)
+            .linger(Duration::from_micros(200))
+            .workers(2);
+        let batcher = flint_serve::Batcher::start(engine, policy);
+        let rows: Vec<Vec<f32>> = (0..data.n_samples())
+            .map(|i| data.sample(i).to_vec())
+            .collect();
+        let report = closed_loop(&batcher, &rows, 4, 25);
+        assert_eq!(report.requests, 100);
+        assert_eq!(report.latency.count, 100);
+        assert!(report.requests_per_sec > 0.0);
+        assert!(
+            report.mean_fill >= 1.0 && report.mean_fill <= 8.0,
+            "{report:?}"
+        );
+        assert!(report.latency.p99_us >= report.latency.p50_us);
+        let stats = batcher.shutdown();
+        assert_eq!(stats.requests, 100);
+    }
+}

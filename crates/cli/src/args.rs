@@ -67,6 +67,29 @@ pub enum Command {
         engines: Option<String>,
         /// Print the engine registry (names and strategies) and exit.
         list: bool,
+        /// Result format: `table`, `csv` or `json`.
+        output: String,
+    },
+    /// Serve a stored model over TCP (or stdin) through the
+    /// micro-batching inference server.
+    Serve {
+        /// Model file.
+        model: String,
+        /// Engine registry name answering requests.
+        engine: String,
+        /// Batch-size cap of the micro-batcher.
+        max_batch: usize,
+        /// Linger deadline in microseconds (how long a partial batch
+        /// waits for more rows).
+        linger_us: u64,
+        /// Scoring worker threads.
+        workers: usize,
+        /// Bounded request-queue depth (backpressure threshold).
+        queue_depth: usize,
+        /// TCP listen address.
+        addr: String,
+        /// Serve stdin/stdout instead of TCP.
+        stdin: bool,
     },
     /// Emit source code for a stored model.
     Emit {
@@ -119,7 +142,7 @@ fn flags(args: &[String]) -> Result<BTreeMap<String, String>, ParseArgsError> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| ParseArgsError(format!("expected --flag, got {:?}", args[i])))?;
-        if key == "accuracy" || key == "list" {
+        if key == "accuracy" || key == "list" || key == "stdin" {
             map.insert(key.to_owned(), "true".to_owned());
             i += 1;
             continue;
@@ -233,6 +256,42 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .unwrap_or(5),
             engines: map.get("engines").cloned(),
             list: map.contains_key("list"),
+            output: map
+                .get("output")
+                .cloned()
+                .unwrap_or_else(|| "table".to_owned()),
+        }),
+        "serve" => Ok(Command::Serve {
+            model: required(&map, "model")?,
+            engine: map
+                .get("engine")
+                .cloned()
+                .unwrap_or_else(|| "flint-blocked".to_owned()),
+            max_batch: map
+                .get("max-batch")
+                .map(|v| parse_number(v, "max-batch"))
+                .transpose()?
+                .unwrap_or(64),
+            linger_us: map
+                .get("linger-us")
+                .map(|v| parse_number(v, "linger-us"))
+                .transpose()?
+                .unwrap_or(200),
+            workers: map
+                .get("workers")
+                .map(|v| parse_number(v, "workers"))
+                .transpose()?
+                .unwrap_or(2),
+            queue_depth: map
+                .get("queue-depth")
+                .map(|v| parse_number(v, "queue-depth"))
+                .transpose()?
+                .unwrap_or(1024),
+            addr: map
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7878".to_owned()),
+            stdin: map.contains_key("stdin"),
         }),
         "emit" => Ok(Command::Emit {
             model: required(&map, "model")?,
@@ -272,17 +331,24 @@ USAGE:
   flint train      --data d.csv --classes K [--trees N] [--depth D] [--seed S] [--out model.txt]
   flint predict    --model model.txt --data d.csv --classes K [--backend ENGINE] [--accuracy] [--batch-size B] [--threads T]
   flint bench      --data d.csv --classes K [--model model.txt] [--trees N] [--depth D] [--seed S]
-                   [--batch-size B] [--threads T] [--runs R] [--engines a,b,c]
+                   [--batch-size B] [--threads T] [--runs R] [--engines a,b,c] [--output table|csv|json]
   flint bench      --list
+  flint serve      --model model.txt [--engine ENGINE] [--max-batch B] [--linger-us U]
+                   [--workers W] [--queue-depth Q] [--addr HOST:PORT] [--stdin]
   flint emit       --model model.txt [--lang c|c64|rust|asm-arm|asm-x86] [--variant std|flint]
   flint importance --model model.txt
   flint simulate   --model model.txt --data d.csv --classes K [--machine x86s|x86d|arms|armd|embedded] [--config naive|cags|flint|cags-flint|flint-asm|softfloat]
   flint help
 
-ENGINE is any name from the engine registry (`flint bench --list`):
-the five if-else configurations (naive|cags|flint|cags-flint|softfloat),
-their blocked batch counterparts (*-blocked), quickscorer[-float], and
-the instruction-level VM variants (vm-flint|vm-float|vm-softfloat).
+ENGINE is any name from the engine registry (`flint bench --list`,
+case-insensitive): the five if-else configurations
+(naive|cags|flint|cags-flint|softfloat), their blocked batch
+counterparts (*-blocked), quickscorer[-float], and the
+instruction-level VM variants (vm-flint|vm-float|vm-softfloat).
+
+`flint serve` speaks one request per line (CSV feature row or
+{\"features\":[...]}; `stats` and `shutdown` commands) and answers one
+JSON object per line.
 
 CSV format: one row per sample, float features followed by an integer
 class label, no header.
@@ -395,11 +461,12 @@ mod tests {
                 runs: 5,
                 engines: None,
                 list: false,
+                output: "table".into(),
             }
         );
         let cmd = parse(&argv(
             "bench --data d.csv --classes 3 --model m.txt --batch-size 128 --threads 4 \
-             --runs 9 --engines flint,flint-blocked",
+             --runs 9 --engines flint,flint-blocked --output json",
         ))
         .expect("parses");
         match cmd {
@@ -409,6 +476,7 @@ mod tests {
                 threads,
                 runs,
                 engines,
+                output,
                 ..
             } => {
                 assert_eq!(model.as_deref(), Some("m.txt"));
@@ -416,9 +484,50 @@ mod tests {
                 assert_eq!(threads, 4);
                 assert_eq!(runs, 9);
                 assert_eq!(engines.as_deref(), Some("flint,flint-blocked"));
+                assert_eq!(output, "json");
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        let cmd = parse(&argv("serve --model m.txt")).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                model: "m.txt".into(),
+                engine: "flint-blocked".into(),
+                max_batch: 64,
+                linger_us: 200,
+                workers: 2,
+                queue_depth: 1024,
+                addr: "127.0.0.1:7878".into(),
+                stdin: false,
+            }
+        );
+        let cmd = parse(&argv(
+            "serve --model m.txt --engine quickscorer --max-batch 16 --linger-us 500 \
+             --workers 4 --queue-depth 64 --addr 0.0.0.0:9000 --stdin",
+        ))
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                model: "m.txt".into(),
+                engine: "quickscorer".into(),
+                max_batch: 16,
+                linger_us: 500,
+                workers: 4,
+                queue_depth: 64,
+                addr: "0.0.0.0:9000".into(),
+                stdin: true,
+            }
+        );
+        let err = parse(&argv("serve")).unwrap_err();
+        assert!(err.0.contains("--model"), "{err}");
+        let err = parse(&argv("serve --model m.txt --max-batch soon")).unwrap_err();
+        assert!(err.0.contains("max-batch"), "{err}");
     }
 
     #[test]

@@ -4,11 +4,13 @@
 //! arch-forest's scripts play for the paper: train models from CSV,
 //! predict with any backend (including QuickScorer), emit C / Rust /
 //! assembly realizations in both precisions, inspect feature
-//! importances, and run the machine cost simulator.
+//! importances, run the machine cost simulator, and serve a model over
+//! TCP/stdin through the micro-batching inference server.
 //!
 //! ```text
 //! flint train    --data iris.csv --classes 3 --trees 20 --depth 10 --out model.txt
 //! flint predict  --model model.txt --data iris.csv --classes 3 --backend cags-flint --accuracy
+//! flint serve    --model model.txt --engine flint-blocked --addr 127.0.0.1:7878
 //! flint emit     --model model.txt --lang c --variant flint
 //! flint simulate --model model.txt --data iris.csv --classes 3 --machine embedded --config flint
 //! ```

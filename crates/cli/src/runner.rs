@@ -11,10 +11,12 @@ use flint_data::{csv, Dataset, FeatureMatrix};
 use flint_exec::{BatchOptions, EngineBuilder, EngineKind};
 use flint_forest::metrics::accuracy;
 use flint_forest::{io as model_io, ForestConfig, RandomForest};
+use flint_serve::{serve_lines, BatchPolicy, Batcher, Server};
 use flint_sim::{simulate_forest, Machine, SimConfig};
 use std::fmt::Write as FmtWrite;
 use std::fs::File;
 use std::io::{BufReader, Write};
+use std::time::Duration;
 
 /// Error executing a command.
 #[derive(Debug)]
@@ -75,13 +77,10 @@ fn load_model(path: &str) -> Result<RandomForest, RunError> {
 }
 
 fn engine_kind(name: &str) -> Result<EngineKind, RunError> {
-    EngineKind::parse(name).ok_or_else(|| {
-        let registered: Vec<&str> = EngineKind::ALL.iter().map(|k| k.name()).collect();
-        RunError::Invalid(format!(
-            "unknown backend {name:?} (registered engines: {})",
-            registered.join("|")
-        ))
-    })
+    // Case-insensitive registry lookup; the registry error already
+    // lists every valid name.
+    name.parse()
+        .map_err(|e: flint_exec::ParseEngineKindError| RunError::Invalid(e.to_string()))
 }
 
 fn machine(name: &str) -> Result<Machine, RunError> {
@@ -205,6 +204,7 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
             runs,
             engines,
             list,
+            output,
         } => {
             if list {
                 writeln!(out, "{:<20} strategy", "engine")?;
@@ -212,6 +212,11 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
                     writeln!(out, "{:<20} {}", kind.name(), kind.describe())?;
                 }
                 return Ok(());
+            }
+            if !matches!(output.as_str(), "table" | "csv" | "json") {
+                return Err(RunError::Invalid(format!(
+                    "unknown --output {output:?} (try table|csv|json)"
+                )));
             }
             let (Some(data), Some(classes)) = (data, classes) else {
                 return Err(RunError::Invalid(
@@ -252,34 +257,118 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
                 .block_samples(batch_size.unwrap_or(64))
                 .threads(threads.max(1));
             let matrix = FeatureMatrix::from_dataset(&dataset);
-            writeln!(
-                out,
-                "workload: {} samples x {} features, {} trees, block {} x {} threads, {} runs",
-                dataset.n_samples(),
-                dataset.n_features(),
-                forest.n_trees(),
-                opts.block_samples,
-                opts.threads,
-                runs.max(1)
-            )?;
-            writeln!(
-                out,
-                "{:<20} {:>12} {:>12} {:>9}",
-                "engine", "samples/s", "median ms", "speedup"
-            )?;
             let rows = batch_throughput_table(&forest, Some(&dataset), &matrix, opts, &kinds, runs)
                 .map_err(|e| RunError::Invalid(e.to_string()))?;
-            for row in rows {
+            match output.as_str() {
+                // Machine-readable forms carry only the measurements,
+                // so EXPERIMENTS.md tables regenerate with no scraping.
+                "csv" => {
+                    writeln!(out, "engine,samples_per_sec,median_ms,speedup")?;
+                    for row in rows {
+                        writeln!(
+                            out,
+                            "{},{:.0},{:.3},{:.2}",
+                            row.kind.name(),
+                            row.samples_per_sec,
+                            row.median_secs * 1e3,
+                            row.speedup_vs_first
+                        )?;
+                    }
+                }
+                "json" => {
+                    let objects: Vec<String> = rows
+                        .iter()
+                        .map(|row| {
+                            format!(
+                                "{{\"engine\":\"{}\",\"samples_per_sec\":{:.0},\
+                                 \"median_ms\":{:.3},\"speedup\":{:.2}}}",
+                                row.kind.name(),
+                                row.samples_per_sec,
+                                row.median_secs * 1e3,
+                                row.speedup_vs_first
+                            )
+                        })
+                        .collect();
+                    writeln!(out, "[{}]", objects.join(","))?;
+                }
+                _ => {
+                    writeln!(
+                        out,
+                        "workload: {} samples x {} features, {} trees, block {} x {} threads, {} runs",
+                        dataset.n_samples(),
+                        dataset.n_features(),
+                        forest.n_trees(),
+                        opts.block_samples,
+                        opts.threads,
+                        runs.max(1)
+                    )?;
+                    writeln!(
+                        out,
+                        "{:<20} {:>12} {:>12} {:>9}",
+                        "engine", "samples/s", "median ms", "speedup"
+                    )?;
+                    for row in rows {
+                        writeln!(
+                            out,
+                            "{:<20} {:>12.0} {:>12.3} {:>8.2}x",
+                            row.kind.name(),
+                            row.samples_per_sec,
+                            row.median_secs * 1e3,
+                            row.speedup_vs_first
+                        )?;
+                    }
+                    writeln!(out, "(speedup is relative to the first listed engine)")?;
+                }
+            }
+        }
+        Command::Serve {
+            model,
+            engine,
+            max_batch,
+            linger_us,
+            workers,
+            queue_depth,
+            addr,
+            stdin,
+        } => {
+            let forest = load_model(&model)?;
+            let kind = engine_kind(&engine)?;
+            // One worker scores one batch at a time; parallelism comes
+            // from the pool, so each engine runs its batch inline.
+            let opts = BatchOptions::default()
+                .block_samples(max_batch.max(1))
+                .threads(1);
+            let engine = EngineBuilder::new(&forest)
+                .options(opts)
+                .build(kind)
+                .map_err(|e| RunError::Invalid(e.to_string()))?;
+            let policy = BatchPolicy::default()
+                .max_batch(max_batch)
+                .linger(Duration::from_micros(linger_us))
+                .queue_depth(queue_depth)
+                .workers(workers);
+            if stdin {
+                let batcher = Batcher::start(engine, policy);
+                serve_lines(&batcher, std::io::stdin().lock(), &mut *out)?;
+                writeln!(out, "{}", batcher.shutdown().to_json())?;
+            } else {
+                let server = Server::bind(&addr, engine, policy)?;
                 writeln!(
                     out,
-                    "{:<20} {:>12.0} {:>12.3} {:>8.2}x",
-                    row.kind.name(),
-                    row.samples_per_sec,
-                    row.median_secs * 1e3,
-                    row.speedup_vs_first
+                    "listening on {} (engine {}, max-batch {}, linger {linger_us}us, \
+                     workers {}, queue {})",
+                    server.local_addr(),
+                    server.engine_name(),
+                    max_batch.max(1),
+                    workers.max(1),
+                    queue_depth.max(1)
                 )?;
+                // The startup line must reach pipes before the accept
+                // loop blocks (smoke tests wait for it).
+                out.flush()?;
+                let stats = server.run()?;
+                writeln!(out, "{}", stats.to_json())?;
             }
-            writeln!(out, "(speedup is relative to the first listed engine)")?;
         }
         Command::Emit {
             model,
@@ -530,6 +619,173 @@ mod tests {
     }
 
     #[test]
+    fn backend_names_are_case_insensitive() {
+        let (data_path, _) = write_dataset_csv("caseless.csv", 15);
+        let model_path = temp_path("caseless_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 3 --depth 5 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let lower = run_argv(&format!(
+            "predict --model {} --data {} --classes 2 --backend flint-blocked",
+            model_path.display(),
+            data_path.display()
+        ))
+        .expect("predicts");
+        let upper = run_argv(&format!(
+            "predict --model {} --data {} --classes 2 --backend FLINT-Blocked",
+            model_path.display(),
+            data_path.display()
+        ))
+        .expect("predicts");
+        assert_eq!(lower, upper);
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn bench_output_csv_and_json_are_machine_readable() {
+        let (data_path, _) = write_dataset_csv("benchfmt.csv", 14);
+        let base = format!(
+            "bench --data {} --classes 2 --trees 3 --depth 5 --runs 1 \
+             --engines flint,flint-blocked",
+            data_path.display()
+        );
+        let csv = run_argv(&format!("{base} --output csv")).expect("benches");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "engine,samples_per_sec,median_ms,speedup");
+        assert_eq!(lines.len(), 3, "{csv}");
+        assert!(lines[1].starts_with("flint,"), "{csv}");
+        assert!(lines[2].starts_with("flint-blocked,"), "{csv}");
+        let json = run_argv(&format!("{base} --output json")).expect("benches");
+        assert_eq!(json.lines().count(), 1, "{json}");
+        assert!(json.starts_with('['), "{json}");
+        assert!(json.contains("\"engine\":\"flint\""), "{json}");
+        assert!(json.contains("\"median_ms\":"), "{json}");
+        let err = run_argv(&format!("{base} --output yaml")).unwrap_err();
+        assert!(err.to_string().contains("table|csv|json"), "{err}");
+        let _ = std::fs::remove_file(data_path);
+    }
+
+    #[test]
+    fn serve_rejects_unknown_engine_before_binding() {
+        let (data_path, _) = write_dataset_csv("servebad.csv", 16);
+        let model_path = temp_path("servebad_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 2 --depth 4 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let err = run_argv(&format!(
+            "serve --model {} --engine warp",
+            model_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown engine"), "{err}");
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn serve_answers_over_tcp_until_shutdown() {
+        use std::io::{BufRead, BufReader as IoBufReader, Write as IoWrite};
+        use std::net::TcpStream;
+
+        let (data_path, ds) = write_dataset_csv("servetcp.csv", 17);
+        let model_path = temp_path("servetcp_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 4 --depth 6 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let expected = run_argv(&format!(
+            "predict --model {} --data {} --classes 2 --backend flint-blocked",
+            model_path.display(),
+            data_path.display()
+        ))
+        .expect("predicts");
+
+        // Race-free ephemeral port: serve on 127.0.0.1:0 and read the
+        // OS-chosen address back out of the startup line, which the
+        // runner flushes before blocking in the accept loop.
+        #[derive(Clone, Default)]
+        struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl IoWrite for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buffer lock").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = SharedBuf::default();
+        let server = {
+            let mut out = buf.clone();
+            let argv: Vec<String> = format!(
+                "serve --model {} --addr 127.0.0.1:0 --engine flint-blocked \
+                 --max-batch 8 --linger-us 100 --workers 2",
+                model_path.display()
+            )
+            .split_whitespace()
+            .map(str::to_owned)
+            .collect();
+            std::thread::spawn(move || {
+                run(parse(&argv).expect("parses"), &mut out).expect("serves");
+            })
+        };
+        let addr = {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                let text =
+                    String::from_utf8(buf.0.lock().expect("buffer lock").clone()).expect("utf8");
+                if let Some(rest) = text.split_once("listening on ").map(|(_, r)| r) {
+                    break rest.split_whitespace().next().expect("address").to_owned();
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "server never announced its address: {text:?}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+        let stream = TcpStream::connect(&addr).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = IoBufReader::new(stream.try_clone().expect("clones"));
+        let mut writer = stream;
+        let mut line = String::new();
+        for (i, want) in expected.lines().take(10).enumerate() {
+            let row: Vec<String> = ds.sample(i).iter().map(f32::to_string).collect();
+            writer
+                .write_all((row.join(",") + "\n").as_bytes())
+                .expect("writes");
+            line.clear();
+            reader.read_line(&mut line).expect("reads");
+            assert!(
+                line.starts_with(&format!("{{\"class\":{want},")),
+                "sample {i}: {line}"
+            );
+        }
+        writer.write_all(b"stats\n").expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.contains("\"requests\":10"), "{line}");
+        writer.write_all(b"shutdown\n").expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        server.join().expect("server thread");
+        let output = String::from_utf8(buf.0.lock().expect("buffer lock").clone()).expect("utf8");
+        assert!(output.contains(&format!("listening on {addr}")), "{output}");
+        assert!(output.contains("\"requests\":10"), "{output}");
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
     fn bench_on_full_registry_with_stored_model() {
         let (data_path, _) = write_dataset_csv("benchall.csv", 10);
         let model_path = temp_path("benchall_model.txt");
@@ -566,7 +822,7 @@ mod tests {
             data_path.display()
         ))
         .unwrap_err();
-        assert!(err.to_string().contains("unknown backend"), "{err}");
+        assert!(err.to_string().contains("unknown engine"), "{err}");
         // A stored model whose width differs from the workload must
         // error cleanly, not panic inside the reference loop.
         let model_path = temp_path("benchbad_model.txt");
@@ -648,7 +904,9 @@ mod tests {
             data_path.display()
         ))
         .unwrap_err();
-        assert!(err.to_string().contains("unknown backend"));
+        // The registry error names the typo and lists every engine.
+        assert!(err.to_string().contains("unknown engine"), "{err}");
+        assert!(err.to_string().contains("cags-flint-blocked"), "{err}");
         let err = run_argv(&format!(
             "simulate --model {} --data {} --classes 2 --machine vax",
             model_path.display(),

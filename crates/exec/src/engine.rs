@@ -66,6 +66,11 @@ use flint_qscorer::{QsCompare, QsForest};
 /// same forest return bit-identical labels on every input — the
 /// workspace-wide generalization of the paper's "accuracy unchanged"
 /// claim, asserted by `tests/engine_equivalence.rs`.
+///
+/// `Send + Sync` are explicit supertraits: a boxed engine is shared
+/// across scoring workers by the `flint-serve` micro-batching front
+/// end (as `Arc<dyn Predictor>`), so thread-unsafe engines are ruled
+/// out at the trait boundary, not discovered at a spawn site.
 pub trait Predictor: core::fmt::Debug + Send + Sync {
     /// Which registry entry this engine is.
     fn kind(&self) -> EngineKind;
@@ -244,9 +249,47 @@ impl EngineKind {
     }
 
     /// Looks a registry name up (the inverse of
-    /// [`name`](Self::name)). Returns `None` for unknown names.
+    /// [`name`](Self::name)), ignoring ASCII case. Returns `None` for
+    /// unknown names; use the [`FromStr`](core::str::FromStr) impl
+    /// when the caller needs an error that lists every valid name.
     pub fn parse(name: &str) -> Option<EngineKind> {
-        EngineKind::ALL.into_iter().find(|k| k.name() == name)
+        EngineKind::ALL
+            .into_iter()
+            .find(|k| k.name().eq_ignore_ascii_case(name))
+    }
+}
+
+/// Error parsing an engine name: the offending input plus the full
+/// registry, so a CLI typo comes back with every valid choice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineKindError {
+    /// The name that matched nothing.
+    pub unknown: String,
+}
+
+impl core::fmt::Display for ParseEngineKindError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let names: Vec<&str> = EngineKind::ALL.iter().map(|k| k.name()).collect();
+        write!(
+            f,
+            "unknown engine {:?} (registered engines: {})",
+            self.unknown,
+            names.join("|")
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineKindError {}
+
+impl core::str::FromStr for EngineKind {
+    type Err = ParseEngineKindError;
+
+    /// Case-insensitive registry lookup; the error message lists every
+    /// registered name.
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        EngineKind::parse(name).ok_or_else(|| ParseEngineKindError {
+            unknown: name.to_owned(),
+        })
     }
 }
 
@@ -603,6 +646,53 @@ mod tests {
             assert_eq!(kind.to_string(), kind.name());
         }
         assert_eq!(EngineKind::parse("warp-drive"), None);
+    }
+
+    #[test]
+    fn parse_ignores_ascii_case() {
+        for kind in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(&kind.name().to_uppercase()), Some(kind));
+            assert_eq!(kind.name().parse::<EngineKind>(), Ok(kind));
+        }
+        assert_eq!(
+            "QuickScorer".parse::<EngineKind>(),
+            Ok(EngineKind::QuickScorer(QsCompare::Flint))
+        );
+    }
+
+    #[test]
+    fn parse_error_lists_every_registered_name() {
+        let err = "warp-drive".parse::<EngineKind>().unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("warp-drive"), "{message}");
+        for kind in EngineKind::ALL {
+            assert!(message.contains(kind.name()), "{message}");
+        }
+    }
+
+    #[test]
+    fn boxed_engines_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Predictor>();
+        assert_send_sync::<Box<dyn Predictor>>();
+        // The serve layer's exact shape: one engine, many workers.
+        let (data, forest) = setup();
+        let engine: std::sync::Arc<dyn Predictor> = std::sync::Arc::from(
+            EngineBuilder::new(&forest)
+                .build(EngineKind::Blocked(BackendKind::Flint))
+                .expect("builds"),
+        );
+        let reference = forest.predict_dataset_majority(&data);
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let engine = std::sync::Arc::clone(&engine);
+                let data = &data;
+                let reference = &reference;
+                scope.spawn(move || {
+                    assert_eq!(&engine.predict_dataset(data), reference);
+                });
+            }
+        });
     }
 
     #[test]

@@ -68,4 +68,4 @@ pub use backend::{BackendKind, CompareMode, CompiledForest};
 pub use batch::{BatchEngine, BatchOptions};
 pub use compile::{CompileTreeError, FloatNode, FloatTree, IntNode, IntTree};
 pub use compile64::{FloatNode64, FloatTree64, IntNode64, IntTree64};
-pub use engine::{BuildEngineError, EngineBuilder, EngineKind, Predictor};
+pub use engine::{BuildEngineError, EngineBuilder, EngineKind, ParseEngineKindError, Predictor};

@@ -1,0 +1,67 @@
+//! # flint-serve — the micro-batching inference server
+//!
+//! The paper's integer-arithmetic forests exist to make inference cheap
+//! at the edge and at scale; this crate is the serving layer that turns
+//! **single-sample requests** into the **batched [`FeatureMatrix`]
+//! blocks** where the blocked / QuickScorer / VM engines actually earn
+//! their throughput. Its only coupling to the rest of the workspace is
+//! the engine registry seam: it takes a `Box<dyn `[`Predictor`]`>` and
+//! serves it.
+//!
+//! [`FeatureMatrix`]: flint_data::FeatureMatrix
+//! [`Predictor`]: flint_exec::Predictor
+//!
+//! Layers, bottom up:
+//!
+//! * [`batcher`] — [`Batcher`]: a collector thread coalesces queued
+//!   rows under a max-batch / max-linger policy (bounded queue,
+//!   backpressure, graceful shutdown-with-drain), a worker pool scores
+//!   closed batches through the shared engine, and per-sample results
+//!   fan back to their callers over oneshot channels;
+//! * [`metrics`] — [`ServeMetrics`]: request/batch counters, mean
+//!   batch fill and a p50/p99 latency reservoir, snapshotted by the
+//!   `stats` command;
+//! * [`protocol`] — the newline-delimited request/response format
+//!   (bare CSV rows or `{"features":[...]}` lines in, one JSON object
+//!   per line out);
+//! * [`server`] — [`Server`], a `std::net` TCP front end (one thread
+//!   per connection, all connections share one batcher), and
+//!   [`serve_lines`] for stdin/stdout serving.
+//!
+//! Everything is plain `std`: no async runtime, no serde — the crate
+//! works in the vendored-offline workspace and anywhere the rest of
+//! the toolchain builds.
+//!
+//! ```
+//! use flint_data::synth::SynthSpec;
+//! use flint_exec::{EngineBuilder, EngineKind};
+//! use flint_forest::{ForestConfig, RandomForest};
+//! use flint_serve::{BatchPolicy, Batcher};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = SynthSpec::new(120, 4, 3).generate();
+//! let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 6))?;
+//! let engine = EngineBuilder::new(&forest)
+//!     .build(EngineKind::parse("flint-blocked").expect("registered"))?;
+//!
+//! let batcher = Batcher::start(engine, BatchPolicy::default().workers(2));
+//! let handle = batcher.handle();
+//! let served = handle.predict(data.sample(0))?.class;
+//! assert_eq!(served, forest.predict_majority(data.sample(0)));
+//! batcher.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod batcher;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use batcher::{BatchHandle, BatchPolicy, Batcher, Prediction, ServeError};
+pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use protocol::{parse_request, render_error, render_prediction, ParseRequestError, Request};
+pub use server::{serve_lines, Server};

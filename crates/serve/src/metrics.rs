@@ -1,0 +1,200 @@
+//! Serving metrics: request/batch counters and a request-latency
+//! reservoir, cheap enough to update on every request and rich enough
+//! to answer the `stats` protocol command (p50/p99, mean batch fill).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// How many of the most recent request latencies the reservoir keeps.
+/// Old samples are overwritten ring-buffer style, so percentiles always
+/// describe recent traffic rather than the whole process lifetime.
+const LATENCY_WINDOW: usize = 1 << 16;
+
+/// Shared serving counters. One instance lives behind an `Arc`, updated
+/// by the request handles, the batch collector and the scoring workers.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    requests: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    batched_samples: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+/// Fixed-capacity ring of recent request latencies in microseconds.
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples_us: Vec<u64>,
+    next: usize,
+}
+
+impl ServeMetrics {
+    /// Counts one accepted request.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request rejected before it reached the queue (wrong
+    /// feature arity, malformed line).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one scored batch of `fill` samples.
+    pub fn record_batch(&self, fill: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_samples
+            .fetch_add(fill as u64, Ordering::Relaxed);
+    }
+
+    /// Records one request's enqueue-to-response latency.
+    pub fn record_latency(&self, latency: Duration) {
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let mut ring = self.latencies.lock().expect("latency ring lock");
+        if ring.samples_us.len() < LATENCY_WINDOW {
+            ring.samples_us.push(us);
+        } else {
+            let slot = ring.next;
+            ring.samples_us[slot] = us;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// A consistent point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut samples = self
+            .latencies
+            .lock()
+            .expect("latency ring lock")
+            .samples_us
+            .clone();
+        samples.sort_unstable();
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_samples.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            batches,
+            mean_fill: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            p50_us: percentile(&samples, 50.0),
+            p99_us: percentile(&samples, 99.0),
+            max_us: samples.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample set (0 when
+/// empty).
+pub fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil() as usize;
+    sorted_us[rank.clamp(1, sorted_us.len()) - 1]
+}
+
+/// One point-in-time reading of the serving counters, as returned by
+/// the `stats` protocol command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub requests: u64,
+    /// Requests rejected before queueing.
+    pub rejected: u64,
+    /// Batches scored.
+    pub batches: u64,
+    /// Mean samples per scored batch.
+    pub mean_fill: f64,
+    /// Median request latency (enqueue to response) in microseconds,
+    /// over the recent-latency window.
+    pub p50_us: u64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: u64,
+    /// Worst request latency in the window, microseconds.
+    pub max_us: u64,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot as one line of JSON (the `stats` wire format).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"rejected\":{},\"batches\":{},\"mean_fill\":{:.2},\
+             \"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            self.requests,
+            self.rejected,
+            self.batches,
+            self.mean_fill,
+            self.p50_us,
+            self.p99_us,
+            self.max_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let snap = ServeMetrics::default().snapshot();
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.batches, 0);
+        assert_eq!(snap.p50_us, 0);
+        assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.mean_fill, 0.0);
+    }
+
+    #[test]
+    fn counters_and_percentiles_accumulate() {
+        let m = ServeMetrics::default();
+        for us in 1..=100u64 {
+            m.record_request();
+            m.record_latency(Duration::from_micros(us));
+        }
+        m.record_batch(60);
+        m.record_batch(40);
+        m.record_rejected();
+        let snap = m.snapshot();
+        assert_eq!(snap.requests, 100);
+        assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.mean_fill, 50.0);
+        assert_eq!(snap.p50_us, 50);
+        assert_eq!(snap.p99_us, 99);
+        assert_eq!(snap.max_us, 100);
+        let json = snap.to_json();
+        for key in ["requests", "batches", "mean_fill", "p50_us", "p99_us"] {
+            assert!(json.contains(key), "{json}");
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 50.0), 7);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50.0), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 99.0), 4);
+        assert_eq!(percentile(&[1, 2, 3, 4], 0.0), 1);
+    }
+
+    #[test]
+    fn latency_ring_wraps_instead_of_growing() {
+        let m = ServeMetrics::default();
+        for i in 0..(LATENCY_WINDOW + 10) {
+            m.record_latency(Duration::from_micros(i as u64));
+        }
+        let held = m
+            .latencies
+            .lock()
+            .expect("latency ring lock")
+            .samples_us
+            .len();
+        assert_eq!(held, LATENCY_WINDOW);
+    }
+}

@@ -1,0 +1,180 @@
+//! The newline-delimited wire protocol spoken over TCP and stdin.
+//!
+//! One request per line, one response line per request:
+//!
+//! | request line | meaning |
+//! |---|---|
+//! | `0.5,1.25,-3.0,0.1` | score this feature row (bare CSV floats) |
+//! | `{"features":[0.5,1.25,-3.0,0.1]}` | the same row, JSON-ish form |
+//! | `stats` (or `/stats`) | return the serving metrics snapshot |
+//! | `shutdown` (or `/shutdown`) | stop the server gracefully |
+//!
+//! Responses are one JSON object per line:
+//! `{"class":2,"engine":"flint-blocked","batch":17}` for predictions,
+//! the [`MetricsSnapshot::to_json`](crate::MetricsSnapshot::to_json)
+//! object for `stats`, `{"ok":"shutting down"}` for `shutdown`, and
+//! `{"error":"..."}` for anything malformed (the connection stays
+//! usable — a bad line never kills the session or the queue).
+//!
+//! The JSON-ish form is parsed with a deliberately small hand-rolled
+//! reader (no serde in the offline dependency set): the line must
+//! contain a `"features"` key followed by one flat `[...]` array of
+//! numbers.
+
+use crate::batcher::Prediction;
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Score one feature row.
+    Predict(Vec<f32>),
+    /// Report the serving metrics snapshot.
+    Stats,
+    /// Stop the server gracefully.
+    Shutdown,
+}
+
+/// Why a request line could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRequestError(pub String);
+
+impl core::fmt::Display for ParseRequestError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRequestError {}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// [`ParseRequestError`] with a human-readable message on empty lines,
+/// malformed numbers or a JSON-ish object without a `"features"` array.
+pub fn parse_request(line: &str) -> Result<Request, ParseRequestError> {
+    let text = line.trim();
+    if text.is_empty() {
+        return Err(ParseRequestError("empty request line".to_owned()));
+    }
+    if text.eq_ignore_ascii_case("stats") || text.eq_ignore_ascii_case("/stats") {
+        return Ok(Request::Stats);
+    }
+    if text.eq_ignore_ascii_case("shutdown") || text.eq_ignore_ascii_case("/shutdown") {
+        return Ok(Request::Shutdown);
+    }
+    let numbers = if text.starts_with('{') {
+        features_array(text)?
+    } else {
+        text
+    };
+    let row = numbers
+        .split(',')
+        .map(|field| {
+            let field = field.trim();
+            field
+                .parse::<f32>()
+                .map_err(|_| ParseRequestError(format!("cannot parse feature {field:?}")))
+        })
+        .collect::<Result<Vec<f32>, _>>()?;
+    Ok(Request::Predict(row))
+}
+
+/// Extracts the contents of the `[...]` array following a `"features"`
+/// key in a JSON-ish object line.
+fn features_array(text: &str) -> Result<&str, ParseRequestError> {
+    let missing = || ParseRequestError("expected {\"features\":[...]}".to_owned());
+    let after_key = text
+        .split_once("\"features\"")
+        .map(|(_, rest)| rest)
+        .ok_or_else(missing)?;
+    let (_, after_open) = after_key.split_once('[').ok_or_else(missing)?;
+    let (inner, _) = after_open.split_once(']').ok_or_else(missing)?;
+    Ok(inner)
+}
+
+/// Renders one prediction as a response line.
+pub fn render_prediction(prediction: &Prediction, engine: &str) -> String {
+    format!(
+        "{{\"class\":{},\"engine\":\"{engine}\",\"batch\":{}}}",
+        prediction.class, prediction.batch_fill
+    )
+}
+
+/// Renders an error as a single-line, well-formed JSON response:
+/// quotes and backslashes are JSON-escaped, control characters are
+/// flattened to spaces.
+pub fn render_error(message: &str) -> String {
+    let mut clean = String::with_capacity(message.len());
+    for c in message.chars() {
+        match c {
+            '"' => clean.push_str("\\\""),
+            '\\' => clean.push_str("\\\\"),
+            c if c.is_control() => clean.push(' '),
+            c => clean.push(c),
+        }
+    }
+    format!("{{\"error\":\"{clean}\"}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_and_json_rows_parse_identically() {
+        let csv = parse_request("0.5, 1.25,-3.0").expect("parses");
+        let json = parse_request("{\"features\": [0.5, 1.25, -3.0]}").expect("parses");
+        assert_eq!(csv, Request::Predict(vec![0.5, 1.25, -3.0]));
+        assert_eq!(csv, json);
+    }
+
+    #[test]
+    fn commands_parse_case_insensitively() {
+        for line in ["stats", "STATS", "/stats"] {
+            assert_eq!(parse_request(line).expect("parses"), Request::Stats);
+        }
+        for line in ["shutdown", "Shutdown", "/shutdown"] {
+            assert_eq!(parse_request(line).expect("parses"), Request::Shutdown);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_error_with_guidance() {
+        assert!(parse_request("  ").unwrap_err().0.contains("empty"));
+        assert!(parse_request("1.0,zap").unwrap_err().0.contains("zap"));
+        assert!(parse_request("{\"rows\":[1]}")
+            .unwrap_err()
+            .0
+            .contains("features"));
+        assert!(parse_request("{\"features\":1}")
+            .unwrap_err()
+            .0
+            .contains("features"));
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let line = render_prediction(
+            &Prediction {
+                class: 2,
+                batch_fill: 17,
+            },
+            "flint-blocked",
+        );
+        assert_eq!(
+            line,
+            "{\"class\":2,\"engine\":\"flint-blocked\",\"batch\":17}"
+        );
+        let err = render_error("bad \"row\"\nsecond line");
+        assert!(!err.contains('\n'), "{err}");
+        assert_eq!(err, "{\"error\":\"bad \\\"row\\\" second line\"}");
+        // The {:?} formatting of a malformed field can introduce
+        // backslashes; they must come back JSON-escaped, not raw.
+        let err = render_error("cannot parse feature \"a\\\"b\"");
+        assert_eq!(
+            err,
+            "{\"error\":\"cannot parse feature \\\"a\\\\\\\"b\\\"\"}"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Batcher policy edge cases: the linger deadline, the max-batch cap,
+//! wrong-arity rejection and shutdown drain semantics.
+
+use flint_data::synth::SynthSpec;
+use flint_data::Dataset;
+use flint_exec::{EngineBuilder, EngineKind};
+use flint_forest::{ForestConfig, RandomForest};
+use flint_serve::{BatchPolicy, Batcher, ServeError};
+use std::time::{Duration, Instant};
+
+fn model() -> (Dataset, RandomForest) {
+    let data = SynthSpec::new(100, 4, 3).seed(11).generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 6)).expect("trainable");
+    (data, forest)
+}
+
+fn batcher(forest: &RandomForest, policy: BatchPolicy) -> Batcher {
+    let engine = EngineBuilder::new(forest)
+        .build(EngineKind::parse("flint-blocked").expect("registered"))
+        .expect("builds");
+    Batcher::start(engine, policy)
+}
+
+#[test]
+fn linger_deadline_flushes_a_partial_batch() {
+    let (data, forest) = model();
+    // max_batch will never fill from one request: only the linger
+    // deadline can dispatch it.
+    let policy = BatchPolicy::default()
+        .max_batch(64)
+        .linger(Duration::from_millis(5));
+    let batcher = batcher(&forest, policy);
+    let start = Instant::now();
+    let prediction = batcher.handle().predict(data.sample(0)).expect("scored");
+    assert_eq!(prediction.class, forest.predict_majority(data.sample(0)));
+    assert_eq!(prediction.batch_fill, 1, "partial batch flushed alone");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "linger flush must not wait for a full batch"
+    );
+    let stats = batcher.shutdown();
+    assert_eq!(stats.requests, 1);
+    assert_eq!(stats.batches, 1);
+}
+
+#[test]
+fn a_full_batch_dispatches_before_the_linger_deadline() {
+    let (data, forest) = model();
+    // The linger is far longer than the test budget: only the
+    // max-batch cap can dispatch in time.
+    let policy = BatchPolicy::default()
+        .max_batch(4)
+        .linger(Duration::from_secs(30));
+    let batcher = batcher(&forest, policy);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let handle = batcher.handle();
+                let row = data.sample(i).to_vec();
+                scope.spawn(move || handle.predict(&row).expect("scored"))
+            })
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let prediction = h.join().expect("request thread");
+            assert_eq!(prediction.class, forest.predict_majority(data.sample(i)));
+            assert_eq!(
+                prediction.batch_fill, 4,
+                "batch closed exactly at max_batch"
+            );
+        }
+    });
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "a full batch must not wait for the linger deadline"
+    );
+    let stats = batcher.shutdown();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.batches, 1);
+    assert_eq!(stats.mean_fill, 4.0);
+}
+
+#[test]
+fn wrong_arity_is_rejected_without_poisoning_the_queue() {
+    let (data, forest) = model();
+    let batcher = batcher(&forest, BatchPolicy::default().linger(Duration::ZERO));
+    let handle = batcher.handle();
+    let err = handle.predict(&[1.0, 2.0]).unwrap_err();
+    assert_eq!(
+        err,
+        ServeError::WrongArity {
+            expected: 4,
+            got: 2
+        }
+    );
+    let err = handle.predict(&[0.0; 9]).unwrap_err();
+    assert!(
+        matches!(err, ServeError::WrongArity { got: 9, .. }),
+        "{err}"
+    );
+    // The queue is intact: well-formed requests still score correctly.
+    for i in 0..5 {
+        let prediction = handle.predict(data.sample(i)).expect("scored");
+        assert_eq!(prediction.class, forest.predict_majority(data.sample(i)));
+    }
+    let stats = batcher.shutdown();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.requests, 5);
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let (data, forest) = model();
+    // A huge linger and an unfillable batch: without the shutdown
+    // drain, these requests would sit for 30 s.
+    let policy = BatchPolicy::default()
+        .max_batch(100)
+        .linger(Duration::from_secs(30))
+        .workers(2);
+    let batcher = batcher(&forest, policy);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let requesters: Vec<_> = (0..8)
+            .map(|i| {
+                let handle = batcher.handle();
+                let row = data.sample(i).to_vec();
+                scope.spawn(move || handle.predict(&row))
+            })
+            .collect();
+        // Give the requests time to reach the collector's open batch,
+        // then shut down underneath them.
+        std::thread::sleep(Duration::from_millis(100));
+        let late_handle = batcher.handle();
+        let stats = batcher.shutdown();
+        assert_eq!(stats.requests, 8);
+        for (i, r) in requesters.into_iter().enumerate() {
+            let prediction = r.join().expect("request thread").expect("drained");
+            assert_eq!(prediction.class, forest.predict_majority(data.sample(i)));
+        }
+        // After shutdown, surviving handles fail fast instead of
+        // hanging.
+        assert_eq!(
+            late_handle.predict(data.sample(0)).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+    });
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "shutdown must drain, not wait out the linger"
+    );
+}
+
+#[test]
+fn many_concurrent_clients_share_batches() {
+    let (data, forest) = model();
+    let policy = BatchPolicy::default()
+        .max_batch(8)
+        .linger(Duration::from_micros(500))
+        .workers(2);
+    let batcher = batcher(&forest, policy);
+    let reference: Vec<u32> = (0..data.n_samples())
+        .map(|i| forest.predict_majority(data.sample(i)))
+        .collect();
+    std::thread::scope(|scope| {
+        for client in 0..6 {
+            let handle = batcher.handle();
+            let data = &data;
+            let reference = &reference;
+            scope.spawn(move || {
+                for i in (client..data.n_samples()).step_by(6) {
+                    let prediction = handle.predict(data.sample(i)).expect("scored");
+                    assert_eq!(prediction.class, reference[i], "sample {i}");
+                    assert!(prediction.batch_fill >= 1 && prediction.batch_fill <= 8);
+                }
+            });
+        }
+    });
+    let stats = batcher.shutdown();
+    assert_eq!(stats.requests, data.n_samples() as u64);
+    assert!(stats.batches > 0);
+    assert!(stats.mean_fill >= 1.0);
+    assert!(stats.p99_us >= stats.p50_us);
+}

@@ -1,0 +1,111 @@
+//! Differential serving suite: for **every** engine of the registry,
+//! responses returned through the TCP server are bit-identical to
+//! direct `RandomForest::predict_majority` on the same rows, across
+//! batch-size caps {1, 7, 64} with a 2-thread worker pool and
+//! concurrent client connections — the serving-layer extension of the
+//! engine-equivalence suite.
+
+use flint_data::synth::SynthSpec;
+use flint_data::Dataset;
+use flint_exec::{EngineBuilder, EngineKind};
+use flint_forest::{ForestConfig, RandomForest};
+use flint_serve::{BatchPolicy, Server};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn model() -> (Dataset, RandomForest) {
+    let data = SynthSpec::new(48, 4, 3)
+        .cluster_std(1.0)
+        .negative_fraction(0.5)
+        .seed(33)
+        .generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 6)).expect("trainable");
+    (data, forest)
+}
+
+/// Pulls the `"class"` value out of a response line, failing loudly on
+/// error responses.
+fn response_class(line: &str) -> u32 {
+    let rest = line
+        .split_once("\"class\":")
+        .unwrap_or_else(|| panic!("not a prediction: {line}"))
+        .1;
+    rest.split(&[',', '}'][..])
+        .next()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("malformed class in {line}"))
+}
+
+#[test]
+fn every_engine_serves_bit_identical_predictions() {
+    let (data, forest) = model();
+    let reference: Vec<u32> = (0..data.n_samples())
+        .map(|i| forest.predict_majority(data.sample(i)))
+        .collect();
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    const CLIENTS: usize = 4;
+
+    for kind in EngineKind::ALL {
+        for max_batch in [1usize, 7, 64] {
+            let policy = BatchPolicy::default()
+                .max_batch(max_batch)
+                .linger(Duration::from_micros(300))
+                .workers(2);
+            let engine = builder.build(kind).expect("registered engines build");
+            let server =
+                Server::bind("127.0.0.1:0", engine, policy).expect("binds an ephemeral port");
+            let addr = server.local_addr();
+            let runner = std::thread::spawn(move || server.run().expect("serves"));
+
+            // Concurrent closed-loop clients, each owning a strided
+            // slice of the rows, so batches really do mix rows from
+            // different connections.
+            std::thread::scope(|scope| {
+                for client in 0..CLIENTS {
+                    let data = &data;
+                    let reference = &reference;
+                    scope.spawn(move || {
+                        let stream = TcpStream::connect(addr).expect("connects");
+                        stream.set_nodelay(true).expect("nodelay");
+                        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+                        let mut writer = stream;
+                        let mut line = String::new();
+                        for i in (client..data.n_samples()).step_by(CLIENTS) {
+                            let row: Vec<String> =
+                                data.sample(i).iter().map(f32::to_string).collect();
+                            writer
+                                .write_all((row.join(",") + "\n").as_bytes())
+                                .expect("writes");
+                            line.clear();
+                            reader.read_line(&mut line).expect("reads");
+                            assert_eq!(
+                                response_class(&line),
+                                reference[i],
+                                "{kind} max_batch {max_batch} sample {i}: {line}"
+                            );
+                        }
+                    });
+                }
+            });
+
+            let stream = TcpStream::connect(addr).expect("connects");
+            let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+            let mut writer = stream;
+            writeln!(writer, "shutdown").expect("writes");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("reads");
+            let stats = runner.join().expect("server thread");
+            assert_eq!(
+                stats.requests,
+                data.n_samples() as u64,
+                "{kind} max_batch {max_batch}"
+            );
+            assert!(
+                stats.mean_fill <= max_batch as f64,
+                "{kind} max_batch {max_batch}: fill {}",
+                stats.mean_fill
+            );
+        }
+    }
+}

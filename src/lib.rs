@@ -13,7 +13,9 @@
 //!   layer (`Predictor` trait + `EngineKind` registry) every
 //!   prediction path plugs into,
 //! * [`codegen`] — C/ASM/Rust emitters and the integer-only tree VM,
-//! * [`sim`] — machine cost models and cycle accounting.
+//! * [`sim`] — machine cost models and cycle accounting,
+//! * [`serve`] — the micro-batching inference server (request
+//!   queueing over any registered engine, TCP/stdin front ends).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -25,5 +27,6 @@ pub use flint_exec as exec;
 pub use flint_forest as forest;
 pub use flint_layout as layout;
 pub use flint_qscorer as qscorer;
+pub use flint_serve as serve;
 pub use flint_sim as sim;
 pub use flint_softfloat as softfloat;
