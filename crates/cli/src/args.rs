@@ -343,8 +343,10 @@ USAGE:
 ENGINE is any name from the engine registry (`flint bench --list`,
 case-insensitive): the five if-else configurations
 (naive|cags|flint|cags-flint|softfloat), their blocked batch
-counterparts (*-blocked), quickscorer[-float], and the
-instruction-level VM variants (vm-flint|vm-float|vm-softfloat).
+counterparts (*-blocked), quickscorer[-float], the instruction-level
+VM variants (vm-flint|vm-float|vm-softfloat), and the 8-wide SIMD
+lane engines (simd|simd-float; build with --features simd-avx2 for
+the AVX2 kernels).
 
 `flint serve` speaks one request per line (CSV feature row or
 {\"features\":[...]}; `stats` and `shutdown` commands) and answers one

@@ -34,5 +34,5 @@ pub mod synth;
 pub mod uci;
 
 pub use dataset::{BuildDatasetError, Dataset};
-pub use matrix::FeatureMatrix;
+pub use matrix::{FeatureMatrix, LANES};
 pub use split::{train_test_split, TrainTestSplit};

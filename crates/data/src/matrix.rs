@@ -16,6 +16,13 @@
 
 use crate::dataset::Dataset;
 
+/// The lane width of the workspace's SIMD gather layout: every
+/// lane-group spans this many samples, and
+/// [`FeatureMatrix::gather_lanes`] pads ragged tails up to it. Eight
+/// `f32` lanes fill one 256-bit vector register, the widest unit the
+/// lane engines target.
+pub const LANES: usize = 8;
+
 /// A dense `f32` feature matrix in column-major (structure-of-arrays)
 /// order: `values[f * n_samples + i]` is feature `f` of sample `i`.
 ///
@@ -148,6 +155,34 @@ impl FeatureMatrix {
             }
         }
     }
+
+    /// Gathers one lane-group — up to [`LANES`] consecutive samples
+    /// starting at `start` — into `group`, a feature-major slab of
+    /// `n_features() * LANES` values where `group[f * LANES + j]` is
+    /// feature `f` of sample `start + j`.
+    ///
+    /// Ragged tails are **zero-padded**: when fewer than [`LANES`]
+    /// samples remain, the trailing lanes of every feature read `0.0`
+    /// instead of forcing the consumer to branch per lane. Each
+    /// feature's lanes are copied from one contiguous column slice, and
+    /// the slab layout keeps every group lane-aligned (a multiple of
+    /// the [`LANES`] stride), which is what a vector load wants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= n_samples()` or `group` is not
+    /// `n_features() * LANES` long.
+    pub fn gather_lanes(&self, start: usize, group: &mut [f32]) {
+        assert!(start < self.n_samples, "lane gather start");
+        assert_eq!(group.len(), self.n_features * LANES, "lane buffer length");
+        let live = LANES.min(self.n_samples - start);
+        for f in 0..self.n_features {
+            let src = &self.column(f)[start..start + live];
+            let dst = &mut group[f * LANES..(f + 1) * LANES];
+            dst[..live].copy_from_slice(src);
+            dst[live..].fill(0.0);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +248,56 @@ mod tests {
     #[should_panic(expected = "row-major buffer length")]
     fn length_mismatch_panics() {
         let _ = FeatureMatrix::from_row_major(2, 3, &[0.0; 5]);
+    }
+
+    #[test]
+    fn gather_lanes_is_feature_major() {
+        let ds = dataset();
+        let m = FeatureMatrix::from_dataset(&ds);
+        let mut group = vec![f32::NAN; 3 * LANES];
+        m.gather_lanes(0, &mut group);
+        // 4 live samples, 4 padded lanes per feature.
+        assert_eq!(&group[0..4], &[1.0, 4.0, 7.0, 10.0]); // feature 0
+        assert_eq!(&group[4..8], &[0.0; 4]);
+        assert_eq!(&group[LANES..LANES + 4], &[2.0, 5.0, 8.0, 11.0]);
+        assert_eq!(&group[2 * LANES..2 * LANES + 4], &[3.0, 6.0, 9.0, 12.0]);
+        assert_eq!(&group[2 * LANES + 4..], &[0.0; 4]);
+    }
+
+    #[test]
+    fn gather_lanes_tail_is_zero_padded_at_every_offset() {
+        let ds = dataset();
+        let m = FeatureMatrix::from_dataset(&ds);
+        for start in 0..ds.n_samples() {
+            let live = LANES.min(ds.n_samples() - start);
+            let mut group = vec![f32::NAN; 3 * LANES];
+            m.gather_lanes(start, &mut group);
+            for f in 0..3 {
+                for j in 0..LANES {
+                    let want = if j < live { m.get(start + j, f) } else { 0.0 };
+                    assert_eq!(
+                        group[f * LANES + j].to_bits(),
+                        want.to_bits(),
+                        "start {start} feature {f} lane {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "lane gather start")]
+    fn gather_lanes_past_the_end_panics() {
+        let m = FeatureMatrix::from_dataset(&dataset());
+        let mut group = vec![0.0; 3 * LANES];
+        m.gather_lanes(4, &mut group);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane buffer length")]
+    fn gather_lanes_wrong_buffer_panics() {
+        let m = FeatureMatrix::from_dataset(&dataset());
+        m.gather_lanes(0, &mut [0.0; 7]);
     }
 
     #[test]

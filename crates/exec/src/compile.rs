@@ -27,7 +27,12 @@ pub const LEAF_MARKER: u32 = u32::MAX;
 pub const FLIP_BIT: u32 = 1 << 31;
 
 /// A flat node with a native float threshold (naive configurations).
+///
+/// `repr(C)`: the SIMD engine's AVX2 path gathers fields by 32-bit
+/// word offset (`feature` at word 0, `threshold` at 1, `left` at 2,
+/// `right` at 3), so the layout must be the declaration order.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C)]
 pub struct FloatNode {
     /// Feature index, or [`LEAF_MARKER`] for leaves.
     pub feature: u32,
@@ -40,7 +45,11 @@ pub struct FloatNode {
 }
 
 /// A flat node with the FLInt-prepared integer threshold.
+///
+/// `repr(C)` for the same reason as [`FloatNode`]: the SIMD engine
+/// gathers `feature_and_flip`/`key`/`left`/`right` by word offset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C)]
 pub struct IntNode {
     /// Feature index with [`FLIP_BIT`] possibly set, or [`LEAF_MARKER`]
     /// for leaves.

@@ -17,16 +17,19 @@
 //!   registered engines are interchangeable prediction-for-prediction;
 //! * [`EngineKind`] — the engine space: the five [`BackendKind`]
 //!   if-else configurations × {scalar, blocked}, QuickScorer in both
-//!   comparison modes, and the three codegen VM variants (15 engines;
+//!   comparison modes, the three codegen VM variants, and the 8-wide
+//!   SIMD lane engine in both comparison modes (17 engines;
 //!   [`BackendKind::PAPER_SET`] maps to [`EngineKind::PAPER_SET`], a
 //!   subset of this space);
 //! * [`EngineBuilder`] — turns `(RandomForest, EngineKind,
 //!   BatchOptions)` into a boxed engine, owning its compiled artifacts.
 //!
 //! This is the seam future work plugs into: an async micro-batch front
-//! end queues rows into a [`FeatureMatrix`] and calls any `Predictor`;
-//! SIMD kernels become new `EngineKind`s; sharding partitions the
-//! `BatchOptions` spans across engines on different nodes.
+//! end queues rows into a [`FeatureMatrix`] and calls any `Predictor`
+//! (the `flint-serve` front end does exactly that); the SIMD lane
+//! kernels arrived as the `simd`/`simd-float` `EngineKind`s with zero
+//! consumer changes; sharding partitions the `BatchOptions` spans
+//! across engines on different nodes.
 //!
 //! ```
 //! use flint_data::{synth::SynthSpec, FeatureMatrix};
@@ -53,6 +56,7 @@ use crate::backend::{BackendKind, CompiledForest};
 // construction.
 use crate::batch::{score_spans, BatchEngine, BatchOptions};
 use crate::compile::CompileTreeError;
+use crate::simd::{SimdCompare, SimdEngine};
 use flint_codegen::{VmForest, VmVariant};
 use flint_data::{Dataset, FeatureMatrix};
 use flint_forest::RandomForest;
@@ -143,13 +147,19 @@ pub enum EngineKind {
     /// The instruction-level tree VM of `flint-codegen` (the executable
     /// stand-in for the paper's assembly backend).
     Vm(VmVariant),
+    /// The 8-wide lane-parallel SIMD traversal
+    /// ([`SimdEngine`]): lane groups of samples descend each tree
+    /// through branchless compare/blend steps, with optional AVX2
+    /// kernels behind the `simd-avx2` feature.
+    Simd(SimdCompare),
 }
 
 impl EngineKind {
     /// Every registered engine, in registry order: the five scalar
     /// if-else configurations, their blocked counterparts, QuickScorer
-    /// in both comparison modes, and the three VM variants.
-    pub const ALL: [EngineKind; 15] = [
+    /// in both comparison modes, the three VM variants, and the SIMD
+    /// lane engine in both comparison modes.
+    pub const ALL: [EngineKind; 17] = [
         EngineKind::Scalar(BackendKind::Naive),
         EngineKind::Scalar(BackendKind::Cags),
         EngineKind::Scalar(BackendKind::Flint),
@@ -165,6 +175,8 @@ impl EngineKind {
         EngineKind::Vm(VmVariant::Flint),
         EngineKind::Vm(VmVariant::NativeFloat),
         EngineKind::Vm(VmVariant::SoftFloat),
+        EngineKind::Simd(SimdCompare::Flint),
+        EngineKind::Simd(SimdCompare::Float),
     ];
 
     /// The four configurations of the paper's Fig. 3, as engines —
@@ -194,6 +206,8 @@ impl EngineKind {
             EngineKind::Vm(VmVariant::Flint) => "vm-flint",
             EngineKind::Vm(VmVariant::NativeFloat) => "vm-float",
             EngineKind::Vm(VmVariant::SoftFloat) => "vm-softfloat",
+            EngineKind::Simd(SimdCompare::Flint) => "simd",
+            EngineKind::Simd(SimdCompare::Float) => "simd-float",
         }
     }
 
@@ -244,6 +258,12 @@ impl EngineKind {
             }
             EngineKind::Vm(VmVariant::SoftFloat) => {
                 "instruction-level tree VM, software float comparison calls"
+            }
+            EngineKind::Simd(SimdCompare::Flint) => {
+                "8-wide SIMD lane traversal, FLInt integer compares, branchless blend"
+            }
+            EngineKind::Simd(SimdCompare::Float) => {
+                "8-wide SIMD lane traversal, float compares, branchless blend"
             }
         }
     }
@@ -404,6 +424,11 @@ impl<'f> EngineBuilder<'f> {
                 vm: VmForest::compile(self.forest, variant),
                 variant,
                 n_features: self.forest.n_features(),
+                opts: self.opts,
+            }),
+            EngineKind::Simd(compare) => Box::new(SimdLaneEngine {
+                forest: CompiledForest::compile(self.forest, compare.backend(), self.profile)?,
+                compare,
                 opts: self.opts,
             }),
         })
@@ -620,6 +645,43 @@ impl Predictor for VmEngine {
     }
 }
 
+/// [`EngineKind::Simd`]: the 8-wide lane-parallel traversal — lane
+/// groups of samples walk each tree through branchless compare/blend
+/// steps over zero-padded gathers, with runtime-dispatched AVX2
+/// kernels when the `simd-avx2` feature is on.
+#[derive(Debug)]
+struct SimdLaneEngine {
+    forest: CompiledForest,
+    compare: SimdCompare,
+    opts: BatchOptions,
+}
+
+impl Predictor for SimdLaneEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Simd(self.compare)
+    }
+
+    fn n_features(&self) -> usize {
+        self.forest.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.forest.n_classes()
+    }
+
+    fn options(&self) -> BatchOptions {
+        self.opts
+    }
+
+    fn predict_one(&self, features: &[f32]) -> u32 {
+        self.forest.predict(features)
+    }
+
+    fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
+        SimdEngine::new(&self.forest, *opts).predict(matrix)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -646,6 +708,73 @@ mod tests {
             assert_eq!(kind.to_string(), kind.name());
         }
         assert_eq!(EngineKind::parse("warp-drive"), None);
+    }
+
+    /// The anti-drift guard for the hand-maintained `ALL` array. The
+    /// `match` below enumerates every `(outer, inner)` combination
+    /// with **no wildcard at any level**, so growing `EngineKind` *or*
+    /// any of its payload enums (`BackendKind`, `QsCompare`,
+    /// `VmVariant`, `SimdCompare`) refuses to compile here until the
+    /// new engine is added to the match — and the match arms double as
+    /// the reconstruction of the full engine space that `ALL` and
+    /// `parse` are then checked against, so forgetting to register the
+    /// new engine fails the assertions below instead of silently
+    /// shrinking every registry-driven differential suite.
+    #[test]
+    fn registry_covers_the_entire_engine_space() {
+        fn in_space(kind: EngineKind) {
+            match kind {
+                EngineKind::Scalar(BackendKind::Naive)
+                | EngineKind::Scalar(BackendKind::Cags)
+                | EngineKind::Scalar(BackendKind::Flint)
+                | EngineKind::Scalar(BackendKind::CagsFlint)
+                | EngineKind::Scalar(BackendKind::SoftFloat)
+                | EngineKind::Blocked(BackendKind::Naive)
+                | EngineKind::Blocked(BackendKind::Cags)
+                | EngineKind::Blocked(BackendKind::Flint)
+                | EngineKind::Blocked(BackendKind::CagsFlint)
+                | EngineKind::Blocked(BackendKind::SoftFloat)
+                | EngineKind::QuickScorer(QsCompare::Flint)
+                | EngineKind::QuickScorer(QsCompare::Float)
+                | EngineKind::Vm(VmVariant::Flint)
+                | EngineKind::Vm(VmVariant::NativeFloat)
+                | EngineKind::Vm(VmVariant::SoftFloat)
+                | EngineKind::Simd(SimdCompare::Flint)
+                | EngineKind::Simd(SimdCompare::Float) => {}
+            }
+        }
+        let space = [
+            EngineKind::Scalar(BackendKind::Naive),
+            EngineKind::Scalar(BackendKind::Cags),
+            EngineKind::Scalar(BackendKind::Flint),
+            EngineKind::Scalar(BackendKind::CagsFlint),
+            EngineKind::Scalar(BackendKind::SoftFloat),
+            EngineKind::Blocked(BackendKind::Naive),
+            EngineKind::Blocked(BackendKind::Cags),
+            EngineKind::Blocked(BackendKind::Flint),
+            EngineKind::Blocked(BackendKind::CagsFlint),
+            EngineKind::Blocked(BackendKind::SoftFloat),
+            EngineKind::QuickScorer(QsCompare::Flint),
+            EngineKind::QuickScorer(QsCompare::Float),
+            EngineKind::Vm(VmVariant::Flint),
+            EngineKind::Vm(VmVariant::NativeFloat),
+            EngineKind::Vm(VmVariant::SoftFloat),
+            EngineKind::Simd(SimdCompare::Flint),
+            EngineKind::Simd(SimdCompare::Float),
+        ];
+        assert_eq!(space.len(), EngineKind::ALL.len());
+        for kind in space {
+            in_space(kind);
+            assert!(
+                EngineKind::ALL.contains(&kind),
+                "{} missing from EngineKind::ALL",
+                kind.name()
+            );
+            assert_eq!(EngineKind::parse(kind.name()), Some(kind));
+        }
+        for kind in EngineKind::ALL {
+            in_space(kind); // ALL ⊆ space; with equal lengths, equal sets
+        }
     }
 
     #[test]

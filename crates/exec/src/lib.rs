@@ -17,12 +17,20 @@
 //!   interleaved traversal, reusable per-worker scratch buffers, and
 //!   scoped-thread data parallelism over sample blocks. Predictions
 //!   are bit-identical to the scalar path for every [`BackendKind`];
+//! * [`simd::SimdEngine`] — the 8-wide lane-parallel traversal:
+//!   samples descend each tree in lane groups through branchless
+//!   compare/blend steps ([`simd::F32x8`]/[`simd::U32x8`] portable
+//!   vectors, plus `std::arch` AVX2 kernels behind the `simd-avx2`
+//!   feature with runtime CPUID dispatch). Ragged tails read
+//!   zero-padded lanes from [`flint_data::FeatureMatrix::gather_lanes`]
+//!   instead of branching;
 //! * [`engine`] — the unified engine layer: the [`Predictor`] trait
 //!   over **every** prediction path in the workspace (scalar and
-//!   blocked if-else backends, QuickScorer, the codegen VM) plus the
-//!   [`EngineKind`] registry and [`EngineBuilder`]. Consumers — CLI,
-//!   benches, examples, differential tests — select engines by name
-//!   from one registry instead of hand-wiring five APIs:
+//!   blocked if-else backends, the SIMD lane engine, QuickScorer, the
+//!   codegen VM) plus the [`EngineKind`] registry and
+//!   [`EngineBuilder`]. Consumers — CLI, benches, examples,
+//!   differential tests — select engines by name from one registry
+//!   instead of hand-wiring five APIs:
 //!
 //!   ```
 //!   use flint_data::{synth::SynthSpec, FeatureMatrix};
@@ -63,9 +71,11 @@ pub mod batch;
 pub mod compile;
 pub mod compile64;
 pub mod engine;
+pub mod simd;
 
 pub use backend::{BackendKind, CompareMode, CompiledForest};
 pub use batch::{BatchEngine, BatchOptions};
 pub use compile::{CompileTreeError, FloatNode, FloatTree, IntNode, IntTree};
 pub use compile64::{FloatNode64, FloatTree64, IntNode64, IntTree64};
 pub use engine::{BuildEngineError, EngineBuilder, EngineKind, ParseEngineKindError, Predictor};
+pub use simd::{avx2_enabled, SimdCompare, SimdEngine, LANES};

@@ -1,0 +1,874 @@
+//! 8-wide SIMD lane-parallel forest traversal.
+//!
+//! The blocked walk in [`crate::batch`] already keeps a block of
+//! independent per-sample load chains in flight, but every
+//! node-compare/child-select step is still scalar control flow: one
+//! branchy `if le { left } else { right }` per sample per level. This
+//! module lifts that step onto explicit 8-wide lanes:
+//!
+//! * [`F32x8`] / [`U32x8`] — fixed 8-lane vectors over `[f32; 8]` /
+//!   `[u32; 8]`, written as plain lane loops that stable Rust
+//!   autovectorizes reliably (no nightly `std::simd`), plus an
+//!   `std::arch` AVX2 kernel behind the `simd-avx2` feature gate with
+//!   runtime CPUID dispatch ([`avx2_enabled`]);
+//! * **branchless select** — a lane group of 8 samples descends one
+//!   tree together; each level gathers the 8 current nodes, compares
+//!   all lanes at once and blends left/right child indices by mask.
+//!   Lanes that reach a leaf hold position (a leaf blends to itself)
+//!   until the whole group has landed, so the walk has **no per-lane
+//!   branches at all** — the single loop exit is "all lanes at
+//!   leaves";
+//! * **padded gathers** — sample blocks come out of
+//!   [`FeatureMatrix::gather_lanes`] as feature-major, zero-padded
+//!   lane slabs, so ragged tail groups execute the identical
+//!   branch-free code path and the pad lanes' results are simply never
+//!   read back;
+//! * **wave interleaving** — lane groups descend each tree in waves of
+//!   eight: one lock-step group's per-level node loads form a single
+//!   dependent chain (gather → compare → blend → next gather), so a
+//!   lone group is bound by memory latency; round-robin stepping keeps
+//!   several independent chains in flight per tree, the lane-engine
+//!   analogue of the blocked walk's interleaved per-sample loads;
+//! * **span parallelism** — [`SimdEngine::predict`] distributes sample
+//!   blocks over the same `score_spans` partitioning (in
+//!   [`crate::batch`]) every other engine uses, so thread boundaries
+//!   (and therefore results) are identical by construction.
+//!
+//! Traversal decisions are bit-identical to the scalar backends for
+//! every input: the float kernel uses the same IEEE `<=` (NaN compares
+//! false, `-0.0 <= 0.0` true) and the FLInt kernel evaluates exactly
+//! [`flint_core::PreparedThreshold::le_bits`] — one optional sign-bit
+//! XOR plus one signed compare — lane-wise. The differential suites
+//! (`tests/engine_equivalence.rs`, `flint-serve/tests/differential.rs`)
+//! assert this across adversarial bit patterns and every tail shape.
+//!
+//! ```
+//! use flint_data::{synth::SynthSpec, FeatureMatrix};
+//! use flint_exec::{BackendKind, BatchOptions, CompiledForest, SimdEngine};
+//! use flint_forest::{ForestConfig, RandomForest};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = SynthSpec::new(200, 4, 3).generate();
+//! let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 7))?;
+//! let backend = CompiledForest::compile(&forest, BackendKind::Flint, None)?;
+//!
+//! let matrix = FeatureMatrix::from_dataset(&data);
+//! let engine = SimdEngine::new(&backend, BatchOptions::default());
+//! assert_eq!(engine.predict(&matrix), backend.predict_dataset(&data));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::backend::{BackendKind, CompiledForest, Trees};
+use crate::batch::{score_spans, BatchOptions};
+use crate::compile::{FloatNode, IntNode, FLIP_BIT, LEAF_MARKER};
+use flint_data::FeatureMatrix;
+pub use flint_data::LANES;
+
+// The AVX2 kernels gather node fields by 32-bit word offset, which is
+// only sound while both node formats stay exactly four words.
+const _: () = assert!(core::mem::size_of::<FloatNode>() == 16);
+const _: () = assert!(core::mem::size_of::<IntNode>() == 16);
+
+/// Eight `f32` lanes. The portable operations are plain lane loops —
+/// the shape LLVM's autovectorizer turns into single 256-bit
+/// instructions on any x86-64/AArch64 target — and the layout
+/// (`repr(C)`, 32-byte aligned) is loadable as one AVX2 register.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[repr(C, align(32))]
+pub struct F32x8(pub [f32; LANES]);
+
+/// Eight `u32` lanes; doubles as the mask type (a lane is all-ones or
+/// all-zeros) produced by compares and consumed by
+/// [`U32x8::blend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(C, align(32))]
+pub struct U32x8(pub [u32; LANES]);
+
+impl F32x8 {
+    /// Lane-wise bit reinterpretation.
+    #[inline]
+    pub fn to_bits(self) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for (slot, v) in out.iter_mut().zip(self.0) {
+            *slot = v.to_bits();
+        }
+        U32x8(out)
+    }
+
+    /// Lane-wise IEEE `<=` mask (NaN lanes compare false, exactly like
+    /// the scalar operator and AVX2's `_CMP_LE_OQ`).
+    #[inline]
+    pub fn le(self, rhs: Self) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for (slot, (x, t)) in out.iter_mut().zip(self.0.into_iter().zip(rhs.0)) {
+            *slot = if x <= t { u32::MAX } else { 0 };
+        }
+        U32x8(out)
+    }
+}
+
+impl U32x8 {
+    /// All lanes zero.
+    pub const ZERO: U32x8 = U32x8([0; LANES]);
+
+    /// Broadcasts `v` to every lane.
+    #[inline]
+    pub fn splat(v: u32) -> Self {
+        Self([v; LANES])
+    }
+
+    /// Lane-wise equality mask.
+    #[inline]
+    pub fn eq_mask(self, rhs: Self) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for (slot, (a, b)) in out.iter_mut().zip(self.0.into_iter().zip(rhs.0)) {
+            *slot = if a == b { u32::MAX } else { 0 };
+        }
+        U32x8(out)
+    }
+
+    /// Lane-wise signed `>` mask (lanes reinterpreted as `i32` — the
+    /// FLInt comparison domain and AVX2's `_mm256_cmpgt_epi32`).
+    #[inline]
+    pub fn gt_signed(self, rhs: Self) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for (slot, (a, b)) in out.iter_mut().zip(self.0.into_iter().zip(rhs.0)) {
+            *slot = if (a as i32) > (b as i32) { u32::MAX } else { 0 };
+        }
+        U32x8(out)
+    }
+
+    /// Lane-wise AND.
+    #[inline]
+    pub fn and(self, rhs: Self) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for (slot, (a, b)) in out.iter_mut().zip(self.0.into_iter().zip(rhs.0)) {
+            *slot = a & b;
+        }
+        U32x8(out)
+    }
+
+    /// Lane-wise XOR.
+    #[inline]
+    pub fn xor(self, rhs: Self) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for (slot, (a, b)) in out.iter_mut().zip(self.0.into_iter().zip(rhs.0)) {
+            *slot = a ^ b;
+        }
+        U32x8(out)
+    }
+
+    /// Per-lane sign mask: all-ones where the lane is negative as a
+    /// signed value, else zero (AVX2's `_mm256_srai_epi32::<31>`).
+    #[inline]
+    pub fn sign_mask(self) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for (slot, a) in out.iter_mut().zip(self.0) {
+            *slot = ((a as i32) >> 31) as u32;
+        }
+        U32x8(out)
+    }
+
+    /// Branchless select: lane `i` of the result is `t` where `mask`
+    /// lane `i` is all-ones, else `f` (AVX2's `blendv`).
+    #[inline]
+    pub fn blend(mask: U32x8, t: U32x8, f: U32x8) -> U32x8 {
+        let mut out = [0u32; LANES];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = (t.0[i] & mask.0[i]) | (f.0[i] & !mask.0[i]);
+        }
+        U32x8(out)
+    }
+
+    /// Whether every lane is all-ones (the walk-termination test).
+    #[inline]
+    pub fn all_set(self) -> bool {
+        self.0.iter().fold(u32::MAX, |acc, &v| acc & v) == u32::MAX
+    }
+}
+
+/// Whether the AVX2 kernels are compiled in (`simd-avx2` feature on an
+/// x86-64 target) **and** the CPU reports AVX2 at runtime. The engine
+/// dispatches on this once per batch; when it is `false` the portable
+/// autovectorized kernels run instead — same results, bit for bit.
+pub fn avx2_enabled() -> bool {
+    #[cfg(all(feature = "simd-avx2", target_arch = "x86_64"))]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(all(feature = "simd-avx2", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// The SIMD engine's comparison mode — the lane-level mirror of the
+/// paper's FLInt/float backend split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdCompare {
+    /// FLInt integer compares: one optional sign-bit XOR plus one
+    /// signed lane compare per node (registry name `simd`).
+    Flint,
+    /// Native IEEE float compares (registry name `simd-float`).
+    Float,
+}
+
+impl SimdCompare {
+    /// The backend configuration whose compiled trees this mode walks
+    /// (arena layout in both cases; CAGS reordering buys nothing when
+    /// all lanes move in lock-step).
+    pub fn backend(self) -> BackendKind {
+        match self {
+            SimdCompare::Flint => BackendKind::Flint,
+            SimdCompare::Float => BackendKind::Naive,
+        }
+    }
+}
+
+/// A compiled forest bound to the lane-parallel traversal.
+///
+/// The engine borrows the forest; compile once, then score any number
+/// of [`FeatureMatrix`] batches through it. Prefer building through
+/// the registry ([`crate::EngineKind::Simd`]) unless you already hold a
+/// [`CompiledForest`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimdEngine<'f> {
+    forest: &'f CompiledForest,
+    opts: BatchOptions,
+}
+
+impl<'f> SimdEngine<'f> {
+    /// Binds `forest` to the given options. `block_samples` is the
+    /// cache-blocking unit exactly as in the blocked engine; lane
+    /// groups of [`LANES`] samples are carved out of each block.
+    pub fn new(forest: &'f CompiledForest, opts: BatchOptions) -> Self {
+        Self { forest, opts }
+    }
+
+    /// The bound options (clamping applied at use, not here).
+    pub fn options(&self) -> BatchOptions {
+        self.opts
+    }
+
+    /// Scores every sample of `matrix`, returning one class per sample.
+    ///
+    /// Bit-identical to calling [`CompiledForest::predict`] per row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix.n_features()` differs from the model's.
+    pub fn predict(&self, matrix: &FeatureMatrix) -> Vec<u32> {
+        assert_eq!(
+            matrix.n_features(),
+            self.forest.n_features(),
+            "feature matrix width"
+        );
+        let mut out = vec![0u32; matrix.n_samples()];
+        // One CPUID decision per batch, not per lane group.
+        let use_avx2 = avx2_enabled();
+        score_spans(&self.opts, &mut out, |start, span| {
+            self.score_span(matrix, start, span, use_avx2);
+        });
+        out
+    }
+
+    /// Scores samples `start..start + out.len()` into `out`.
+    /// `block_trees` is ignored: the wave walk already amortizes each
+    /// tree's node array over every resident lane group, so there is
+    /// no inner tree-blocking level to tune.
+    fn score_span(&self, matrix: &FeatureMatrix, start: usize, out: &mut [u32], use_avx2: bool) {
+        let block = self.opts.block_samples.max(1);
+        let n_features = self.forest.n_features();
+        let n_classes = self.forest.n_classes();
+        let group_stride = n_features * LANES;
+        let cap = block.min(out.len());
+        // Per-worker scratch, reused across blocks: the lane-gathered
+        // sample slabs and the flat vote accumulator.
+        let mut lanes = vec![0.0f32; cap.div_ceil(LANES) * group_stride];
+        let mut votes = vec![0u32; cap * n_classes];
+        let mut offset = 0;
+        while offset < out.len() {
+            let len = block.min(out.len() - offset);
+            let n_groups = len.div_ceil(LANES);
+            for g in 0..n_groups {
+                matrix.gather_lanes(
+                    start + offset + g * LANES,
+                    &mut lanes[g * group_stride..(g + 1) * group_stride],
+                );
+            }
+            let votes = &mut votes[..len * n_classes];
+            votes.fill(0);
+            // Tree-major within the block, as in the blocked engine:
+            // each tree's node array stays hot while every resident
+            // lane group descends it. Groups advance in *waves* of
+            // [`WAVE`] so several independent gather chains are in
+            // flight per level — one lock-step group alone is
+            // latency-bound on its own dependent node loads.
+            match self.forest.trees() {
+                Trees::Float(trees) => {
+                    for tree in trees {
+                        let nodes = tree.nodes();
+                        each_wave(
+                            &lanes,
+                            n_groups,
+                            group_stride,
+                            |slabs, cursors| walk_float(nodes, slabs, cursors, use_avx2),
+                            |g, cursor| {
+                                vote_group(votes, n_classes, len, g, |i| {
+                                    nodes[cursor.0[i] as usize].left
+                                });
+                            },
+                        );
+                    }
+                }
+                Trees::Soft(trees) => {
+                    for tree in trees {
+                        let nodes = tree.nodes();
+                        each_wave(
+                            &lanes,
+                            n_groups,
+                            group_stride,
+                            |slabs, cursors| {
+                                walk_float_portable(nodes, slabs, cursors, soft_le_mask)
+                            },
+                            |g, cursor| {
+                                vote_group(votes, n_classes, len, g, |i| {
+                                    nodes[cursor.0[i] as usize].left
+                                });
+                            },
+                        );
+                    }
+                }
+                Trees::Int(trees) => {
+                    for tree in trees {
+                        let nodes = tree.nodes();
+                        each_wave(
+                            &lanes,
+                            n_groups,
+                            group_stride,
+                            |slabs, cursors| walk_int(nodes, slabs, cursors, use_avx2),
+                            |g, cursor| {
+                                vote_group(votes, n_classes, len, g, |i| {
+                                    nodes[cursor.0[i] as usize].left
+                                });
+                            },
+                        );
+                    }
+                }
+            }
+            for (k, slot) in out[offset..offset + len].iter_mut().enumerate() {
+                *slot = flint_forest::metrics::majority_vote(
+                    &votes[k * n_classes..(k + 1) * n_classes],
+                );
+            }
+            offset += len;
+        }
+    }
+}
+
+/// Records one vote per live lane of group `g` (pad lanes past `len`
+/// are never read back — their traversal result is discarded here).
+#[inline]
+fn vote_group(
+    votes: &mut [u32],
+    n_classes: usize,
+    len: usize,
+    g: usize,
+    leaf_class: impl Fn(usize) -> u32,
+) {
+    let live = LANES.min(len - g * LANES);
+    for i in 0..live {
+        votes[(g * LANES + i) * n_classes + leaf_class(i) as usize] += 1;
+    }
+}
+
+/// Lane-wise software-float `<=` mask — the no-FPU comparison for
+/// [`Trees::Soft`] forests (portable path only; the decisions, not the
+/// instruction count, are what must match).
+#[inline]
+fn soft_le_mask(x: F32x8, t: F32x8) -> U32x8 {
+    let mut out = [0u32; LANES];
+    for (slot, (a, b)) in out.iter_mut().zip(x.0.into_iter().zip(t.0)) {
+        *slot = if flint_softfloat::soft_le(a, b) {
+            u32::MAX
+        } else {
+            0
+        };
+    }
+    U32x8(out)
+}
+
+/// Lane groups walked concurrently per tree. One lock-step group's
+/// per-level node loads form a single dependent chain (gather →
+/// compare → blend → next gather), so the walk is bound by memory
+/// latency, not throughput; a wave of independent groups keeps several
+/// such chains in flight — the lane-engine analogue of the blocked
+/// walk's interleaved per-sample load chains.
+const WAVE: usize = 8;
+
+/// Carves `n_groups` lane slabs out of `lanes`, walks them in waves of
+/// [`WAVE`] through `walk` (which advances every cursor to its leaf),
+/// and hands each group's leaf cursor to `sink`.
+#[inline]
+fn each_wave(
+    lanes: &[f32],
+    n_groups: usize,
+    group_stride: usize,
+    mut walk: impl FnMut(&[&[f32]], &mut [U32x8]),
+    mut sink: impl FnMut(usize, U32x8),
+) {
+    for wave_start in (0..n_groups).step_by(WAVE) {
+        let k = WAVE.min(n_groups - wave_start);
+        let mut slabs: [&[f32]; WAVE] = [&[]; WAVE];
+        for (j, slab) in slabs[..k].iter_mut().enumerate() {
+            let g = wave_start + j;
+            *slab = &lanes[g * group_stride..(g + 1) * group_stride];
+        }
+        let mut cursors = [U32x8::ZERO; WAVE];
+        walk(&slabs[..k], &mut cursors[..k]);
+        for (j, &cursor) in cursors[..k].iter().enumerate() {
+            sink(wave_start + j, cursor);
+        }
+    }
+}
+
+/// Float-comparison wave walk with runtime AVX2 dispatch.
+#[inline]
+fn walk_float(nodes: &[FloatNode], slabs: &[&[f32]], cursors: &mut [U32x8], use_avx2: bool) {
+    #[cfg(all(feature = "simd-avx2", target_arch = "x86_64"))]
+    if use_avx2 {
+        return avx2::walk_float(nodes, slabs, cursors);
+    }
+    let _ = use_avx2;
+    walk_float_portable(nodes, slabs, cursors, F32x8::le)
+}
+
+/// FLInt-comparison wave walk with runtime AVX2 dispatch.
+#[inline]
+fn walk_int(nodes: &[IntNode], slabs: &[&[f32]], cursors: &mut [U32x8], use_avx2: bool) {
+    #[cfg(all(feature = "simd-avx2", target_arch = "x86_64"))]
+    if use_avx2 {
+        return avx2::walk_int(nodes, slabs, cursors);
+    }
+    let _ = use_avx2;
+    walk_int_portable(nodes, slabs, cursors)
+}
+
+/// Walks a wave of lane groups down one float-comparison tree. Each
+/// level of each group gathers its 8 current nodes, masks leaves,
+/// compares all lanes through `le_mask` and blends child indices;
+/// leaf lanes blend back to themselves, so a group's only branch is
+/// its group-wide "all lanes landed" exit. Groups step round-robin —
+/// their per-level load chains are independent, which is what hides
+/// the node-gather latency. On return every cursor holds its group's
+/// leaf positions.
+#[inline]
+fn walk_float_portable(
+    nodes: &[FloatNode],
+    slabs: &[&[f32]],
+    cursors: &mut [U32x8],
+    le_mask: impl Fn(F32x8, F32x8) -> U32x8,
+) {
+    debug_assert_eq!(slabs.len(), cursors.len());
+    let mut done = [false; WAVE];
+    loop {
+        let mut remaining = false;
+        for (gi, &slab) in slabs.iter().enumerate() {
+            if done[gi] {
+                continue;
+            }
+            let cursor = cursors[gi];
+            let mut feature = [0u32; LANES];
+            let mut threshold = [0.0f32; LANES];
+            let mut left = [0u32; LANES];
+            let mut right = [0u32; LANES];
+            for i in 0..LANES {
+                let node = &nodes[cursor.0[i] as usize];
+                feature[i] = node.feature;
+                threshold[i] = node.threshold;
+                left[i] = node.left;
+                right[i] = node.right;
+            }
+            let feature = U32x8(feature);
+            let is_leaf = feature.eq_mask(U32x8::splat(LEAF_MARKER));
+            if is_leaf.all_set() {
+                done[gi] = true;
+                continue;
+            }
+            remaining = true;
+            // Leaf lanes read lane slot 0 instead of indexing with the
+            // leaf marker; the value is blended away below.
+            let fsafe = U32x8::blend(is_leaf, U32x8::ZERO, feature);
+            let mut x = [0.0f32; LANES];
+            for i in 0..LANES {
+                x[i] = slab[fsafe.0[i] as usize * LANES + i];
+            }
+            let go_left = le_mask(F32x8(x), F32x8(threshold));
+            let next = U32x8::blend(go_left, U32x8(left), U32x8(right));
+            cursors[gi] = U32x8::blend(is_leaf, cursor, next);
+        }
+        if !remaining {
+            break;
+        }
+    }
+}
+
+/// The FLInt counterpart of [`walk_float_portable`]: per lane, the
+/// offline-resolved integer test of
+/// [`flint_core::PreparedThreshold::le_bits`] — sign-bit XOR where the
+/// node's flip bit is set, then one signed compare — evaluated
+/// branchlessly across all 8 lanes of every group in the wave.
+#[inline]
+fn walk_int_portable(nodes: &[IntNode], slabs: &[&[f32]], cursors: &mut [U32x8]) {
+    debug_assert_eq!(slabs.len(), cursors.len());
+    let sign = U32x8::splat(FLIP_BIT);
+    let mut done = [false; WAVE];
+    loop {
+        let mut remaining = false;
+        for (gi, &slab) in slabs.iter().enumerate() {
+            if done[gi] {
+                continue;
+            }
+            let cursor = cursors[gi];
+            let mut ff = [0u32; LANES];
+            let mut key = [0u32; LANES];
+            let mut left = [0u32; LANES];
+            let mut right = [0u32; LANES];
+            for i in 0..LANES {
+                let node = &nodes[cursor.0[i] as usize];
+                ff[i] = node.feature_and_flip;
+                key[i] = node.key as u32;
+                left[i] = node.left;
+                right[i] = node.right;
+            }
+            let ff = U32x8(ff);
+            let key = U32x8(key);
+            let is_leaf = ff.eq_mask(U32x8::splat(LEAF_MARKER));
+            if is_leaf.all_set() {
+                done[gi] = true;
+                continue;
+            }
+            remaining = true;
+            // The flip bit is the sign bit of `feature_and_flip`; leaf
+            // lanes (all-ones marker) also read as flipped, but their
+            // next cursor is blended back to themselves regardless.
+            let flip = ff.sign_mask();
+            let feature = ff.and(U32x8::splat(!FLIP_BIT));
+            let fsafe = U32x8::blend(is_leaf, U32x8::ZERO, feature);
+            let mut x = [0.0f32; LANES];
+            for i in 0..LANES {
+                x[i] = slab[fsafe.0[i] as usize * LANES + i];
+            }
+            let bits = F32x8(x).to_bits();
+            let bx = bits.xor(flip.and(sign));
+            // go right: flip ? key > bx : bx > key (signed) — the exact
+            // negation of PreparedThreshold::le_bits.
+            let go_right = U32x8::blend(flip, key.gt_signed(bx), bx.gt_signed(key));
+            let next = U32x8::blend(go_right, U32x8(right), U32x8(left));
+            cursors[gi] = U32x8::blend(is_leaf, cursor, next);
+        }
+        if !remaining {
+            break;
+        }
+    }
+}
+
+/// The `std::arch` AVX2 kernels: the same two walks with hardware
+/// gathers (`vpgatherdd`/`vgatherdps`) for the node fields and lane
+/// values, `vpcmpgtd`/`vcmpps` compares and `vpblendvb` selects.
+///
+/// This is the one `unsafe` island of the crate. Soundness argument:
+///
+/// * the wrappers assert AVX2 via CPUID before entering the
+///   `#[target_feature]` functions;
+/// * node gathers index `cursor * 4 + {0..3}` 32-bit words, and
+///   `cursor` only ever holds root (0) or an in-tree child index, so
+///   every access is inside the node slice (both node formats are
+///   exactly four words — statically asserted above);
+/// * lane gathers index `feature * 8 + lane` with `feature` either a
+///   valid feature index or clamped to 0 for leaf lanes, always inside
+///   the `n_features * LANES` slab.
+#[cfg(all(feature = "simd-avx2", target_arch = "x86_64"))]
+#[allow(unsafe_code)]
+mod avx2 {
+    use super::{U32x8, WAVE};
+    use crate::compile::{FloatNode, IntNode, FLIP_BIT, LEAF_MARKER};
+    use core::arch::x86_64::{
+        _mm256_add_epi32, _mm256_and_si256, _mm256_andnot_si256, _mm256_blendv_epi8,
+        _mm256_castps_si256, _mm256_cmp_ps, _mm256_cmpeq_epi32, _mm256_cmpgt_epi32,
+        _mm256_i32gather_epi32, _mm256_i32gather_ps, _mm256_load_si256, _mm256_movemask_epi8,
+        _mm256_set1_epi32, _mm256_setr_epi32, _mm256_slli_epi32, _mm256_srai_epi32,
+        _mm256_store_si256, _mm256_xor_si256, _CMP_LE_OQ,
+    };
+
+    /// Dispatch-checked entry for the float wave walk.
+    #[inline]
+    pub fn walk_float(nodes: &[FloatNode], slabs: &[&[f32]], cursors: &mut [U32x8]) {
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2"),
+            "AVX2 kernel entered without CPUID support"
+        );
+        debug_assert!(!nodes.is_empty());
+        debug_assert_eq!(slabs.len(), cursors.len());
+        // SAFETY: AVX2 verified above; gather bounds per module docs.
+        unsafe { walk_float_avx2(nodes, slabs, cursors) }
+    }
+
+    /// Dispatch-checked entry for the FLInt wave walk.
+    #[inline]
+    pub fn walk_int(nodes: &[IntNode], slabs: &[&[f32]], cursors: &mut [U32x8]) {
+        assert!(
+            std::arch::is_x86_feature_detected!("avx2"),
+            "AVX2 kernel entered without CPUID support"
+        );
+        debug_assert!(!nodes.is_empty());
+        debug_assert_eq!(slabs.len(), cursors.len());
+        // SAFETY: AVX2 verified above; gather bounds per module docs.
+        unsafe { walk_int_avx2(nodes, slabs, cursors) }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn walk_float_avx2(nodes: &[FloatNode], slabs: &[&[f32]], cursors: &mut [U32x8]) {
+        let base = nodes.as_ptr().cast::<i32>();
+        let leaf = _mm256_set1_epi32(LEAF_MARKER as i32);
+        let lane_off = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        // Round-robin over the wave's groups: each group's cursor is
+        // loaded, advanced one level and stored back (U32x8 is 32-byte
+        // aligned), so up to WAVE independent gather chains are in
+        // flight while each one waits on its own node loads.
+        let mut done = [false; WAVE];
+        loop {
+            let mut remaining = false;
+            for (gi, &slab) in slabs.iter().enumerate() {
+                if done[gi] {
+                    continue;
+                }
+                let cursor = _mm256_load_si256(cursors[gi].0.as_ptr().cast());
+                // Node word index: each node is four 32-bit words.
+                let word = _mm256_slli_epi32::<2>(cursor);
+                let feature = _mm256_i32gather_epi32::<4>(base, word);
+                let is_leaf = _mm256_cmpeq_epi32(feature, leaf);
+                if _mm256_movemask_epi8(is_leaf) == -1 {
+                    done[gi] = true;
+                    continue;
+                }
+                remaining = true;
+                let threshold = _mm256_i32gather_ps::<4>(
+                    base.cast(),
+                    _mm256_add_epi32(word, _mm256_set1_epi32(1)),
+                );
+                let left =
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(2)));
+                let right =
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(3)));
+                // Leaf lanes gather lane slot 0 (feature clamped by andnot).
+                let fsafe = _mm256_andnot_si256(is_leaf, feature);
+                let xidx = _mm256_add_epi32(_mm256_slli_epi32::<3>(fsafe), lane_off);
+                let x = _mm256_i32gather_ps::<4>(slab.as_ptr(), xidx);
+                // LE_OQ: false on NaN — identical to scalar `<=`.
+                let go_left = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LE_OQ>(x, threshold));
+                let next = _mm256_blendv_epi8(right, left, go_left);
+                let next = _mm256_blendv_epi8(next, cursor, is_leaf);
+                _mm256_store_si256(cursors[gi].0.as_mut_ptr().cast(), next);
+            }
+            if !remaining {
+                break;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn walk_int_avx2(nodes: &[IntNode], slabs: &[&[f32]], cursors: &mut [U32x8]) {
+        let base = nodes.as_ptr().cast::<i32>();
+        let leaf = _mm256_set1_epi32(LEAF_MARKER as i32);
+        let sign = _mm256_set1_epi32(FLIP_BIT as i32);
+        let feat_mask = _mm256_set1_epi32(!FLIP_BIT as i32);
+        let lane_off = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+        let mut done = [false; WAVE];
+        loop {
+            let mut remaining = false;
+            for (gi, &slab) in slabs.iter().enumerate() {
+                if done[gi] {
+                    continue;
+                }
+                let cursor = _mm256_load_si256(cursors[gi].0.as_ptr().cast());
+                let word = _mm256_slli_epi32::<2>(cursor);
+                let ff = _mm256_i32gather_epi32::<4>(base, word);
+                let is_leaf = _mm256_cmpeq_epi32(ff, leaf);
+                if _mm256_movemask_epi8(is_leaf) == -1 {
+                    done[gi] = true;
+                    continue;
+                }
+                remaining = true;
+                let key =
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(1)));
+                let left =
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(2)));
+                let right =
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(3)));
+                // The flip bit is the sign bit of feature_and_flip; leaf
+                // lanes also read as flipped but are blended back below.
+                let flip = _mm256_srai_epi32::<31>(ff);
+                let fsafe = _mm256_andnot_si256(is_leaf, _mm256_and_si256(ff, feat_mask));
+                let xidx = _mm256_add_epi32(_mm256_slli_epi32::<3>(fsafe), lane_off);
+                let bits = _mm256_i32gather_epi32::<4>(slab.as_ptr().cast(), xidx);
+                let bx = _mm256_xor_si256(bits, _mm256_and_si256(flip, sign));
+                // go right: flip ? key > bx : bx > key — the negation of
+                // PreparedThreshold::le_bits, lane-wise.
+                let go_right = _mm256_blendv_epi8(
+                    _mm256_cmpgt_epi32(bx, key),
+                    _mm256_cmpgt_epi32(key, bx),
+                    flip,
+                );
+                let next = _mm256_blendv_epi8(left, right, go_right);
+                let next = _mm256_blendv_epi8(next, cursor, is_leaf);
+                _mm256_store_si256(cursors[gi].0.as_mut_ptr().cast(), next);
+            }
+            if !remaining {
+                break;
+            }
+        }
+    }
+}
+
+impl CompiledForest {
+    /// Batch prediction through the lane-parallel SIMD engine.
+    /// Convenience wrapper mirroring
+    /// [`CompiledForest::predict_dataset_batched`]; bit-identical to
+    /// [`CompiledForest::predict_dataset`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset's feature count differs from the model's.
+    pub fn predict_dataset_simd(&self, data: &flint_data::Dataset, opts: BatchOptions) -> Vec<u32> {
+        let matrix = FeatureMatrix::from_dataset(data);
+        SimdEngine::new(self, opts).predict(&matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_data::synth::SynthSpec;
+    use flint_data::Dataset;
+    use flint_forest::{ForestConfig, RandomForest};
+
+    #[test]
+    fn lane_ops_match_scalar_semantics() {
+        let a = F32x8([1.0, -0.0, f32::NAN, f32::INFINITY, -1.5, 0.0, 2.0, -2.0]);
+        let b = F32x8([1.0, 0.0, 1.0, f32::INFINITY, -1.5, -0.0, 1.0, 3.0]);
+        let le = a.le(b);
+        for i in 0..LANES {
+            assert_eq!(le.0[i] == u32::MAX, a.0[i] <= b.0[i], "lane {i}");
+            assert!(le.0[i] == 0 || le.0[i] == u32::MAX);
+        }
+        let u = U32x8([0, 1, u32::MAX, 7, 1 << 31, 3, 9, 100]);
+        let v = U32x8([0, 2, u32::MAX, 6, 0, 3, 8, 100]);
+        let eq = u.eq_mask(v);
+        let gt = u.gt_signed(v);
+        for i in 0..LANES {
+            assert_eq!(eq.0[i] == u32::MAX, u.0[i] == v.0[i], "lane {i}");
+            assert_eq!(
+                gt.0[i] == u32::MAX,
+                (u.0[i] as i32) > (v.0[i] as i32),
+                "lane {i}"
+            );
+        }
+        let blended = U32x8::blend(eq, u, v);
+        for i in 0..LANES {
+            let want = if u.0[i] == v.0[i] { u.0[i] } else { v.0[i] };
+            assert_eq!(blended.0[i], want, "lane {i}");
+        }
+        assert!(U32x8::splat(u32::MAX).all_set());
+        assert!(!eq.all_set());
+    }
+
+    fn setup(kind: BackendKind) -> (Dataset, CompiledForest) {
+        let data = SynthSpec::new(230, 5, 3)
+            .cluster_std(1.0)
+            .negative_fraction(0.5)
+            .seed(11)
+            .generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(6, 8)).expect("trainable");
+        let backend = CompiledForest::compile(&forest, kind, None).expect("compiles");
+        (data, backend)
+    }
+
+    #[test]
+    fn lane_walk_matches_scalar_for_every_compare_mode() {
+        for kind in [
+            BackendKind::Flint,
+            BackendKind::Naive,
+            BackendKind::SoftFloat,
+        ] {
+            let (data, backend) = setup(kind);
+            let want = backend.predict_dataset(&data);
+            let matrix = FeatureMatrix::from_dataset(&data);
+            for block in [1usize, 7, 64, 1024] {
+                for threads in [1usize, 4] {
+                    let opts = BatchOptions::default()
+                        .block_samples(block)
+                        .threads(threads);
+                    assert_eq!(
+                        SimdEngine::new(&backend, opts).predict(&matrix),
+                        want,
+                        "{kind:?} block {block} threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_wrapper_and_degenerate_options() {
+        let (data, backend) = setup(BackendKind::Flint);
+        let want = backend.predict_dataset(&data);
+        let opts = BatchOptions::default()
+            .block_samples(0)
+            .block_trees(0)
+            .threads(0);
+        assert_eq!(backend.predict_dataset_simd(&data, opts), want);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let (_, backend) = setup(BackendKind::Flint);
+        let empty = FeatureMatrix::from_row_major(0, backend.n_features(), &[]);
+        let engine = SimdEngine::new(&backend, BatchOptions::default().threads(3));
+        assert_eq!(engine.predict(&empty), Vec::<u32>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature matrix width")]
+    fn wrong_width_panics() {
+        let (_, backend) = setup(BackendKind::Flint);
+        let bad = FeatureMatrix::from_row_major(1, 2, &[0.0, 0.0]);
+        let _ = SimdEngine::new(&backend, BatchOptions::default()).predict(&bad);
+    }
+
+    /// When the AVX2 kernels are compiled in and the CPU has them, the
+    /// portable and intrinsic paths must agree bit-for-bit (the
+    /// portable path is the reference the differential suites pin to
+    /// the scalar engines).
+    #[test]
+    fn avx2_and_portable_paths_agree() {
+        if !avx2_enabled() {
+            return; // feature off or CPU without AVX2: nothing to cross-check
+        }
+        for kind in [BackendKind::Flint, BackendKind::Naive] {
+            let (data, backend) = setup(kind);
+            let matrix = FeatureMatrix::from_dataset(&data);
+            let engine = SimdEngine::new(&backend, BatchOptions::default());
+            let mut via_dispatch = vec![0u32; matrix.n_samples()];
+            score_spans(&engine.opts, &mut via_dispatch, |start, span| {
+                engine.score_span(&matrix, start, span, true);
+            });
+            let mut portable = vec![0u32; matrix.n_samples()];
+            score_spans(&engine.opts, &mut portable, |start, span| {
+                engine.score_span(&matrix, start, span, false);
+            });
+            assert_eq!(via_dispatch, portable, "{kind:?}");
+        }
+    }
+}

@@ -16,10 +16,11 @@
 //! (probability-weighted) aggregation and can legitimately disagree
 //! with a vote count on close calls.
 
+use flint_codegen::VmVariant;
 use flint_data::synth::SynthSpec;
 use flint_data::uci::{Scale, UciDataset};
-use flint_data::FeatureMatrix;
-use flint_exec::{BatchOptions, EngineBuilder};
+use flint_data::{Dataset, FeatureMatrix};
+use flint_exec::{BackendKind, BatchOptions, EngineBuilder, EngineKind, SimdCompare};
 use flint_forest::{ForestConfig, RandomForest};
 use proptest::prelude::*;
 
@@ -91,6 +92,202 @@ fn predict_one_matches_predict_batch_for_every_engine() {
     }
 }
 
+/// A model whose split values are harvested below for threshold-equal
+/// probing, trained on data that spans both signs so negative (flipped)
+/// FLInt thresholds are present.
+fn adversarial_model(seed: u64) -> (Dataset, RandomForest) {
+    let data = SynthSpec::new(140, 4, 3)
+        .cluster_std(1.1)
+        .negative_fraction(0.5)
+        .seed(seed)
+        .generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 9)).expect("trainable");
+    (data, forest)
+}
+
+/// Builds a row-major [`FeatureMatrix`] from explicit rows.
+fn matrix_of(rows: &[Vec<f32>], n_features: usize) -> FeatureMatrix {
+    let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+    FeatureMatrix::from_row_major(rows.len(), n_features, &flat)
+}
+
+/// Every non-NaN adversarial bit pattern — ±inf, both zeros, boundary
+/// subnormals, extreme magnitudes, and every harvested split value with
+/// its ±1-ulp neighbours — injected into every feature column. FLInt's
+/// Theorem 2 covers the whole non-NaN f32 line, so **every** registered
+/// engine (lane-parallel SIMD included) must route these bit-identically
+/// to the forest's own majority vote, at every block size.
+#[test]
+fn engines_agree_on_non_nan_adversarial_columns() {
+    let (data, forest) = adversarial_model(41);
+    let n_features = forest.n_features();
+    let mut specials: Vec<f32> = vec![
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f32::from_bits(1),           // smallest positive subnormal
+        -f32::from_bits(1),          // smallest negative subnormal
+        f32::from_bits(0x007f_ffff), // largest subnormal
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        f32::MAX,
+        f32::MIN,
+        1.0e-40, // mid-range subnormal
+    ];
+    // Exact split values and their one-ulp neighbours: the boundary the
+    // `<=` decision pivots on, where a lane kernel that computed `<`
+    // or an unordered compare would flip a child selection.
+    for t in forest.trees().iter().flat_map(|t| t.thresholds()).take(24) {
+        specials.push(t);
+        specials.push(f32::from_bits(t.to_bits().wrapping_add(1)));
+        specials.push(f32::from_bits(t.to_bits().wrapping_sub(1)));
+    }
+    specials.retain(|v| !v.is_nan());
+
+    // One row per (special, column): a clean baseline row with the
+    // special planted in exactly one column, plus rows that are the
+    // special in every column.
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (i, &s) in specials.iter().enumerate() {
+        let mut row = data.sample(i % data.n_samples()).to_vec();
+        row[i % n_features] = s;
+        rows.push(row);
+        rows.push(vec![s; n_features]);
+    }
+    let matrix = matrix_of(&rows, n_features);
+    let reference: Vec<u32> = rows.iter().map(|r| forest.predict_majority(r)).collect();
+
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    for engine in builder.build_all().expect("all engines build") {
+        for block in [1usize, 8, 64] {
+            let opts = BatchOptions::default().block_samples(block);
+            assert_eq!(
+                engine.predict_batch(&matrix, &opts),
+                reference,
+                "{} diverges on non-NaN adversarial columns at block {block}",
+                engine.name()
+            );
+        }
+    }
+}
+
+/// The scalar engine whose decisions are the NaN reference for `kind`,
+/// or `None` where no registered engine shares its NaN contract.
+///
+/// NaN sits outside FLInt's ordering theorem: IEEE `<=` is false for
+/// every NaN operand, while the integer order ranks negative-NaN bit
+/// patterns below everything — so FLInt engines legitimately route NaN
+/// differently from float engines, and `predict_majority` cannot be a
+/// universal reference. What *must* hold is that every execution
+/// strategy agrees with the scalar walk of its own comparison family —
+/// exactly the property a lane kernel with subtly different compare
+/// semantics (`_CMP_LE_OQ` vs `_CMP_LE_OS` vs `!(>)`) would break.
+/// Two registered strategies map to `None` because each has a NaN
+/// contract of its own with a single implementation, so there is
+/// nothing to diff against: QuickScorer's per-feature `threshold < x`
+/// scan treats unordered compares as "stop scanning" (and its FLInt
+/// mode debug-asserts NaN away entirely), and `vm-float` faithfully
+/// models the hardware `fcmp; b.gt` idiom of the paper's assembly
+/// backend, whose GT flag is false on unordered operands — NaN falls
+/// through to the *left* child, unlike the IEEE `<=`-is-false walk.
+fn nan_reference(kind: EngineKind) -> Option<EngineKind> {
+    match kind {
+        EngineKind::Scalar(b) | EngineKind::Blocked(b) => Some(EngineKind::Scalar(b)),
+        EngineKind::Simd(SimdCompare::Flint) => Some(EngineKind::Scalar(BackendKind::Flint)),
+        EngineKind::Simd(SimdCompare::Float) => Some(EngineKind::Scalar(BackendKind::Naive)),
+        EngineKind::Vm(VmVariant::Flint) => Some(EngineKind::Scalar(BackendKind::Flint)),
+        EngineKind::Vm(VmVariant::SoftFloat) => Some(EngineKind::Scalar(BackendKind::SoftFloat)),
+        EngineKind::Vm(VmVariant::NativeFloat) | EngineKind::QuickScorer(_) => None,
+    }
+}
+
+/// NaN feature columns (quiet, signalling, negative, all-ones): every
+/// engine stays bit-identical to the scalar engine of its comparison
+/// family, at every block size and thread count.
+#[test]
+fn nan_features_stay_bit_identical_within_each_compare_family() {
+    let (data, forest) = adversarial_model(43);
+    let n_features = forest.n_features();
+    let nans = [
+        f32::NAN,
+        f32::from_bits(0x7f80_0001), // signalling NaN
+        f32::from_bits(0xffc0_0000), // negative quiet NaN
+        f32::from_bits(0xffff_ffff), // all-ones payload
+    ];
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (i, &s) in nans.iter().enumerate() {
+        for f in 0..n_features {
+            let mut row = data
+                .sample((i * n_features + f) % data.n_samples())
+                .to_vec();
+            row[f] = s;
+            rows.push(row);
+        }
+        rows.push(vec![s; n_features]);
+    }
+    let matrix = matrix_of(&rows, n_features);
+
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    for kind in EngineKind::ALL {
+        let Some(reference_kind) = nan_reference(kind) else {
+            continue;
+        };
+        let engine = builder.build(kind).expect("builds");
+        let reference = builder
+            .build(reference_kind)
+            .expect("builds")
+            .predict_matrix(&matrix);
+        for block in [1usize, 7, 64] {
+            for threads in [1usize, 2] {
+                let opts = BatchOptions::default()
+                    .block_samples(block)
+                    .threads(threads);
+                assert_eq!(
+                    engine.predict_batch(&matrix, &opts),
+                    reference,
+                    "{} diverges from {} on NaN columns (block {block}, threads {threads})",
+                    engine.name(),
+                    reference_kind.name()
+                );
+            }
+        }
+    }
+}
+
+/// Ragged-tail coverage at every lane boundary: sample counts straddling
+/// multiples of the 8-wide lane group × block sizes {1, 8, 64} drive the
+/// zero-padded `FeatureMatrix::gather_lanes` path through every live-lane
+/// count. All registered engines run (the SIMD kinds are the target; the
+/// rest prove the reference labels are shape-independent).
+#[test]
+fn tail_blocks_agree_at_every_lane_boundary() {
+    let (data, forest) = adversarial_model(47);
+    let n_features = forest.n_features();
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    let engines = builder.build_all().expect("all engines build");
+    for n_samples in [1usize, 7, 8, 9, 15, 16, 17] {
+        let rows: Vec<Vec<f32>> = (0..n_samples).map(|i| data.sample(i).to_vec()).collect();
+        let matrix = matrix_of(&rows, n_features);
+        let reference: Vec<u32> = rows.iter().map(|r| forest.predict_majority(r)).collect();
+        for engine in &engines {
+            for block in [1usize, 8, 64] {
+                for threads in [1usize, 2] {
+                    let opts = BatchOptions::default()
+                        .block_samples(block)
+                        .threads(threads);
+                    assert_eq!(
+                        engine.predict_batch(&matrix, &opts),
+                        reference,
+                        "{} diverges at n={n_samples} block={block} threads={threads}",
+                        engine.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -154,6 +351,60 @@ proptest! {
         let builder = EngineBuilder::new(&forest).profile_data(&data);
         for engine in builder.build_all().expect("all engines build") {
             prop_assert_eq!(engine.predict_one(&features), want, "{}", engine.name());
+        }
+    }
+
+    /// Features biased toward *exact split values* (and their ±1-ulp
+    /// neighbours): every sample lands on or next to a comparison
+    /// boundary, so an engine whose compare is `<` instead of `<=` —
+    /// or whose lane blend picks the wrong child on equality — cannot
+    /// hide. The whole batch goes through `predict_batch` (the SIMD
+    /// engines' `predict_one` is the scalar fallback; only the batch
+    /// path runs the lane kernels).
+    #[test]
+    fn engines_agree_on_threshold_equal_batches(
+        seed in 0u64..12,
+        picks in proptest::collection::vec(
+            proptest::collection::vec((0usize..1_000_000, -1i32..=1), 4),
+            1..24,
+        ),
+    ) {
+        let (data, forest) = adversarial_model(seed);
+        let thresholds: Vec<f32> = forest
+            .trees()
+            .iter()
+            .flat_map(|t| t.thresholds())
+            .collect();
+        prop_assume!(!thresholds.is_empty());
+        let rows: Vec<Vec<f32>> = picks
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&(i, ulp)| {
+                        let t = thresholds[i % thresholds.len()];
+                        let v = f32::from_bits(t.to_bits().wrapping_add_signed(ulp));
+                        // A ulp step off ±MAX or a subnormal edge can
+                        // land on inf (fine) but never on NaN here; keep
+                        // the guard anyway so the reference stays IEEE.
+                        if v.is_nan() { t } else { v }
+                    })
+                    .collect()
+            })
+            .collect();
+        let matrix = matrix_of(&rows, forest.n_features());
+        let reference: Vec<u32> = rows.iter().map(|r| forest.predict_majority(r)).collect();
+        let builder = EngineBuilder::new(&forest).profile_data(&data);
+        for engine in builder.build_all().expect("all engines build") {
+            for block in [1usize, 8] {
+                let opts = BatchOptions::default().block_samples(block);
+                prop_assert_eq!(
+                    engine.predict_batch(&matrix, &opts),
+                    reference.clone(),
+                    "{} at block {}",
+                    engine.name(),
+                    block
+                );
+            }
         }
     }
 }

@@ -4,6 +4,13 @@
 //! batch-size caps {1, 7, 64} with a 2-thread worker pool and
 //! concurrent client connections — the serving-layer extension of the
 //! engine-equivalence suite.
+//!
+//! The engine list is taken from `EngineKind::ALL` at run time, so a
+//! new registry variant (the SIMD lane engines arrived this way) is
+//! served and diffed with zero changes here;
+//! [`differential_suite_covers_every_known_registry_name`] is the
+//! regression guard that fails loudly if a name ever *leaves* the
+//! registry and silently shrinks this suite's coverage.
 
 use flint_data::synth::SynthSpec;
 use flint_data::Dataset;
@@ -35,6 +42,47 @@ fn response_class(line: &str) -> u32 {
         .next()
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| panic!("malformed class in {line}"))
+}
+
+/// The floor of names the suite above must cover. `EngineKind::ALL`
+/// growing past this list is fine (new engines are covered
+/// automatically); any name *disappearing* means the differential
+/// suite quietly stopped proving that engine and must fail here.
+#[test]
+fn differential_suite_covers_every_known_registry_name() {
+    const REQUIRED: [&str; 17] = [
+        "naive",
+        "cags",
+        "flint",
+        "cags-flint",
+        "softfloat",
+        "naive-blocked",
+        "cags-blocked",
+        "flint-blocked",
+        "cags-flint-blocked",
+        "softfloat-blocked",
+        "quickscorer",
+        "quickscorer-float",
+        "vm-flint",
+        "vm-float",
+        "vm-softfloat",
+        "simd",
+        "simd-float",
+    ];
+    let names: std::collections::BTreeSet<&str> =
+        EngineKind::ALL.iter().map(|k| k.name()).collect();
+    assert_eq!(
+        names.len(),
+        EngineKind::ALL.len(),
+        "duplicate names in EngineKind::ALL"
+    );
+    for required in REQUIRED {
+        assert!(
+            names.contains(required),
+            "engine {required:?} left the registry — the serving differential \
+             suite no longer proves it bit-identical"
+        );
+    }
 }
 
 #[test]
