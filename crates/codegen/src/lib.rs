@@ -12,9 +12,14 @@
 //!   `eor` sign-flip for negative splits);
 //! * [`rust_emitter`] — the same trees as compilable Rust, demonstrating
 //!   Section IV-C's "any language with bit reinterpretation" claim;
+//! * [`program`] — the shared tree-program lowering ([`TreeProgram`]):
+//!   one compile step from trees to the Listing-5 instruction stream,
+//!   consumed by both execution backends;
 //! * [`vm`] — an integer-only tree bytecode VM whose instructions map
 //!   one-to-one onto the assembly listing, serving as the *executable*
-//!   assembly backend (and instruction-count source for `flint-sim`).
+//!   assembly backend (and instruction-count source for `flint-sim`);
+//!   the `flint-exec` template JIT lowers the same [`TreeProgram`]s to
+//!   x86-64 machine code.
 //!
 //! ```
 //! use flint_forest::example_tree;
@@ -38,6 +43,7 @@
 
 pub mod asm_emitter;
 pub mod c_emitter;
+pub mod program;
 pub mod rust_emitter;
 pub mod vm;
 
@@ -45,5 +51,6 @@ pub use asm_emitter::{emit_tree_asm, emit_tree_asm_f64, AsmTarget};
 pub use c_emitter::{
     c_float_literal, emit_forest_c, emit_forest_c_f64, emit_tree_c, emit_tree_c_f64, CVariant,
 };
+pub use program::{Instr, Reg, TreeProgram, VmVariant};
 pub use rust_emitter::{emit_forest_rust, emit_tree_rust, RustVariant};
-pub use vm::{ExecStats, Instr, VmError, VmForest, VmProgram, VmVariant};
+pub use vm::{ExecStats, VmError, VmForest, VmProgram};

@@ -1,0 +1,503 @@
+//! The shared tree-program representation: one lowering from decision
+//! trees to the Listing-5 instruction stream, consumed by **both**
+//! execution backends.
+//!
+//! Historically `vm.rs` owned the compile *and* the execute halves of
+//! the bytecode path, which left any second consumer of the instruction
+//! stream (the `flint-exec` template JIT lowers the same programs to
+//! x86-64 machine code) re-deriving the lowering and free to drift.
+//! This module is the single source of truth: [`TreeProgram::compile`]
+//! emits the per-split `load / (flip) / materialize / compare / branch`
+//! sequence exactly once, and the interpreter
+//! (`flint_codegen::vm::VmProgram`) and the JIT both execute *that*
+//! program — the two backends cannot disagree about what a tree
+//! compiles to, only about how fast they run it.
+//!
+//! Each [`Instr`] corresponds to one machine instruction of the
+//! respective backend: [`Instr::LoadWord`] ↔ `ldrsw`,
+//! [`Instr::Movz`]/[`Instr::Movk`] ↔ immediate materialization,
+//! [`Instr::EorSign`] ↔ `eor`, [`Instr::Cmp`] ↔ `cmp`,
+//! [`Instr::BranchGt`]/[`Instr::BranchLt`] ↔ `b.gt`/`b.lt`,
+//! [`Instr::Ret`] ↔ the leaf's return.
+
+use flint_core::PreparedThreshold;
+use flint_forest::{DecisionTree, Node, NodeId, RandomForest};
+
+/// Register index (the program model has 4 integer and 4 float
+/// registers; the generated code only ever uses two of each, like the
+/// listings).
+pub type Reg = u8;
+
+/// One program instruction. Each variant corresponds to one machine
+/// instruction of the respective backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// Integer load of the feature word at `offset` (in words) from the
+    /// feature vector — `ldrsw x, [base, #off]`.
+    LoadWord {
+        /// Destination integer register.
+        dst: Reg,
+        /// Feature index.
+        offset: u32,
+    },
+    /// Float load of the feature at `offset` — `ldr s, [base, #off]`
+    /// (requires an FPU).
+    LoadFloat {
+        /// Destination float register.
+        dst: Reg,
+        /// Feature index.
+        offset: u32,
+    },
+    /// Materialize the low 16 bits of an immediate — `movz`.
+    Movz {
+        /// Destination integer register.
+        dst: Reg,
+        /// Low half of the immediate.
+        imm: u16,
+    },
+    /// Materialize 16 bits of an immediate at a shifted position —
+    /// `movk …, lsl <shift>` (shift 16 for `f32` keys; 16/32/48 for the
+    /// four-part `f64` keys of the double precision backend).
+    Movk {
+        /// Destination integer register.
+        dst: Reg,
+        /// The 16-bit half/quarter of the immediate.
+        imm: u16,
+        /// Bit position (16, 32 or 48).
+        shift: u8,
+    },
+    /// 64-bit integer load of the feature doubleword at `offset` — the
+    /// `ldr x, [base, #off]` of the double precision backend.
+    LoadDword {
+        /// Destination integer register.
+        dst: Reg,
+        /// Feature index.
+        offset: u32,
+    },
+    /// Load a float constant from the literal pool — `ldr s, =const`
+    /// (data-memory access; requires an FPU).
+    LoadFloatConst {
+        /// Destination float register.
+        dst: Reg,
+        /// The constant.
+        value: f32,
+    },
+    /// Load a double constant from the literal pool (double precision
+    /// naive backend; requires an FPU).
+    LoadDoubleConst {
+        /// Destination float register.
+        dst: Reg,
+        /// The constant.
+        value: f64,
+    },
+    /// Float load of the double at `offset` — `ldr d, [base, #off]`.
+    LoadDouble {
+        /// Destination float register.
+        dst: Reg,
+        /// Feature index.
+        offset: u32,
+    },
+    /// Flip the sign bit of a 32-bit register — `eor w, w, #0x80000000`.
+    EorSign {
+        /// Register to flip.
+        dst: Reg,
+    },
+    /// Flip bit 63 of a 64-bit register — `eor x, x, #1<<63`.
+    EorSign64 {
+        /// Register to flip.
+        dst: Reg,
+    },
+    /// Signed 32-bit integer compare, sets flags — `cmp w, w`.
+    Cmp {
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Signed 64-bit integer compare, sets flags — `cmp x, x`.
+    Cmp64 {
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+    },
+    /// Software float comparison of two 64-bit registers holding f64
+    /// patterns (double precision softfloat backend).
+    SoftCmp64 {
+        /// Left operand (bit pattern).
+        a: Reg,
+        /// Right operand (bit pattern).
+        b: Reg,
+    },
+    /// Hardware float compare, sets flags — `fcmp` (requires an FPU).
+    Fcmp {
+        /// Left float operand.
+        a: Reg,
+        /// Right float operand.
+        b: Reg,
+    },
+    /// Software float comparison of two integer registers holding float
+    /// bit patterns; sets flags as if `fcmp` ran. Models a call into a
+    /// softfloat runtime (`__aeabi_cfcmple` and friends).
+    SoftCmp {
+        /// Left operand (bit pattern).
+        a: Reg,
+        /// Right operand (bit pattern).
+        b: Reg,
+    },
+    /// Branch to `target` when flags say "greater than" — `b.gt`.
+    BranchGt {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Branch to `target` when flags say "less than" — `b.lt`.
+    BranchLt {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Unconditional branch — `b`.
+    Jump {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Return the class in the instruction — leaf epilogue.
+    Ret {
+        /// Predicted class.
+        class: u32,
+    },
+}
+
+/// Comparison idiom a program was compiled with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VmVariant {
+    /// FLInt: integer loads and compares only.
+    Flint,
+    /// Native float instructions (FPU machines, naive trees).
+    NativeFloat,
+    /// Software float comparison calls (FPU-less machines, naive trees).
+    SoftFloat,
+}
+
+/// One tree lowered to the Listing-5 instruction stream — the compile
+/// half shared by the bytecode interpreter and the template JIT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeProgram {
+    instrs: Vec<Instr>,
+    variant: VmVariant,
+}
+
+impl TreeProgram {
+    /// Compiles `tree` under the given comparison variant.
+    ///
+    /// The emitted instruction sequence per split node matches
+    /// Listing 5: load, (flip,) materialize immediate, compare,
+    /// conditional branch to the else block; leaves return.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree contains NaN thresholds (prevented by tree
+    /// validation).
+    pub fn compile(tree: &DecisionTree, variant: VmVariant) -> Self {
+        let mut instrs = Vec::new();
+        compile_node(&mut instrs, tree, NodeId::ROOT, variant);
+        Self { instrs, variant }
+    }
+
+    /// Compiles `tree` as a **double precision** program: 64-bit loads
+    /// (`ldr x`), four-part immediate materialization (`movz` + three
+    /// `movk`), bit-63 sign flips and 64-bit compares. Thresholds widen
+    /// exactly from the trained `f32` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tree contains NaN thresholds.
+    pub fn compile_f64(tree: &DecisionTree, variant: VmVariant) -> Self {
+        let mut instrs = Vec::new();
+        compile_node_f64(&mut instrs, tree, NodeId::ROOT, variant);
+        Self { instrs, variant }
+    }
+
+    /// Lowers every tree of `forest` under `variant`, in tree order.
+    pub fn compile_forest(forest: &RandomForest, variant: VmVariant) -> Vec<Self> {
+        forest
+            .trees()
+            .iter()
+            .map(|t| Self::compile(t, variant))
+            .collect()
+    }
+
+    /// The compiled instruction stream.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The comparison variant this program uses.
+    pub fn variant(&self) -> VmVariant {
+        self.variant
+    }
+
+    /// `true` if no instruction in the program needs an FPU.
+    pub fn is_fpu_free(&self) -> bool {
+        !self.instrs.iter().any(|i| {
+            matches!(
+                i,
+                Instr::LoadFloat { .. } | Instr::LoadFloatConst { .. } | Instr::Fcmp { .. }
+            )
+        })
+    }
+}
+
+fn compile_node(instrs: &mut Vec<Instr>, tree: &DecisionTree, id: NodeId, variant: VmVariant) {
+    match &tree.nodes()[id.index()] {
+        Node::Leaf { class, .. } => instrs.push(Instr::Ret { class: *class }),
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            match variant {
+                VmVariant::Flint => {
+                    let prepared = PreparedThreshold::new(*threshold)
+                        .expect("validated trees have no NaN thresholds");
+                    let key = prepared.key() as u32;
+                    instrs.push(Instr::LoadWord {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    if prepared.flips_sign() {
+                        instrs.push(Instr::EorSign { dst: 1 });
+                    }
+                    instrs.push(Instr::Movz {
+                        dst: 2,
+                        imm: (key & 0xffff) as u16,
+                    });
+                    instrs.push(Instr::Movk {
+                        dst: 2,
+                        imm: (key >> 16) as u16,
+                        shift: 16,
+                    });
+                    instrs.push(Instr::Cmp { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    // Placeholder target patched after the left subtree.
+                    if prepared.flips_sign() {
+                        instrs.push(Instr::BranchLt { target: 0 });
+                    } else {
+                        instrs.push(Instr::BranchGt { target: 0 });
+                    }
+                    compile_node(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } | Instr::BranchLt { target } => {
+                            *target = else_target
+                        }
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node(instrs, tree, *right, variant);
+                }
+                VmVariant::NativeFloat => {
+                    instrs.push(Instr::LoadFloat {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    instrs.push(Instr::LoadFloatConst {
+                        dst: 2,
+                        value: *threshold,
+                    });
+                    instrs.push(Instr::Fcmp { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    instrs.push(Instr::BranchGt { target: 0 });
+                    compile_node(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } => *target = else_target,
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node(instrs, tree, *right, variant);
+                }
+                VmVariant::SoftFloat => {
+                    let bits = threshold.to_bits();
+                    instrs.push(Instr::LoadWord {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    instrs.push(Instr::Movz {
+                        dst: 2,
+                        imm: (bits & 0xffff) as u16,
+                    });
+                    instrs.push(Instr::Movk {
+                        dst: 2,
+                        imm: (bits >> 16) as u16,
+                        shift: 16,
+                    });
+                    instrs.push(Instr::SoftCmp { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    instrs.push(Instr::BranchGt { target: 0 });
+                    compile_node(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } => *target = else_target,
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node(instrs, tree, *right, variant);
+                }
+            }
+        }
+    }
+}
+
+fn compile_node_f64(instrs: &mut Vec<Instr>, tree: &DecisionTree, id: NodeId, variant: VmVariant) {
+    match &tree.nodes()[id.index()] {
+        Node::Leaf { class, .. } => instrs.push(Instr::Ret { class: *class }),
+        Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
+            let wide = f64::from(*threshold);
+            let emit_imm64 = |instrs: &mut Vec<Instr>, key: u64| {
+                instrs.push(Instr::Movz {
+                    dst: 2,
+                    imm: (key & 0xffff) as u16,
+                });
+                for shift in [16u8, 32, 48] {
+                    instrs.push(Instr::Movk {
+                        dst: 2,
+                        imm: ((key >> shift) & 0xffff) as u16,
+                        shift,
+                    });
+                }
+            };
+            match variant {
+                VmVariant::Flint => {
+                    let prepared = PreparedThreshold::new(wide)
+                        .expect("validated trees have no NaN thresholds");
+                    instrs.push(Instr::LoadDword {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    if prepared.flips_sign() {
+                        instrs.push(Instr::EorSign64 { dst: 1 });
+                    }
+                    emit_imm64(instrs, prepared.key() as u64);
+                    instrs.push(Instr::Cmp64 { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    if prepared.flips_sign() {
+                        instrs.push(Instr::BranchLt { target: 0 });
+                    } else {
+                        instrs.push(Instr::BranchGt { target: 0 });
+                    }
+                    compile_node_f64(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } | Instr::BranchLt { target } => {
+                            *target = else_target
+                        }
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node_f64(instrs, tree, *right, variant);
+                }
+                VmVariant::NativeFloat => {
+                    instrs.push(Instr::LoadDouble {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    instrs.push(Instr::LoadDoubleConst {
+                        dst: 2,
+                        value: wide,
+                    });
+                    instrs.push(Instr::Fcmp { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    instrs.push(Instr::BranchGt { target: 0 });
+                    compile_node_f64(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } => *target = else_target,
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node_f64(instrs, tree, *right, variant);
+                }
+                VmVariant::SoftFloat => {
+                    instrs.push(Instr::LoadDword {
+                        dst: 1,
+                        offset: *feature,
+                    });
+                    emit_imm64(instrs, wide.to_bits());
+                    instrs.push(Instr::SoftCmp64 { a: 1, b: 2 });
+                    let branch_slot = instrs.len();
+                    instrs.push(Instr::BranchGt { target: 0 });
+                    compile_node_f64(instrs, tree, *left, variant);
+                    let else_target = instrs.len() as u32;
+                    match &mut instrs[branch_slot] {
+                        Instr::BranchGt { target } => *target = else_target,
+                        _ => unreachable!("branch slot holds a branch"),
+                    }
+                    compile_node_f64(instrs, tree, *right, variant);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flint_forest::example_tree;
+
+    #[test]
+    fn lowering_emits_listing5_shape_per_split() {
+        let tree = example_tree();
+        let program = TreeProgram::compile(&tree, VmVariant::Flint);
+        assert_eq!(program.variant(), VmVariant::Flint);
+        // Every split contributes load/movz/movk/cmp/branch (+ optional
+        // eor); every leaf contributes exactly one ret.
+        let rets = program
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, Instr::Ret { .. }))
+            .count();
+        let cmps = program
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i, Instr::Cmp { .. }))
+            .count();
+        assert_eq!(rets, 3, "example tree has three leaves");
+        assert_eq!(cmps, 2, "example tree has two splits");
+        assert!(program.is_fpu_free());
+    }
+
+    #[test]
+    fn branch_targets_are_in_range() {
+        let tree = example_tree();
+        for variant in [
+            VmVariant::Flint,
+            VmVariant::NativeFloat,
+            VmVariant::SoftFloat,
+        ] {
+            let program = TreeProgram::compile(&tree, variant);
+            let len = program.instrs().len() as u32;
+            for instr in program.instrs() {
+                if let Instr::BranchGt { target }
+                | Instr::BranchLt { target }
+                | Instr::Jump { target } = instr
+                {
+                    assert!(*target < len, "{variant:?}: target {target} out of {len}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forest_lowering_is_per_tree() {
+        use flint_data::synth::SynthSpec;
+        use flint_forest::{ForestConfig, RandomForest};
+        let data = SynthSpec::new(120, 4, 3).seed(9).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 6)).expect("trainable");
+        let programs = TreeProgram::compile_forest(&forest, VmVariant::Flint);
+        assert_eq!(programs.len(), forest.n_trees());
+        for (tree, program) in forest.trees().iter().zip(&programs) {
+            assert_eq!(program, &TreeProgram::compile(tree, VmVariant::Flint));
+        }
+    }
+}

@@ -1,16 +1,14 @@
 //! An integer-only tree virtual machine — the executable stand-in for
 //! the paper's direct assembly implementation.
 //!
-//! We cannot JIT the emitted assembly text inside a portable library,
-//! so trees are compiled to a tiny bytecode whose instructions map
-//! one-to-one onto the machine instructions of Listing 5:
-//! [`Instr::LoadWord`] ↔ `ldrsw`, [`Instr::Movz`]/[`Instr::Movk`] ↔
-//! immediate materialization, [`Instr::EorSign`] ↔ `eor`,
-//! [`Instr::Cmp`] ↔ `cmp`, [`Instr::BranchGt`]/[`Instr::BranchLt`] ↔
-//! `b.gt`/`b.lt`, [`Instr::Ret`] ↔ the leaf's return. Executing a
-//! program therefore performs *exactly* the instruction sequence the
-//! assembly backend would, which is what the cost-model simulator in
-//! `flint-sim` charges per machine profile.
+//! The lowering from trees to the Listing-5 instruction stream lives in
+//! [`crate::program`] (shared with the `flint-exec` template JIT, which
+//! lowers the *same* [`TreeProgram`]s to x86-64 machine code); this
+//! module is the interpreter half: [`VmProgram`] executes a program one
+//! instruction at a time, counting per-kind instruction executions for
+//! the cost-model simulator in `flint-sim`. Executing a program
+//! performs *exactly* the instruction sequence the assembly backend
+//! would, which is what the simulator charges per machine profile.
 //!
 //! Three compilation variants cover the evaluation's comparison axes:
 //!
@@ -22,163 +20,11 @@
 //!   compared by a software-float comparison call (machines *without*
 //!   an FPU running naive trees).
 
-use flint_core::PreparedThreshold;
-use flint_forest::{DecisionTree, Node, NodeId, RandomForest};
+// The instruction set and the lowering are defined once in `program`;
+// re-exported here so `vm::Instr`-style paths keep working.
+pub use crate::program::{Instr, Reg, TreeProgram, VmVariant};
+use flint_forest::{DecisionTree, RandomForest};
 use flint_softfloat::soft_le;
-
-/// Register index (the VM has 4 integer and 4 float registers; the
-/// generated code only ever uses two of each, like the listings).
-pub type Reg = u8;
-
-/// One VM instruction. Each variant corresponds to one machine
-/// instruction of the respective backend.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Instr {
-    /// Integer load of the feature word at `offset` (in words) from the
-    /// feature vector — `ldrsw x, [base, #off]`.
-    LoadWord {
-        /// Destination integer register.
-        dst: Reg,
-        /// Feature index.
-        offset: u32,
-    },
-    /// Float load of the feature at `offset` — `ldr s, [base, #off]`
-    /// (requires an FPU).
-    LoadFloat {
-        /// Destination float register.
-        dst: Reg,
-        /// Feature index.
-        offset: u32,
-    },
-    /// Materialize the low 16 bits of an immediate — `movz`.
-    Movz {
-        /// Destination integer register.
-        dst: Reg,
-        /// Low half of the immediate.
-        imm: u16,
-    },
-    /// Materialize 16 bits of an immediate at a shifted position —
-    /// `movk …, lsl <shift>` (shift 16 for `f32` keys; 16/32/48 for the
-    /// four-part `f64` keys of the double precision backend).
-    Movk {
-        /// Destination integer register.
-        dst: Reg,
-        /// The 16-bit half/quarter of the immediate.
-        imm: u16,
-        /// Bit position (16, 32 or 48).
-        shift: u8,
-    },
-    /// 64-bit integer load of the feature doubleword at `offset` — the
-    /// `ldr x, [base, #off]` of the double precision backend.
-    LoadDword {
-        /// Destination integer register.
-        dst: Reg,
-        /// Feature index.
-        offset: u32,
-    },
-    /// Load a float constant from the literal pool — `ldr s, =const`
-    /// (data-memory access; requires an FPU).
-    LoadFloatConst {
-        /// Destination float register.
-        dst: Reg,
-        /// The constant.
-        value: f32,
-    },
-    /// Load a double constant from the literal pool (double precision
-    /// naive backend; requires an FPU).
-    LoadDoubleConst {
-        /// Destination float register.
-        dst: Reg,
-        /// The constant.
-        value: f64,
-    },
-    /// Float load of the double at `offset` — `ldr d, [base, #off]`.
-    LoadDouble {
-        /// Destination float register.
-        dst: Reg,
-        /// Feature index.
-        offset: u32,
-    },
-    /// Flip the sign bit of a 32-bit register — `eor w, w, #0x80000000`.
-    EorSign {
-        /// Register to flip.
-        dst: Reg,
-    },
-    /// Flip bit 63 of a 64-bit register — `eor x, x, #1<<63`.
-    EorSign64 {
-        /// Register to flip.
-        dst: Reg,
-    },
-    /// Signed 32-bit integer compare, sets flags — `cmp w, w`.
-    Cmp {
-        /// Left operand.
-        a: Reg,
-        /// Right operand.
-        b: Reg,
-    },
-    /// Signed 64-bit integer compare, sets flags — `cmp x, x`.
-    Cmp64 {
-        /// Left operand.
-        a: Reg,
-        /// Right operand.
-        b: Reg,
-    },
-    /// Software float comparison of two 64-bit registers holding f64
-    /// patterns (double precision softfloat backend).
-    SoftCmp64 {
-        /// Left operand (bit pattern).
-        a: Reg,
-        /// Right operand (bit pattern).
-        b: Reg,
-    },
-    /// Hardware float compare, sets flags — `fcmp` (requires an FPU).
-    Fcmp {
-        /// Left float operand.
-        a: Reg,
-        /// Right float operand.
-        b: Reg,
-    },
-    /// Software float comparison of two integer registers holding float
-    /// bit patterns; sets flags as if `fcmp` ran. Models a call into a
-    /// softfloat runtime (`__aeabi_cfcmple` and friends).
-    SoftCmp {
-        /// Left operand (bit pattern).
-        a: Reg,
-        /// Right operand (bit pattern).
-        b: Reg,
-    },
-    /// Branch to `target` when flags say "greater than" — `b.gt`.
-    BranchGt {
-        /// Absolute instruction index.
-        target: u32,
-    },
-    /// Branch to `target` when flags say "less than" — `b.lt`.
-    BranchLt {
-        /// Absolute instruction index.
-        target: u32,
-    },
-    /// Unconditional branch — `b`.
-    Jump {
-        /// Absolute instruction index.
-        target: u32,
-    },
-    /// Return the class in the instruction — leaf epilogue.
-    Ret {
-        /// Predicted class.
-        class: u32,
-    },
-}
-
-/// Comparison idiom a program was compiled with.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum VmVariant {
-    /// FLInt: integer loads and compares only.
-    Flint,
-    /// Native float instructions (FPU machines, naive trees).
-    NativeFloat,
-    /// Software float comparison calls (FPU-less machines, naive trees).
-    SoftFloat,
-}
 
 /// Per-instruction-kind execution counts of one program run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -279,63 +125,60 @@ impl core::fmt::Display for VmError {
 
 impl std::error::Error for VmError {}
 
-/// A compiled tree program.
+/// A compiled tree program bound to the interpreter.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VmProgram {
-    instrs: Vec<Instr>,
-    variant: VmVariant,
+    program: TreeProgram,
+}
+
+impl From<TreeProgram> for VmProgram {
+    /// Binds an already-lowered program to the interpreter.
+    fn from(program: TreeProgram) -> Self {
+        Self { program }
+    }
 }
 
 impl VmProgram {
-    /// Compiles `tree` under the given comparison variant.
-    ///
-    /// The emitted instruction sequence per split node matches
-    /// Listing 5: load, (flip,) materialize immediate, compare,
-    /// conditional branch to the else block; leaves return.
+    /// Compiles `tree` under the given comparison variant (the shared
+    /// lowering of [`TreeProgram::compile`]).
     ///
     /// # Panics
     ///
     /// Panics if the tree contains NaN thresholds (prevented by tree
     /// validation).
     pub fn compile(tree: &DecisionTree, variant: VmVariant) -> Self {
-        let mut instrs = Vec::new();
-        compile_node(&mut instrs, tree, NodeId::ROOT, variant);
-        Self { instrs, variant }
+        TreeProgram::compile(tree, variant).into()
     }
 
-    /// Compiles `tree` as a **double precision** program: 64-bit loads
-    /// (`ldr x`), four-part immediate materialization (`movz` + three
-    /// `movk`), bit-63 sign flips and 64-bit compares. Thresholds widen
-    /// exactly from the trained `f32` values; run it with
+    /// Compiles `tree` as a **double precision** program (the shared
+    /// lowering of [`TreeProgram::compile_f64`]); run it with
     /// [`run_f64`](Self::run_f64).
     ///
     /// # Panics
     ///
     /// Panics if the tree contains NaN thresholds.
     pub fn compile_f64(tree: &DecisionTree, variant: VmVariant) -> Self {
-        let mut instrs = Vec::new();
-        compile_node_f64(&mut instrs, tree, NodeId::ROOT, variant);
-        Self { instrs, variant }
+        TreeProgram::compile_f64(tree, variant).into()
+    }
+
+    /// The underlying shared program.
+    pub fn program(&self) -> &TreeProgram {
+        &self.program
     }
 
     /// The compiled instruction stream.
     pub fn instrs(&self) -> &[Instr] {
-        &self.instrs
+        self.program.instrs()
     }
 
     /// The comparison variant this program uses.
     pub fn variant(&self) -> VmVariant {
-        self.variant
+        self.program.variant()
     }
 
     /// `true` if no instruction in the program needs an FPU.
     pub fn is_fpu_free(&self) -> bool {
-        !self.instrs.iter().any(|i| {
-            matches!(
-                i,
-                Instr::LoadFloat { .. } | Instr::LoadFloatConst { .. } | Instr::Fcmp { .. }
-            )
-        })
+        self.program.is_fpu_free()
     }
 
     /// Executes a single precision program on `f32` features.
@@ -360,6 +203,7 @@ impl VmProgram {
     }
 
     fn exec(&self, features: FeatureBank<'_>) -> Result<(u32, ExecStats), VmError> {
+        let instrs = self.program.instrs();
         let mut stats = ExecStats::default();
         // Integer registers are raw 64-bit containers; 32-bit
         // instructions address their low words like `wN` views of `xN`.
@@ -368,14 +212,14 @@ impl VmProgram {
         let mut flag_gt = false;
         let mut flag_lt = false;
         let mut pc = 0usize;
-        let budget = self.instrs.len() as u64 * 4 + 16;
+        let budget = instrs.len() as u64 * 4 + 16;
         let mut executed = 0u64;
         loop {
             if executed > budget {
                 return Err(VmError::BudgetExhausted);
             }
             executed += 1;
-            let instr = *self.instrs.get(pc).ok_or(VmError::FellOffEnd)?;
+            let instr = *instrs.get(pc).ok_or(VmError::FellOffEnd)?;
             pc += 1;
             match instr {
                 Instr::LoadWord { dst, offset } => {
@@ -528,199 +372,6 @@ impl FeatureBank<'_> {
     }
 }
 
-fn compile_node(instrs: &mut Vec<Instr>, tree: &DecisionTree, id: NodeId, variant: VmVariant) {
-    match &tree.nodes()[id.index()] {
-        Node::Leaf { class, .. } => instrs.push(Instr::Ret { class: *class }),
-        Node::Split {
-            feature,
-            threshold,
-            left,
-            right,
-        } => {
-            match variant {
-                VmVariant::Flint => {
-                    let prepared = PreparedThreshold::new(*threshold)
-                        .expect("validated trees have no NaN thresholds");
-                    let key = prepared.key() as u32;
-                    instrs.push(Instr::LoadWord {
-                        dst: 1,
-                        offset: *feature,
-                    });
-                    if prepared.flips_sign() {
-                        instrs.push(Instr::EorSign { dst: 1 });
-                    }
-                    instrs.push(Instr::Movz {
-                        dst: 2,
-                        imm: (key & 0xffff) as u16,
-                    });
-                    instrs.push(Instr::Movk {
-                        dst: 2,
-                        imm: (key >> 16) as u16,
-                        shift: 16,
-                    });
-                    instrs.push(Instr::Cmp { a: 1, b: 2 });
-                    let branch_slot = instrs.len();
-                    // Placeholder target patched after the left subtree.
-                    if prepared.flips_sign() {
-                        instrs.push(Instr::BranchLt { target: 0 });
-                    } else {
-                        instrs.push(Instr::BranchGt { target: 0 });
-                    }
-                    compile_node(instrs, tree, *left, variant);
-                    let else_target = instrs.len() as u32;
-                    match &mut instrs[branch_slot] {
-                        Instr::BranchGt { target } | Instr::BranchLt { target } => {
-                            *target = else_target
-                        }
-                        _ => unreachable!("branch slot holds a branch"),
-                    }
-                    compile_node(instrs, tree, *right, variant);
-                }
-                VmVariant::NativeFloat => {
-                    instrs.push(Instr::LoadFloat {
-                        dst: 1,
-                        offset: *feature,
-                    });
-                    instrs.push(Instr::LoadFloatConst {
-                        dst: 2,
-                        value: *threshold,
-                    });
-                    instrs.push(Instr::Fcmp { a: 1, b: 2 });
-                    let branch_slot = instrs.len();
-                    instrs.push(Instr::BranchGt { target: 0 });
-                    compile_node(instrs, tree, *left, variant);
-                    let else_target = instrs.len() as u32;
-                    match &mut instrs[branch_slot] {
-                        Instr::BranchGt { target } => *target = else_target,
-                        _ => unreachable!("branch slot holds a branch"),
-                    }
-                    compile_node(instrs, tree, *right, variant);
-                }
-                VmVariant::SoftFloat => {
-                    let bits = threshold.to_bits();
-                    instrs.push(Instr::LoadWord {
-                        dst: 1,
-                        offset: *feature,
-                    });
-                    instrs.push(Instr::Movz {
-                        dst: 2,
-                        imm: (bits & 0xffff) as u16,
-                    });
-                    instrs.push(Instr::Movk {
-                        dst: 2,
-                        imm: (bits >> 16) as u16,
-                        shift: 16,
-                    });
-                    instrs.push(Instr::SoftCmp { a: 1, b: 2 });
-                    let branch_slot = instrs.len();
-                    instrs.push(Instr::BranchGt { target: 0 });
-                    compile_node(instrs, tree, *left, variant);
-                    let else_target = instrs.len() as u32;
-                    match &mut instrs[branch_slot] {
-                        Instr::BranchGt { target } => *target = else_target,
-                        _ => unreachable!("branch slot holds a branch"),
-                    }
-                    compile_node(instrs, tree, *right, variant);
-                }
-            }
-        }
-    }
-}
-
-fn compile_node_f64(instrs: &mut Vec<Instr>, tree: &DecisionTree, id: NodeId, variant: VmVariant) {
-    match &tree.nodes()[id.index()] {
-        Node::Leaf { class, .. } => instrs.push(Instr::Ret { class: *class }),
-        Node::Split {
-            feature,
-            threshold,
-            left,
-            right,
-        } => {
-            let wide = f64::from(*threshold);
-            let emit_imm64 = |instrs: &mut Vec<Instr>, key: u64| {
-                instrs.push(Instr::Movz {
-                    dst: 2,
-                    imm: (key & 0xffff) as u16,
-                });
-                for shift in [16u8, 32, 48] {
-                    instrs.push(Instr::Movk {
-                        dst: 2,
-                        imm: ((key >> shift) & 0xffff) as u16,
-                        shift,
-                    });
-                }
-            };
-            match variant {
-                VmVariant::Flint => {
-                    let prepared = PreparedThreshold::new(wide)
-                        .expect("validated trees have no NaN thresholds");
-                    instrs.push(Instr::LoadDword {
-                        dst: 1,
-                        offset: *feature,
-                    });
-                    if prepared.flips_sign() {
-                        instrs.push(Instr::EorSign64 { dst: 1 });
-                    }
-                    emit_imm64(instrs, prepared.key() as u64);
-                    instrs.push(Instr::Cmp64 { a: 1, b: 2 });
-                    let branch_slot = instrs.len();
-                    if prepared.flips_sign() {
-                        instrs.push(Instr::BranchLt { target: 0 });
-                    } else {
-                        instrs.push(Instr::BranchGt { target: 0 });
-                    }
-                    compile_node_f64(instrs, tree, *left, variant);
-                    let else_target = instrs.len() as u32;
-                    match &mut instrs[branch_slot] {
-                        Instr::BranchGt { target } | Instr::BranchLt { target } => {
-                            *target = else_target
-                        }
-                        _ => unreachable!("branch slot holds a branch"),
-                    }
-                    compile_node_f64(instrs, tree, *right, variant);
-                }
-                VmVariant::NativeFloat => {
-                    instrs.push(Instr::LoadDouble {
-                        dst: 1,
-                        offset: *feature,
-                    });
-                    instrs.push(Instr::LoadDoubleConst {
-                        dst: 2,
-                        value: wide,
-                    });
-                    instrs.push(Instr::Fcmp { a: 1, b: 2 });
-                    let branch_slot = instrs.len();
-                    instrs.push(Instr::BranchGt { target: 0 });
-                    compile_node_f64(instrs, tree, *left, variant);
-                    let else_target = instrs.len() as u32;
-                    match &mut instrs[branch_slot] {
-                        Instr::BranchGt { target } => *target = else_target,
-                        _ => unreachable!("branch slot holds a branch"),
-                    }
-                    compile_node_f64(instrs, tree, *right, variant);
-                }
-                VmVariant::SoftFloat => {
-                    instrs.push(Instr::LoadDword {
-                        dst: 1,
-                        offset: *feature,
-                    });
-                    emit_imm64(instrs, wide.to_bits());
-                    instrs.push(Instr::SoftCmp64 { a: 1, b: 2 });
-                    let branch_slot = instrs.len();
-                    instrs.push(Instr::BranchGt { target: 0 });
-                    compile_node_f64(instrs, tree, *left, variant);
-                    let else_target = instrs.len() as u32;
-                    match &mut instrs[branch_slot] {
-                        Instr::BranchGt { target } => *target = else_target,
-                        _ => unreachable!("branch slot holds a branch"),
-                    }
-                    compile_node_f64(instrs, tree, *right, variant);
-                }
-            }
-        }
-    }
-}
-
 /// A forest compiled to VM programs with majority-vote aggregation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VmForest {
@@ -732,10 +383,9 @@ impl VmForest {
     /// Compiles every tree of `forest` under `variant`.
     pub fn compile(forest: &RandomForest, variant: VmVariant) -> Self {
         Self {
-            programs: forest
-                .trees()
-                .iter()
-                .map(|t| VmProgram::compile(t, variant))
+            programs: TreeProgram::compile_forest(forest, variant)
+                .into_iter()
+                .map(VmProgram::from)
                 .collect(),
             n_classes: forest.n_classes(),
         }
@@ -802,6 +452,17 @@ mod tests {
             assert_eq!(float.run(&input).expect("runs").0, want);
             assert_eq!(soft.run(&input).expect("runs").0, want);
         }
+    }
+
+    #[test]
+    fn interpreter_executes_the_shared_lowering() {
+        let tree = example_tree();
+        let shared = TreeProgram::compile(&tree, VmVariant::Flint);
+        let vm = VmProgram::compile(&tree, VmVariant::Flint);
+        assert_eq!(vm.program(), &shared);
+        assert_eq!(vm.instrs(), shared.instrs());
+        let rebound: VmProgram = shared.into();
+        assert_eq!(rebound, vm);
     }
 
     #[test]

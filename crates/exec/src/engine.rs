@@ -17,8 +17,9 @@
 //!   registered engines are interchangeable prediction-for-prediction;
 //! * [`EngineKind`] — the engine space: the five [`BackendKind`]
 //!   if-else configurations × {scalar, blocked}, QuickScorer in both
-//!   comparison modes, the three codegen VM variants, and the 8-wide
-//!   SIMD lane engine in both comparison modes (17 engines;
+//!   comparison modes, the three codegen VM variants, the 8-wide
+//!   SIMD lane engine in both comparison modes, and the template JIT
+//!   in both comparison modes (19 engines;
 //!   [`BackendKind::PAPER_SET`] maps to [`EngineKind::PAPER_SET`], a
 //!   subset of this space);
 //! * [`EngineBuilder`] — turns `(RandomForest, EngineKind,
@@ -56,6 +57,7 @@ use crate::backend::{BackendKind, CompiledForest};
 // construction.
 use crate::batch::{score_spans, BatchEngine, BatchOptions};
 use crate::compile::CompileTreeError;
+use crate::jit::{JitCompare, TieredJit};
 use crate::simd::{SimdCompare, SimdEngine};
 use flint_codegen::{VmForest, VmVariant};
 use flint_data::{Dataset, FeatureMatrix};
@@ -152,14 +154,20 @@ pub enum EngineKind {
     /// through branchless compare/blend steps, with optional AVX2
     /// kernels behind the `simd-avx2` feature.
     Simd(SimdCompare),
+    /// The tiered template JIT ([`TieredJit`]): tree programs emitted
+    /// as x86-64 machine code in executable pages (`jit-x86` feature,
+    /// x86-64 Linux), interpreting cold forests and falling back to
+    /// the interpreter bit-identically where emitted code cannot run.
+    Jit(JitCompare),
 }
 
 impl EngineKind {
     /// Every registered engine, in registry order: the five scalar
     /// if-else configurations, their blocked counterparts, QuickScorer
-    /// in both comparison modes, the three VM variants, and the SIMD
-    /// lane engine in both comparison modes.
-    pub const ALL: [EngineKind; 17] = [
+    /// in both comparison modes, the three VM variants, the SIMD
+    /// lane engine in both comparison modes, and the template JIT in
+    /// both comparison modes.
+    pub const ALL: [EngineKind; 19] = [
         EngineKind::Scalar(BackendKind::Naive),
         EngineKind::Scalar(BackendKind::Cags),
         EngineKind::Scalar(BackendKind::Flint),
@@ -177,6 +185,8 @@ impl EngineKind {
         EngineKind::Vm(VmVariant::SoftFloat),
         EngineKind::Simd(SimdCompare::Flint),
         EngineKind::Simd(SimdCompare::Float),
+        EngineKind::Jit(JitCompare::Flint),
+        EngineKind::Jit(JitCompare::Float),
     ];
 
     /// The four configurations of the paper's Fig. 3, as engines —
@@ -208,6 +218,8 @@ impl EngineKind {
             EngineKind::Vm(VmVariant::SoftFloat) => "vm-softfloat",
             EngineKind::Simd(SimdCompare::Flint) => "simd",
             EngineKind::Simd(SimdCompare::Float) => "simd-float",
+            EngineKind::Jit(JitCompare::Flint) => "jit",
+            EngineKind::Jit(JitCompare::Float) => "jit-float",
         }
     }
 
@@ -264,6 +276,12 @@ impl EngineKind {
             }
             EngineKind::Simd(SimdCompare::Float) => {
                 "8-wide SIMD lane traversal, float compares, branchless blend"
+            }
+            EngineKind::Jit(JitCompare::Flint) => {
+                "tiered template JIT to x86-64 machine code, FLInt integer compares"
+            }
+            EngineKind::Jit(JitCompare::Float) => {
+                "tiered template JIT to x86-64 machine code, float ucomiss compares"
             }
         }
     }
@@ -429,6 +447,10 @@ impl<'f> EngineBuilder<'f> {
             EngineKind::Simd(compare) => Box::new(SimdLaneEngine {
                 forest: CompiledForest::compile(self.forest, compare.backend(), self.profile)?,
                 compare,
+                opts: self.opts,
+            }),
+            EngineKind::Jit(compare) => Box::new(JitEngine {
+                tiered: TieredJit::new(self.forest, compare),
                 opts: self.opts,
             }),
         })
@@ -682,6 +704,57 @@ impl Predictor for SimdLaneEngine {
     }
 }
 
+/// [`EngineKind::Jit`]: the tiered template JIT — interprets cold,
+/// compiles the forest to native x86-64 code on first hot use, degrades
+/// to the interpreter where emitted code cannot run. Unlike the other
+/// engines, [`describe`](Predictor::describe) is overridden to report
+/// the tier currently serving, so callers (and the fallback tests) can
+/// see whether answers come from native code or the interpreter.
+#[derive(Debug)]
+struct JitEngine {
+    tiered: TieredJit,
+    opts: BatchOptions,
+}
+
+impl Predictor for JitEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Jit(self.tiered.compare())
+    }
+
+    fn n_features(&self) -> usize {
+        self.tiered.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.tiered.n_classes()
+    }
+
+    fn options(&self) -> BatchOptions {
+        self.opts
+    }
+
+    fn describe(&self) -> &'static str {
+        self.tiered.describe()
+    }
+
+    fn predict_one(&self, features: &[f32]) -> u32 {
+        self.tiered.predict(features)
+    }
+
+    fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
+        assert_eq!(
+            matrix.n_features(),
+            self.tiered.n_features(),
+            "feature matrix width"
+        );
+        let mut out = vec![0u32; matrix.n_samples()];
+        score_rows(matrix, self.tiered.n_features(), opts, &mut out, |row| {
+            self.tiered.predict(row)
+        });
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -740,7 +813,9 @@ mod tests {
                 | EngineKind::Vm(VmVariant::NativeFloat)
                 | EngineKind::Vm(VmVariant::SoftFloat)
                 | EngineKind::Simd(SimdCompare::Flint)
-                | EngineKind::Simd(SimdCompare::Float) => {}
+                | EngineKind::Simd(SimdCompare::Float)
+                | EngineKind::Jit(JitCompare::Flint)
+                | EngineKind::Jit(JitCompare::Float) => {}
             }
         }
         let space = [
@@ -761,6 +836,8 @@ mod tests {
             EngineKind::Vm(VmVariant::SoftFloat),
             EngineKind::Simd(SimdCompare::Flint),
             EngineKind::Simd(SimdCompare::Float),
+            EngineKind::Jit(JitCompare::Flint),
+            EngineKind::Jit(JitCompare::Float),
         ];
         assert_eq!(space.len(), EngineKind::ALL.len());
         for kind in space {

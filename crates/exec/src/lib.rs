@@ -24,10 +24,16 @@
 //!   feature with runtime CPUID dispatch). Ragged tails read
 //!   zero-padded lanes from [`flint_data::FeatureMatrix::gather_lanes`]
 //!   instead of branching;
+//! * [`jit::TieredJit`] — the in-process template JIT: the same tree
+//!   programs the VM interprets, emitted as x86-64 machine code into
+//!   `mmap`'d W^X pages (`jit-x86` feature, x86-64 Linux) and called
+//!   directly. Cold forests interpret; a forest compiles on first hot
+//!   use; unsupported platforms fall back to the interpreter
+//!   bit-identically;
 //! * [`engine`] — the unified engine layer: the [`Predictor`] trait
 //!   over **every** prediction path in the workspace (scalar and
 //!   blocked if-else backends, the SIMD lane engine, QuickScorer, the
-//!   codegen VM) plus the [`EngineKind`] registry and
+//!   codegen VM, the template JIT) plus the [`EngineKind`] registry and
 //!   [`EngineBuilder`]. Consumers — CLI, benches, examples,
 //!   differential tests — select engines by name from one registry
 //!   instead of hand-wiring five APIs:
@@ -65,12 +71,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![deny(unsafe_code)]
+// The two unsafe islands (AVX2 kernels, JIT executable memory) opt in
+// with `#[allow(unsafe_code)]`; inside them, every unsafe operation
+// must still sit in an explicit `unsafe {}` block with its own SAFETY
+// comment — an `unsafe fn` signature alone discharges nothing.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod backend;
 pub mod batch;
 pub mod compile;
 pub mod compile64;
 pub mod engine;
+pub mod jit;
 pub mod simd;
 
 pub use backend::{BackendKind, CompareMode, CompiledForest};
@@ -78,4 +90,8 @@ pub use batch::{BatchEngine, BatchOptions};
 pub use compile::{CompileTreeError, FloatNode, FloatTree, IntNode, IntTree};
 pub use compile64::{FloatNode64, FloatTree64, IntNode64, IntTree64};
 pub use engine::{BuildEngineError, EngineBuilder, EngineKind, ParseEngineKindError, Predictor};
+pub use jit::{
+    jit_supported, EmittedCode, JitCompare, JitError, JitForest, JitTier, TieredJit,
+    DEFAULT_HOT_AFTER, FORCE_FALLBACK_ENV,
+};
 pub use simd::{avx2_enabled, SimdCompare, SimdEngine, LANES};

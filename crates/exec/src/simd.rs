@@ -644,33 +644,51 @@ mod avx2 {
                 if done[gi] {
                     continue;
                 }
-                let cursor = _mm256_load_si256(cursors[gi].0.as_ptr().cast());
+                // SAFETY: U32x8 is #[repr(align(32))], so the cursor
+                // slot is a valid aligned 32-byte load source.
+                let cursor = unsafe { _mm256_load_si256(cursors[gi].0.as_ptr().cast()) };
                 // Node word index: each node is four 32-bit words.
                 let word = _mm256_slli_epi32::<2>(cursor);
-                let feature = _mm256_i32gather_epi32::<4>(base, word);
+                // SAFETY: every cursor lane is root (0) or an in-tree
+                // child index, so word+0 indexes inside the four-word
+                // node slice (per the module soundness argument).
+                let feature = unsafe { _mm256_i32gather_epi32::<4>(base, word) };
                 let is_leaf = _mm256_cmpeq_epi32(feature, leaf);
                 if _mm256_movemask_epi8(is_leaf) == -1 {
                     done[gi] = true;
                     continue;
                 }
                 remaining = true;
-                let threshold = _mm256_i32gather_ps::<4>(
-                    base.cast(),
-                    _mm256_add_epi32(word, _mm256_set1_epi32(1)),
-                );
-                let left =
-                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(2)));
-                let right =
-                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(3)));
+                // SAFETY: word+1..word+3 index the threshold/left/right
+                // words of the same in-bounds node.
+                let threshold = unsafe {
+                    _mm256_i32gather_ps::<4>(
+                        base.cast(),
+                        _mm256_add_epi32(word, _mm256_set1_epi32(1)),
+                    )
+                };
+                // SAFETY: as above (word+2 of an in-bounds node).
+                let left = unsafe {
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(2)))
+                };
+                // SAFETY: as above (word+3 of an in-bounds node).
+                let right = unsafe {
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(3)))
+                };
                 // Leaf lanes gather lane slot 0 (feature clamped by andnot).
                 let fsafe = _mm256_andnot_si256(is_leaf, feature);
                 let xidx = _mm256_add_epi32(_mm256_slli_epi32::<3>(fsafe), lane_off);
-                let x = _mm256_i32gather_ps::<4>(slab.as_ptr(), xidx);
+                // SAFETY: xidx = feature*8 + lane with feature a valid
+                // index (or clamped to 0 for leaf lanes), inside the
+                // n_features*LANES slab.
+                let x = unsafe { _mm256_i32gather_ps::<4>(slab.as_ptr(), xidx) };
                 // LE_OQ: false on NaN — identical to scalar `<=`.
                 let go_left = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_LE_OQ>(x, threshold));
                 let next = _mm256_blendv_epi8(right, left, go_left);
                 let next = _mm256_blendv_epi8(next, cursor, is_leaf);
-                _mm256_store_si256(cursors[gi].0.as_mut_ptr().cast(), next);
+                // SAFETY: same aligned cursor slot as the load above,
+                // borrowed mutably — a valid 32-byte store target.
+                unsafe { _mm256_store_si256(cursors[gi].0.as_mut_ptr().cast(), next) };
             }
             if !remaining {
                 break;
@@ -692,27 +710,42 @@ mod avx2 {
                 if done[gi] {
                     continue;
                 }
-                let cursor = _mm256_load_si256(cursors[gi].0.as_ptr().cast());
+                // SAFETY: U32x8 is #[repr(align(32))], so the cursor
+                // slot is a valid aligned 32-byte load source.
+                let cursor = unsafe { _mm256_load_si256(cursors[gi].0.as_ptr().cast()) };
                 let word = _mm256_slli_epi32::<2>(cursor);
-                let ff = _mm256_i32gather_epi32::<4>(base, word);
+                // SAFETY: every cursor lane is root (0) or an in-tree
+                // child index, so word+0 indexes inside the four-word
+                // node slice (per the module soundness argument).
+                let ff = unsafe { _mm256_i32gather_epi32::<4>(base, word) };
                 let is_leaf = _mm256_cmpeq_epi32(ff, leaf);
                 if _mm256_movemask_epi8(is_leaf) == -1 {
                     done[gi] = true;
                     continue;
                 }
                 remaining = true;
-                let key =
-                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(1)));
-                let left =
-                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(2)));
-                let right =
-                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(3)));
+                // SAFETY: word+1..word+3 index the key/left/right words
+                // of the same in-bounds node.
+                let key = unsafe {
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(1)))
+                };
+                // SAFETY: as above (word+2 of an in-bounds node).
+                let left = unsafe {
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(2)))
+                };
+                // SAFETY: as above (word+3 of an in-bounds node).
+                let right = unsafe {
+                    _mm256_i32gather_epi32::<4>(base, _mm256_add_epi32(word, _mm256_set1_epi32(3)))
+                };
                 // The flip bit is the sign bit of feature_and_flip; leaf
                 // lanes also read as flipped but are blended back below.
                 let flip = _mm256_srai_epi32::<31>(ff);
                 let fsafe = _mm256_andnot_si256(is_leaf, _mm256_and_si256(ff, feat_mask));
                 let xidx = _mm256_add_epi32(_mm256_slli_epi32::<3>(fsafe), lane_off);
-                let bits = _mm256_i32gather_epi32::<4>(slab.as_ptr().cast(), xidx);
+                // SAFETY: xidx = feature*8 + lane with feature masked to
+                // a valid index (or clamped to 0 for leaf lanes), inside
+                // the n_features*LANES slab.
+                let bits = unsafe { _mm256_i32gather_epi32::<4>(slab.as_ptr().cast(), xidx) };
                 let bx = _mm256_xor_si256(bits, _mm256_and_si256(flip, sign));
                 // go right: flip ? key > bx : bx > key — the negation of
                 // PreparedThreshold::le_bits, lane-wise.
@@ -723,7 +756,9 @@ mod avx2 {
                 );
                 let next = _mm256_blendv_epi8(left, right, go_right);
                 let next = _mm256_blendv_epi8(next, cursor, is_leaf);
-                _mm256_store_si256(cursors[gi].0.as_mut_ptr().cast(), next);
+                // SAFETY: same aligned cursor slot as the load above,
+                // borrowed mutably — a valid 32-byte store target.
+                unsafe { _mm256_store_si256(cursors[gi].0.as_mut_ptr().cast(), next) };
             }
             if !remaining {
                 break;

@@ -1,8 +1,9 @@
 //! Cross-engine differential suite: every engine of the registry —
 //! scalar and blocked if-else backends, QuickScorer in both comparison
-//! modes, the three codegen VM variants — must return **bit-identical**
-//! labels to the forest's own majority vote, on every dataset, for
-//! every batch shape and thread count.
+//! modes, the three codegen VM variants, the SIMD lane engine, and the
+//! tiered template JIT — must return **bit-identical** labels to the
+//! forest's own majority vote, on every dataset, for every batch shape
+//! and thread count.
 //!
 //! This is the workspace-wide generalization of the paper's claim: not
 //! only is FLInt a drop-in replacement for float comparison inside one
@@ -20,7 +21,7 @@ use flint_codegen::VmVariant;
 use flint_data::synth::SynthSpec;
 use flint_data::uci::{Scale, UciDataset};
 use flint_data::{Dataset, FeatureMatrix};
-use flint_exec::{BackendKind, BatchOptions, EngineBuilder, EngineKind, SimdCompare};
+use flint_exec::{BackendKind, BatchOptions, EngineBuilder, EngineKind, JitCompare, SimdCompare};
 use flint_forest::{ForestConfig, RandomForest};
 use proptest::prelude::*;
 
@@ -183,14 +184,17 @@ fn engines_agree_on_non_nan_adversarial_columns() {
 /// strategy agrees with the scalar walk of its own comparison family —
 /// exactly the property a lane kernel with subtly different compare
 /// semantics (`_CMP_LE_OQ` vs `_CMP_LE_OS` vs `!(>)`) would break.
-/// Two registered strategies map to `None` because each has a NaN
-/// contract of its own with a single implementation, so there is
-/// nothing to diff against: QuickScorer's per-feature `threshold < x`
-/// scan treats unordered compares as "stop scanning" (and its FLInt
-/// mode debug-asserts NaN away entirely), and `vm-float` faithfully
-/// models the hardware `fcmp; b.gt` idiom of the paper's assembly
-/// backend, whose GT flag is false on unordered operands — NaN falls
-/// through to the *left* child, unlike the IEEE `<=`-is-false walk.
+/// QuickScorer maps to `None` because its NaN contract has a single
+/// implementation, so there is nothing to diff against: its per-feature
+/// `threshold < x` scan treats unordered compares as "stop scanning"
+/// (and its FLInt mode debug-asserts NaN away entirely). `vm-float`
+/// faithfully models the hardware `fcmp; b.gt` idiom of the paper's
+/// assembly backend, whose GT flag is false on unordered operands — NaN
+/// falls through to the *left* child, unlike the IEEE `<=`-is-false
+/// walk; `jit-float`'s `ucomiss; ja` encodes exactly the same contract
+/// (`ja` is never taken on unordered operands), so those two check each
+/// other. The JIT integer family executes the same FLInt order-key
+/// compare as every other FLInt engine.
 fn nan_reference(kind: EngineKind) -> Option<EngineKind> {
     match kind {
         EngineKind::Scalar(b) | EngineKind::Blocked(b) => Some(EngineKind::Scalar(b)),
@@ -198,6 +202,8 @@ fn nan_reference(kind: EngineKind) -> Option<EngineKind> {
         EngineKind::Simd(SimdCompare::Float) => Some(EngineKind::Scalar(BackendKind::Naive)),
         EngineKind::Vm(VmVariant::Flint) => Some(EngineKind::Scalar(BackendKind::Flint)),
         EngineKind::Vm(VmVariant::SoftFloat) => Some(EngineKind::Scalar(BackendKind::SoftFloat)),
+        EngineKind::Jit(JitCompare::Flint) => Some(EngineKind::Scalar(BackendKind::Flint)),
+        EngineKind::Jit(JitCompare::Float) => Some(EngineKind::Vm(VmVariant::NativeFloat)),
         EngineKind::Vm(VmVariant::NativeFloat) | EngineKind::QuickScorer(_) => None,
     }
 }
@@ -284,6 +290,157 @@ fn tail_blocks_agree_at_every_lane_boundary() {
                     );
                 }
             }
+        }
+    }
+}
+
+/// The two JIT registry kinds, targeted explicitly below. The generic
+/// registry-driven tests above already cover them; these tests add the
+/// JIT's own failure surfaces: rel32 patch distances, page-boundary
+/// crossings, degenerate programs, and the cold→hot tier transition.
+const JIT_KINDS: [EngineKind; 2] = [
+    EngineKind::Jit(JitCompare::Flint),
+    EngineKind::Jit(JitCompare::Float),
+];
+
+/// Deep model: thousands of split nodes, so emitted programs run far
+/// past 255 instructions, rel32 branch fixups span whole subtrees, and
+/// the packed forest code crosses 4 KiB page boundaries.
+fn deep_model(seed: u64) -> (Dataset, RandomForest) {
+    let data = SynthSpec::new(700, 6, 4)
+        .cluster_std(1.6)
+        .negative_fraction(0.5)
+        .seed(seed)
+        .generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(8, 14)).expect("trainable");
+    (data, forest)
+}
+
+/// Deep unbalanced programs, scored twice: the first pass starts on the
+/// cold interpreter tier and crosses the hot threshold mid-batch; the
+/// second pass runs entirely hot (native code under `jit-x86` on
+/// x86-64, interpreter fallback elsewhere). Both passes must be
+/// bit-identical to the forest's majority vote, and the engine must
+/// report it left the cold tier.
+#[test]
+fn jit_kinds_agree_on_deep_programs_cold_and_hot() {
+    let (data, forest) = deep_model(51);
+    let total_nodes: usize = forest.trees().iter().map(|t| t.nodes().len()).sum();
+    assert!(
+        total_nodes > 255,
+        "model too small to cross instruction/page boundaries: {total_nodes} nodes"
+    );
+    let matrix = FeatureMatrix::from_dataset(&data);
+    let reference = forest.predict_dataset_majority(&data);
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    for kind in JIT_KINDS {
+        let engine = builder.build(kind).expect("builds");
+        assert!(
+            engine.describe().contains("cold tier"),
+            "{} should start cold: {}",
+            engine.name(),
+            engine.describe()
+        );
+        let cold_pass = engine.predict_matrix(&matrix);
+        assert_eq!(cold_pass, reference, "{} cold→hot pass", engine.name());
+        assert!(
+            !engine.describe().contains("cold tier"),
+            "{} should have crossed the hot threshold: {}",
+            engine.name(),
+            engine.describe()
+        );
+        let hot_pass = engine.predict_matrix(&matrix);
+        assert_eq!(hot_pass, reference, "{} hot pass", engine.name());
+    }
+}
+
+/// Single-node, leaf-only trees: training data whose every label is
+/// the same class leaves no split with gain, so every tree collapses to
+/// a bare `Ret` program — the smallest emittable function (no loads, no
+/// compares, no branches to patch).
+#[test]
+fn jit_kinds_handle_leaf_only_trees() {
+    let rows: Vec<(Vec<f32>, u32)> = (0..60)
+        .map(|i| (vec![i as f32, -(i as f32), 0.5 * i as f32], 1))
+        .collect();
+    let one_class = Dataset::from_rows(3, 2, rows).expect("consistent rows");
+    let forest = RandomForest::fit(&one_class, &ForestConfig::grid(3, 4)).expect("trainable");
+    assert!(
+        forest.trees().iter().all(|t| t.nodes().len() == 1),
+        "pure training data must collapse to leaf-only trees"
+    );
+    let matrix = FeatureMatrix::from_dataset(&one_class);
+    let reference = forest.predict_dataset_majority(&one_class);
+    let builder = EngineBuilder::new(&forest).profile_data(&one_class);
+    for kind in JIT_KINDS {
+        // Hot from the first sample (scored repeatedly to pass the
+        // default threshold), still bit-identical.
+        let engine = builder.build(kind).expect("builds");
+        for _ in 0..3 {
+            assert_eq!(
+                engine.predict_matrix(&matrix),
+                reference,
+                "{}",
+                engine.name()
+            );
+        }
+    }
+}
+
+/// The adversarial-column battery aimed at the hot JIT tier: threshold
+/// ±1-ulp neighbours, signed zeros, subnormals and infinities scored
+/// *after* the engine has compiled, so the emitted compare/branch
+/// templates (not the interpreter) decide every boundary.
+#[test]
+fn jit_kinds_agree_on_adversarial_columns_when_hot() {
+    let (data, forest) = adversarial_model(53);
+    let n_features = forest.n_features();
+    let mut specials: Vec<f32> = vec![
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f32::from_bits(1),
+        -f32::from_bits(1),
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        f32::MAX,
+        f32::MIN,
+    ];
+    for t in forest.trees().iter().flat_map(|t| t.thresholds()).take(32) {
+        specials.push(t);
+        specials.push(f32::from_bits(t.to_bits().wrapping_add(1)));
+        specials.push(f32::from_bits(t.to_bits().wrapping_sub(1)));
+    }
+    specials.retain(|v| !v.is_nan());
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (i, &s) in specials.iter().enumerate() {
+        let mut row = data.sample(i % data.n_samples()).to_vec();
+        row[i % n_features] = s;
+        rows.push(row);
+        rows.push(vec![s; n_features]);
+    }
+    let matrix = matrix_of(&rows, n_features);
+    let reference: Vec<u32> = rows.iter().map(|r| forest.predict_majority(r)).collect();
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    for kind in JIT_KINDS {
+        let engine = builder.build(kind).expect("builds");
+        // Warm past the hot threshold on plain data first.
+        let warmup = FeatureMatrix::from_dataset(&data);
+        engine.predict_matrix(&warmup);
+        assert!(
+            !engine.describe().contains("cold tier"),
+            "{}",
+            engine.name()
+        );
+        for block in [1usize, 8, 64] {
+            let opts = BatchOptions::default().block_samples(block);
+            assert_eq!(
+                engine.predict_batch(&matrix, &opts),
+                reference,
+                "{} diverges hot at block {block}",
+                engine.name()
+            );
         }
     }
 }

@@ -50,7 +50,7 @@ fn response_class(line: &str) -> u32 {
 /// suite quietly stopped proving that engine and must fail here.
 #[test]
 fn differential_suite_covers_every_known_registry_name() {
-    const REQUIRED: [&str; 17] = [
+    const REQUIRED: [&str; 19] = [
         "naive",
         "cags",
         "flint",
@@ -68,6 +68,8 @@ fn differential_suite_covers_every_known_registry_name() {
         "vm-softfloat",
         "simd",
         "simd-float",
+        "jit",
+        "jit-float",
     ];
     let names: std::collections::BTreeSet<&str> =
         EngineKind::ALL.iter().map(|k| k.name()).collect();
