@@ -3,7 +3,7 @@
 
 use flint_data::uci::{Scale, UciDataset};
 use flint_data::{train_test_split, Dataset, FeatureMatrix, TrainTestSplit};
-use flint_exec::{BatchOptions, BuildEngineError, EngineBuilder, EngineKind};
+use flint_exec::{BatchOptions, BuildEngineError, EngineBuilder, EngineKind, HalfForest};
 use flint_forest::{ForestConfig, RandomForest};
 use flint_sim::{simulate_forest, Machine, SimConfig, SimulateError};
 use std::collections::BTreeMap;
@@ -252,8 +252,10 @@ pub struct ThroughputRow {
 /// it without cargo or criterion.
 ///
 /// Every engine is built from the registry with `opts` bound, its
-/// predictions are asserted bit-identical to the forest's majority vote
-/// (a throughput number for a wrong result is worthless), and then
+/// predictions are asserted bit-identical to its comparison family's
+/// scalar reference — the forest's majority vote for exact engines,
+/// the binary16 forest's scalar walk for the f16 engines (a throughput
+/// number for a wrong result is worthless) — and then
 /// `runs` scoring passes are timed; the median is reported. Rows come
 /// back in the order of `kinds`, each with its speedup relative to the
 /// first row (pass a scalar baseline first to reproduce the
@@ -266,7 +268,7 @@ pub struct ThroughputRow {
 /// # Panics
 ///
 /// Panics if `kinds` is empty, the matrix width differs from the
-/// model's, or an engine's predictions diverge from the reference.
+/// model's, or an engine's predictions diverge from its reference.
 pub fn batch_throughput_table(
     forest: &RandomForest,
     profile: Option<&Dataset>,
@@ -280,25 +282,38 @@ pub fn batch_throughput_table(
     if let Some(data) = profile {
         builder = builder.profile_data(data);
     }
-    let reference = {
+    let rows_of = |predict: &mut dyn FnMut(&[f32]) -> u32| {
         let mut row = vec![0.0f32; matrix.n_features()];
         (0..matrix.n_samples())
             .map(|i| {
                 matrix.gather_row(i, &mut row);
-                forest.predict_majority(&row)
+                predict(&row)
             })
             .collect::<Vec<u32>>()
     };
+    let exact_reference = rows_of(&mut |row| forest.predict_majority(row));
+    // The binary16 engines answer for their own comparison family;
+    // their reference is compiled lazily, once per compare mode.
+    let mut f16_references: BTreeMap<&'static str, Vec<u32>> = BTreeMap::new();
     let runs = runs.max(1);
     let n = matrix.n_samples() as f64;
     let mut rows = Vec::with_capacity(kinds.len());
     let mut first_secs = None;
     for &kind in kinds {
         let engine = builder.build(kind)?;
+        let reference: &Vec<u32> = match kind {
+            EngineKind::SimdF16(compare) => {
+                &*f16_references.entry(kind.name()).or_insert_with(|| {
+                    let half = HalfForest::compile(forest, compare).expect("f16 forests compile");
+                    rows_of(&mut |row| half.predict(row))
+                })
+            }
+            _ => &exact_reference,
+        };
         assert_eq!(
-            engine.predict_matrix(matrix),
+            &engine.predict_matrix(matrix),
             reference,
-            "{} diverges from the forest majority vote",
+            "{} diverges from its comparison family's scalar reference",
             engine.name()
         );
         let mut secs: Vec<f64> = (0..runs)

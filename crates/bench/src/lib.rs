@@ -37,8 +37,10 @@
 pub mod experiments;
 pub mod loadgen;
 pub mod report;
+pub mod shapes;
 
 pub use loadgen::{closed_loop, LatencySummary, LoadReport};
+pub use shapes::ForestShape;
 
 pub use experiments::{
     aggregate, batch_throughput_table, fig2_series, fig3_series, geometric_mean, train_grid,

@@ -1,0 +1,188 @@
+//! Forest-shape presets for the throughput harness: named
+//! `(ensemble, depth, workload)` points spanning the regimes the
+//! engines behave differently in, so `flint bench --shape ranking`
+//! reproduces a bandwidth-bound measurement without hand-picking
+//! training flags.
+//!
+//! * [`ForestShape::Magic`] — the paper's home regime: a few dozen
+//!   mid-depth trees (MAGIC-telescope scale), compute-bound, where the
+//!   per-node compare cost dominates;
+//! * [`ForestShape::Ranking`] — a ranking-style ensemble (hundreds of
+//!   shallow trees, LightGBM/LambdaMART shape): the node working set
+//!   blows past cache, traversal is memory-bandwidth-bound, and
+//!   halving node bytes (the `simd-f16` engines) pays directly;
+//! * [`ForestShape::Deep`] — few but deep trees: long dependent walks,
+//!   branch-history-hostile, the regime CAGS layouts target.
+
+use flint_data::synth::SynthSpec;
+use flint_data::Dataset;
+use flint_forest::{ForestConfig, RandomForest};
+
+/// A named forest/workload preset (see the module docs for the regime
+/// each one pins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForestShape {
+    /// ~24 trees × depth 10 over 10 features — the paper's regime.
+    Magic,
+    /// ~600 trees × depth 6 over 32 features — bandwidth-bound
+    /// ranking-ensemble scale.
+    Ranking,
+    /// ~12 trees × depth 18 over 16 features — long dependent walks.
+    Deep,
+}
+
+impl ForestShape {
+    /// Every preset, in documentation order.
+    pub const ALL: [ForestShape; 3] = [ForestShape::Magic, ForestShape::Ranking, ForestShape::Deep];
+
+    /// The stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ForestShape::Magic => "magic",
+            ForestShape::Ranking => "ranking",
+            ForestShape::Deep => "deep",
+        }
+    }
+
+    /// Looks a preset name up, ignoring ASCII case.
+    pub fn parse(name: &str) -> Option<ForestShape> {
+        ForestShape::ALL
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+
+    /// One-line description of the regime the preset pins.
+    pub fn describe(self) -> &'static str {
+        match self {
+            ForestShape::Magic => "24 trees x depth 10, 10 features: compute-bound paper regime",
+            ForestShape::Ranking => {
+                "600 trees x depth 6, 32 features: bandwidth-bound ranking ensemble"
+            }
+            ForestShape::Deep => "12 trees x depth 18, 16 features: deep dependent walks",
+        }
+    }
+
+    /// Ensemble size.
+    pub fn n_trees(self) -> usize {
+        match self {
+            ForestShape::Magic => 24,
+            ForestShape::Ranking => 600,
+            ForestShape::Deep => 12,
+        }
+    }
+
+    /// Depth cap.
+    pub fn max_depth(self) -> usize {
+        match self {
+            ForestShape::Magic => 10,
+            ForestShape::Ranking => 6,
+            ForestShape::Deep => 18,
+        }
+    }
+
+    /// Feature count of the synthetic workload.
+    pub fn n_features(self) -> usize {
+        match self {
+            ForestShape::Magic => 10,
+            ForestShape::Ranking => 32,
+            ForestShape::Deep => 16,
+        }
+    }
+
+    /// Class count of the synthetic workload.
+    pub fn n_classes(self) -> usize {
+        match self {
+            ForestShape::Magic | ForestShape::Ranking => 2,
+            ForestShape::Deep => 3,
+        }
+    }
+
+    /// Scored-sample count of the benchmark workload.
+    pub fn n_samples(self) -> usize {
+        match self {
+            ForestShape::Magic | ForestShape::Deep => 4096,
+            // The ranking forest itself is the memory hog; a smaller
+            // batch keeps a full-registry sweep affordable.
+            ForestShape::Ranking => 2048,
+        }
+    }
+
+    /// Generates the preset's synthetic workload (deterministic in
+    /// `seed`), spanning both signs so flipped FLInt thresholds occur.
+    pub fn dataset(self, seed: u64) -> Dataset {
+        SynthSpec::new(self.n_samples(), self.n_features(), self.n_classes())
+            .cluster_std(1.2)
+            .negative_fraction(0.5)
+            .seed(seed)
+            .generate()
+    }
+
+    /// Trains the preset's forest on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if training fails (the synthetic workloads always
+    /// train).
+    pub fn train(self, data: &Dataset, seed: u64) -> RandomForest {
+        let config = ForestConfig {
+            seed,
+            ..ForestConfig::grid(self.n_trees(), self.max_depth())
+        };
+        RandomForest::fit(data, &config).expect("shape presets train on their own workloads")
+    }
+}
+
+impl core::fmt::Display for ForestShape {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_parse_round_trip_case_insensitively() {
+        for shape in ForestShape::ALL {
+            assert_eq!(ForestShape::parse(shape.name()), Some(shape));
+            assert_eq!(
+                ForestShape::parse(&shape.name().to_uppercase()),
+                Some(shape)
+            );
+            assert_eq!(shape.to_string(), shape.name());
+            assert!(!shape.describe().is_empty());
+        }
+        assert_eq!(ForestShape::parse("bonsai"), None);
+    }
+
+    #[test]
+    fn ranking_is_the_wide_shallow_preset() {
+        // The acceptance shape for the bandwidth-bound f16 claim: many
+        // hundreds of trees, shallow depth.
+        assert!(ForestShape::Ranking.n_trees() >= 200);
+        assert!(ForestShape::Ranking.max_depth() <= 8);
+        assert!(ForestShape::Deep.max_depth() > ForestShape::Magic.max_depth());
+    }
+
+    #[test]
+    fn presets_generate_and_train_consistently() {
+        // Magic only — the ranking preset is deliberately too big for a
+        // unit test, and the plumbing is shape-independent.
+        let shape = ForestShape::Magic;
+        let data = shape.dataset(7);
+        assert_eq!(data.n_samples(), shape.n_samples());
+        assert_eq!(data.n_features(), shape.n_features());
+        assert_eq!(data.n_classes(), shape.n_classes());
+        let forest = shape.train(&data, 7);
+        assert_eq!(forest.n_trees(), shape.n_trees());
+        assert!(forest.depth() <= shape.max_depth());
+        assert_eq!(forest.n_features(), shape.n_features());
+        let again = shape.train(&shape.dataset(7), 7);
+        assert_eq!(
+            forest.predict_majority(data.sample(0)),
+            again.predict_majority(data.sample(0)),
+            "presets are deterministic in the seed"
+        );
+    }
+}

@@ -44,8 +44,12 @@ pub enum Command {
     /// workload (the `batch_throughput` table without cargo/criterion),
     /// or list the engine registry.
     Bench {
-        /// Input CSV used as the workload (required unless `list`).
+        /// Input CSV used as the workload (required unless `list` or
+        /// `shape`).
         data: Option<String>,
+        /// Forest-shape preset (`magic`, `ranking`, `deep`) generating
+        /// a synthetic workload + forest instead of `--data`.
+        shape: Option<String>,
         /// Number of classes in the CSV's label column (required
         /// unless `list`).
         classes: Option<usize>,
@@ -220,6 +224,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
         }),
         "bench" => Ok(Command::Bench {
             data: map.get("data").cloned(),
+            shape: map.get("shape").cloned(),
             classes: map
                 .get("classes")
                 .map(|v| parse_number(v, "classes"))
@@ -332,6 +337,8 @@ USAGE:
   flint predict    --model model.txt --data d.csv --classes K [--backend ENGINE] [--accuracy] [--batch-size B] [--threads T]
   flint bench      --data d.csv --classes K [--model model.txt] [--trees N] [--depth D] [--seed S]
                    [--batch-size B] [--threads T] [--runs R] [--engines a,b,c] [--output table|csv|json]
+  flint bench      --shape magic|ranking|deep [--seed S] [--batch-size B] [--threads T]
+                   [--runs R] [--engines a,b,c] [--output table|csv|json]
   flint bench      --list
   flint serve      --model model.txt [--engine ENGINE] [--max-batch B] [--linger-us U]
                    [--workers W] [--queue-depth Q] [--addr HOST:PORT] [--stdin]
@@ -344,9 +351,15 @@ ENGINE is any name from the engine registry (`flint bench --list`,
 case-insensitive): the five if-else configurations
 (naive|cags|flint|cags-flint|softfloat), their blocked batch
 counterparts (*-blocked), quickscorer[-float], the instruction-level
-VM variants (vm-flint|vm-float|vm-softfloat), and the 8-wide SIMD
-lane engines (simd|simd-float; build with --features simd-avx2 for
-the AVX2 kernels).
+VM variants (vm-flint|vm-float|vm-softfloat), the 8-wide SIMD lane
+engines (simd|simd-float; build with --features simd-avx2 for the
+AVX2 kernels), and their half-precision node-slab counterparts
+(simd-f16|simd-f16-float). Set FLINT_KERNEL=portable|avx2|neon to
+override the auto-dispatched kernel path.
+
+`flint bench --shape` generates a named synthetic workload instead of
+reading a CSV: magic (24 trees x depth 10), ranking (600 x 6,
+bandwidth-bound), deep (12 x 18).
 
 `flint serve` speaks one request per line (CSV feature row or
 {\"features\":[...]}; `stats` and `shutdown` commands) and answers one
@@ -453,6 +466,7 @@ mod tests {
             cmd,
             Command::Bench {
                 data: Some("d.csv".into()),
+                shape: None,
                 classes: Some(2),
                 model: None,
                 trees: 24,
@@ -530,6 +544,26 @@ mod tests {
         assert!(err.0.contains("--model"), "{err}");
         let err = parse(&argv("serve --model m.txt --max-batch soon")).unwrap_err();
         assert!(err.0.contains("max-batch"), "{err}");
+    }
+
+    #[test]
+    fn parse_bench_shape_preset() {
+        let cmd = parse(&argv("bench --shape ranking --runs 3")).expect("parses");
+        match cmd {
+            Command::Bench {
+                shape,
+                data,
+                classes,
+                runs,
+                ..
+            } => {
+                assert_eq!(shape.as_deref(), Some("ranking"));
+                assert_eq!(data, None);
+                assert_eq!(classes, None);
+                assert_eq!(runs, 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -2,13 +2,13 @@
 //! real process invocation.
 
 use crate::args::{Command, USAGE};
-use flint_bench::batch_throughput_table;
+use flint_bench::{batch_throughput_table, ForestShape};
 use flint_codegen::{
     emit_forest_c, emit_forest_c_f64, emit_forest_rust, emit_tree_asm, AsmTarget, CVariant,
     RustVariant,
 };
 use flint_data::{csv, Dataset, FeatureMatrix};
-use flint_exec::{BatchOptions, EngineBuilder, EngineKind};
+use flint_exec::{BatchOptions, EngineBuilder, EngineKind, KernelCaps};
 use flint_forest::metrics::accuracy;
 use flint_forest::{io as model_io, ForestConfig, RandomForest};
 use flint_serve::{serve_lines, BatchPolicy, Batcher, Server};
@@ -66,6 +66,20 @@ impl From<flint_forest::train::TrainError> for RunError {
     fn from(e: flint_forest::train::TrainError) -> Self {
         Self::Train(e)
     }
+}
+
+/// Short git revision of the working tree, `"unknown"` outside a
+/// checkout (bench provenance only — never load-bearing).
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|rev| rev.trim().to_owned())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
 }
 
 fn load_csv(path: &str, classes: usize) -> Result<Dataset, RunError> {
@@ -194,6 +208,7 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
         }
         Command::Bench {
             data,
+            shape,
             classes,
             model,
             trees,
@@ -218,22 +233,53 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
                     "unknown --output {output:?} (try table|csv|json)"
                 )));
             }
-            let (Some(data), Some(classes)) = (data, classes) else {
-                return Err(RunError::Invalid(
-                    "bench needs --data and --classes (or --list)".to_owned(),
-                ));
-            };
-            let dataset = load_csv(&data, classes)?;
-            let forest = match model {
-                Some(path) => load_model(&path)?,
-                None => {
-                    let config = ForestConfig {
-                        n_trees: trees,
-                        max_depth: depth,
-                        seed,
-                        ..ForestConfig::default()
+            // The workload is either a CSV (plus an optional stored or
+            // in-process-trained model) or a named shape preset that
+            // generates and trains its own.
+            let (dataset, forest, shape_name) = match (&shape, data) {
+                (Some(_), Some(_)) => {
+                    return Err(RunError::Invalid(
+                        "--shape and --data are mutually exclusive".to_owned(),
+                    ));
+                }
+                (Some(name), None) => {
+                    let preset = ForestShape::parse(name).ok_or_else(|| {
+                        RunError::Invalid(format!(
+                            "unknown --shape {name:?} (try magic|ranking|deep)"
+                        ))
+                    })?;
+                    if model.is_some() {
+                        return Err(RunError::Invalid(
+                            "--shape trains its own preset forest; drop --model".to_owned(),
+                        ));
+                    }
+                    let dataset = preset.dataset(seed);
+                    let forest = preset.train(&dataset, seed);
+                    (dataset, forest, Some(preset.name()))
+                }
+                (None, Some(data)) => {
+                    let classes = classes.ok_or_else(|| {
+                        RunError::Invalid("bench needs --classes with --data".to_owned())
+                    })?;
+                    let dataset = load_csv(&data, classes)?;
+                    let forest = match model {
+                        Some(path) => load_model(&path)?,
+                        None => {
+                            let config = ForestConfig {
+                                n_trees: trees,
+                                max_depth: depth,
+                                seed,
+                                ..ForestConfig::default()
+                            };
+                            RandomForest::fit(&dataset, &config)?
+                        }
                     };
-                    RandomForest::fit(&dataset, &config)?
+                    (dataset, forest, None)
+                }
+                (None, None) => {
+                    return Err(RunError::Invalid(
+                        "bench needs --data and --classes, --shape, or --list".to_owned(),
+                    ));
                 }
             };
             if forest.n_features() != dataset.n_features() {
@@ -276,6 +322,10 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
                     }
                 }
                 "json" => {
+                    // Schema 2: an object that pins the provenance a
+                    // checked-in snapshot needs — host kernel caps, git
+                    // revision, shape preset and workload — with the
+                    // measurements under "engines".
                     let objects: Vec<String> = rows
                         .iter()
                         .map(|row| {
@@ -289,19 +339,44 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
                             )
                         })
                         .collect();
-                    writeln!(out, "[{}]", objects.join(","))?;
-                }
-                _ => {
                     writeln!(
                         out,
-                        "workload: {} samples x {} features, {} trees, block {} x {} threads, {} runs",
+                        "{{\"schema\":\"flint-bench/2\",\"kernel_caps\":\"{}\",\
+                         \"git_rev\":\"{}\",\"shape\":{},\
+                         \"workload\":{{\"samples\":{},\"features\":{},\"trees\":{},\
+                         \"block\":{},\"threads\":{},\"runs\":{}}},\
+                         \"engines\":[{}]}}",
+                        KernelCaps::get().summary(),
+                        git_rev(),
+                        match shape_name {
+                            Some(name) => format!("\"{name}\""),
+                            None => "null".to_owned(),
+                        },
                         dataset.n_samples(),
                         dataset.n_features(),
                         forest.n_trees(),
                         opts.block_samples,
                         opts.threads,
-                        runs.max(1)
+                        runs.max(1),
+                        objects.join(",")
                     )?;
+                }
+                _ => {
+                    writeln!(
+                        out,
+                        "workload: {} samples x {} features, {} trees, block {} x {} threads, {} runs{}",
+                        dataset.n_samples(),
+                        dataset.n_features(),
+                        forest.n_trees(),
+                        opts.block_samples,
+                        opts.threads,
+                        runs.max(1),
+                        match shape_name {
+                            Some(name) => format!(", shape {name}"),
+                            None => String::new(),
+                        }
+                    )?;
+                    writeln!(out, "host kernel caps: {}", KernelCaps::get().summary())?;
                     writeln!(
                         out,
                         "{:<20} {:>12} {:>12} {:>9}",
@@ -661,12 +736,39 @@ mod tests {
         assert!(lines[2].starts_with("flint-blocked,"), "{csv}");
         let json = run_argv(&format!("{base} --output json")).expect("benches");
         assert_eq!(json.lines().count(), 1, "{json}");
-        assert!(json.starts_with('['), "{json}");
+        assert!(json.starts_with("{\"schema\":\"flint-bench/2\""), "{json}");
+        assert!(json.contains("\"kernel_caps\":\""), "{json}");
+        assert!(json.contains("\"git_rev\":\""), "{json}");
+        assert!(json.contains("\"shape\":null"), "{json}");
+        assert!(json.contains("\"workload\":{\"samples\":120,"), "{json}");
+        assert!(json.contains("\"engines\":[{"), "{json}");
         assert!(json.contains("\"engine\":\"flint\""), "{json}");
         assert!(json.contains("\"median_ms\":"), "{json}");
+        assert!(json.trim_end().ends_with("}]}"), "{json}");
         let err = run_argv(&format!("{base} --output yaml")).unwrap_err();
         assert!(err.to_string().contains("table|csv|json"), "{err}");
         let _ = std::fs::remove_file(data_path);
+    }
+
+    #[test]
+    fn bench_shape_preset_generates_its_own_workload() {
+        let json = run_argv(
+            "bench --shape magic --runs 1 --batch-size 64 --engines flint,simd-f16 --output json",
+        )
+        .expect("benches");
+        assert!(json.contains("\"shape\":\"magic\""), "{json}");
+        assert!(
+            json.contains("\"workload\":{\"samples\":4096,\"features\":10,\"trees\":24,"),
+            "{json}"
+        );
+        assert!(json.contains("\"engine\":\"simd-f16\""), "{json}");
+
+        let err = run_argv("bench --shape bonsai").unwrap_err();
+        assert!(err.to_string().contains("unknown --shape"), "{err}");
+        let err = run_argv("bench --shape magic --data d.csv --classes 2").unwrap_err();
+        assert!(err.to_string().contains("mutually exclusive"), "{err}");
+        let err = run_argv("bench --shape magic --model m.txt").unwrap_err();
+        assert!(err.to_string().contains("preset forest"), "{err}");
     }
 
     #[test]
@@ -801,13 +903,14 @@ mod tests {
             model_path.display()
         ))
         .expect("benches");
-        // One row per registered engine plus the two headers and the
-        // trailing note.
+        // One row per registered engine plus the workload and caps
+        // lines, the header, and the trailing note.
         assert_eq!(
             output.lines().count(),
-            EngineKind::ALL.len() + 3,
+            EngineKind::ALL.len() + 4,
             "{output}"
         );
+        assert!(output.contains("host kernel caps:"), "{output}");
         let _ = std::fs::remove_file(data_path);
         let _ = std::fs::remove_file(model_path);
     }

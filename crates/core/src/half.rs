@@ -72,8 +72,13 @@ impl Half {
         let exp = ((bits >> 23) & 0xff) as i32;
         let man = bits & 0x007f_ffff;
         if exp == 0xff {
-            // Inf / NaN.
-            return Half(sign | 0x7c00 | u16::from(man != 0) << 9 | ((man >> 14) as u16 & 0x1ff));
+            if man == 0 {
+                return Half(sign | 0x7c00); // infinity
+            }
+            // NaN: keep the top 10 payload bits and force the quiet
+            // bit — exactly the VCVTPS2PH hardware mapping, so F16C
+            // bulk conversions stay bit-identical to this function.
+            return Half(sign | 0x7c00 | 0x0200 | ((man >> 13) as u16 & 0x3ff));
         }
         let unbiased = exp - 127;
         if unbiased > 15 {
@@ -291,6 +296,106 @@ mod tests {
         assert_eq!(Half::INFINITY.to_f32(), f32::INFINITY);
         assert_eq!(Half::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
         assert_eq!(Half::MIN_POSITIVE_SUBNORMAL.to_f32(), 2f32.powi(-24));
+    }
+
+    /// Maps a half bit pattern to a key whose `u16` order is the FLInt
+    /// total order (negatives reversed, `-0 < +0`).
+    fn total_order_key(bits: u16) -> u16 {
+        if bits & 0x8000 != 0 {
+            !bits
+        } else {
+            bits | 0x8000
+        }
+    }
+
+    #[test]
+    fn from_f32_is_monotone_across_every_half_boundary() {
+        // `from_f32` is a rounding, so it must be monotone: for every
+        // pair of adjacent finite halves (a, b), inputs just below the
+        // f32 midpoint land on `a`, inputs just above land on `b`, and
+        // the midpoint itself lands on one of the two (ties to even).
+        // Exhaustive over all 63 488 non-NaN patterns.
+        let mut finite: Vec<Half> = (0u16..=u16::MAX)
+            .map(Half::from_bits)
+            .filter(|h| !h.is_nan() && h.biased_exponent() != 0x1f)
+            .collect();
+        finite.sort_by_key(|h| total_order_key(h.to_bits()));
+        for pair in finite.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            // The midpoint of two adjacent halves is exact in f32
+            // (one extra significand bit is all it needs).
+            let mid = (a.to_f32() + b.to_f32()) / 2.0;
+            assert_eq!(
+                Half::from_f32(mid.next_down()),
+                a,
+                "below midpoint {mid} must round down to {:#06x}",
+                a.to_bits()
+            );
+            assert_eq!(
+                Half::from_f32(mid.next_up()),
+                b,
+                "above midpoint {mid} must round up to {:#06x}",
+                b.to_bits()
+            );
+            let tie = Half::from_f32(mid);
+            assert!(
+                tie == a || tie == b,
+                "midpoint {mid} escaped its bracket: {:#06x}",
+                tie.to_bits()
+            );
+            assert_eq!(
+                tie.to_bits() & 1,
+                0,
+                "midpoint {mid} must tie to the even neighbor"
+            );
+        }
+    }
+
+    #[test]
+    fn from_f32_pins_subnormal_inf_nan_edges() {
+        // Subnormal floor: halfway between 0 and the smallest
+        // subnormal ties to even (zero); anything above rounds up.
+        assert_eq!(Half::from_f32(2f32.powi(-24)), Half::MIN_POSITIVE_SUBNORMAL);
+        assert_eq!(Half::from_f32(2f32.powi(-25)), Half::ZERO);
+        assert_eq!(
+            Half::from_f32(2f32.powi(-25).next_up()),
+            Half::MIN_POSITIVE_SUBNORMAL
+        );
+        assert_eq!(Half::from_f32(-(2f32.powi(-25))), Half::NEG_ZERO);
+        // Halfway between subnormals 0x0001 and 0x0002: even wins.
+        assert_eq!(Half::from_f32(3.0 * 2f32.powi(-25)).to_bits(), 0x0002);
+        // Subnormal/normal seam: the largest subnormal and the
+        // smallest normal are adjacent, not overlapping.
+        assert_eq!(Half::from_f32(1023.0 * 2f32.powi(-24)).to_bits(), 0x03ff);
+        assert_eq!(Half::from_f32(2f32.powi(-14)).to_bits(), 0x0400);
+        // Overflow seam: 65520 is halfway between MAX (odd mantissa)
+        // and the would-be 65536 — ties-to-even overflows to infinity.
+        assert_eq!(Half::from_f32(65520.0f32.next_down()), Half::MAX);
+        assert_eq!(Half::from_f32(65520.0), Half::INFINITY);
+        assert_eq!(Half::from_f32(-65520.0), Half::NEG_INFINITY);
+        assert_eq!(Half::from_f32(f32::INFINITY), Half::INFINITY);
+        assert_eq!(Half::from_f32(f32::NEG_INFINITY), Half::NEG_INFINITY);
+        // NaN stays NaN (never collapses to infinity), both signs and
+        // arbitrary payloads.
+        assert!(Half::from_f32(f32::NAN).is_nan());
+        assert!(Half::from_f32(-f32::NAN).is_nan());
+        assert!(Half::from_f32(f32::from_bits(0x7f80_0001)).is_nan());
+        assert!(Half::from_f32(f32::from_bits(0xffc1_2345)).is_nan());
+        // The payload mapping is pinned to the VCVTPS2PH hardware rule
+        // (top 10 payload bits kept, quiet bit forced) so the F16C
+        // bulk conversion path can be bit-identical to this function.
+        assert_eq!(
+            Half::from_f32(f32::from_bits(0x7fc0_0000)).to_bits(),
+            0x7e00
+        );
+        assert_eq!(
+            Half::from_f32(f32::from_bits(0x7f80_2000)).to_bits(),
+            0x7e01
+        );
+        assert_eq!(
+            Half::from_f32(f32::from_bits(0xffff_ffff)).to_bits(),
+            0xffff
+        );
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! the flat-array tree backends consume).
 
 use crate::dataset::Dataset;
+use flint_core::half::Half;
 
 /// The lane width of the workspace's SIMD gather layout: every
 /// lane-group spans this many samples, and
@@ -183,6 +184,36 @@ impl FeatureMatrix {
             dst[live..].fill(0.0);
         }
     }
+
+    /// The half-precision variant of [`FeatureMatrix::gather_lanes`]:
+    /// the same feature-major, zero-padded slab layout, but every lane
+    /// holds the sample's value converted **once** to binary16
+    /// ([`Half::from_f32`], round-to-nearest-even — a monotone
+    /// mapping) and stored as its raw bit pattern. The f16 lane
+    /// engines walk these slabs at half the bytes per gather, and the
+    /// scalar f16 reference walk applies the identical per-value
+    /// conversion, so quantization happens in exactly one place.
+    ///
+    /// Pad lanes hold `0x0000` (binary16 `+0.0`), mirroring the `0.0`
+    /// pad of the f32 slabs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= n_samples()` or `group` is not
+    /// `n_features() * LANES` long.
+    pub fn gather_lanes_f16(&self, start: usize, group: &mut [u16]) {
+        assert!(start < self.n_samples, "lane gather start");
+        assert_eq!(group.len(), self.n_features * LANES, "lane buffer length");
+        let live = LANES.min(self.n_samples - start);
+        for f in 0..self.n_features {
+            let src = &self.column(f)[start..start + live];
+            let dst = &mut group[f * LANES..(f + 1) * LANES];
+            for (slot, &v) in dst[..live].iter_mut().zip(src) {
+                *slot = Half::from_f32(v).to_bits();
+            }
+            dst[live..].fill(Half::ZERO.to_bits());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +314,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn gather_lanes_f16_quantizes_and_pads() {
+        let ds = dataset();
+        let m = FeatureMatrix::from_dataset(&ds);
+        for start in 0..ds.n_samples() {
+            let live = LANES.min(ds.n_samples() - start);
+            let mut group = vec![u16::MAX; 3 * LANES];
+            m.gather_lanes_f16(start, &mut group);
+            for f in 0..3 {
+                for j in 0..LANES {
+                    let want = if j < live {
+                        Half::from_f32(m.get(start + j, f)).to_bits()
+                    } else {
+                        0
+                    };
+                    assert_eq!(
+                        group[f * LANES + j],
+                        want,
+                        "start {start} feature {f} lane {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_lanes_f16_keeps_special_values() {
+        let specials = [0.0f32, -0.0, f32::INFINITY, f32::NEG_INFINITY, 65504.0];
+        let rows: Vec<(Vec<f32>, u32)> = specials.iter().map(|&v| (vec![v], 0)).collect();
+        let ds = Dataset::from_rows(1, 1, rows).expect("valid");
+        let m = FeatureMatrix::from_dataset(&ds);
+        let mut group = vec![0u16; LANES];
+        m.gather_lanes_f16(0, &mut group);
+        assert_eq!(group[0], Half::ZERO.to_bits());
+        assert_eq!(group[1], Half::NEG_ZERO.to_bits());
+        assert_eq!(group[2], Half::INFINITY.to_bits());
+        assert_eq!(group[3], Half::NEG_INFINITY.to_bits());
+        assert_eq!(group[4], Half::MAX.to_bits());
     }
 
     #[test]

@@ -89,6 +89,13 @@ pub enum CompileTreeError {
         /// The offending node.
         node: NodeId,
     },
+    /// A node position or leaf class does not fit a 16-bit field of
+    /// the half-precision node encoding ([`crate::f16`] trees must
+    /// stay under 65 535 nodes).
+    IndexOverflow {
+        /// The offending node.
+        node: NodeId,
+    },
 }
 
 impl core::fmt::Display for CompileTreeError {
@@ -99,6 +106,12 @@ impl core::fmt::Display for CompileTreeError {
                 write!(
                     f,
                     "node {node} has a feature index colliding with the flip bit"
+                )
+            }
+            Self::IndexOverflow { node } => {
+                write!(
+                    f,
+                    "node {node} does not fit the 16-bit half-precision node encoding"
                 )
             }
         }

@@ -18,8 +18,9 @@
 //! * [`EngineKind`] — the engine space: the five [`BackendKind`]
 //!   if-else configurations × {scalar, blocked}, QuickScorer in both
 //!   comparison modes, the three codegen VM variants, the 8-wide
-//!   SIMD lane engine in both comparison modes, and the template JIT
-//!   in both comparison modes (19 engines;
+//!   SIMD lane engine in both comparison modes, the template JIT
+//!   in both comparison modes, and the half-precision lane engine in
+//!   both comparison modes (21 engines;
 //!   [`BackendKind::PAPER_SET`] maps to [`EngineKind::PAPER_SET`], a
 //!   subset of this space);
 //! * [`EngineBuilder`] — turns `(RandomForest, EngineKind,
@@ -45,7 +46,11 @@
 //! let reference = forest.predict_dataset_majority(&data);
 //! for kind in EngineKind::ALL {
 //!     let engine = builder.build(kind)?;
-//!     assert_eq!(engine.predict_matrix(&matrix), reference, "{}", engine.name());
+//!     // `is_exact` engines are bit-identical to the f32 majority
+//!     // vote; the f16 engines answer for their own binary16 family.
+//!     if kind.is_exact() {
+//!         assert_eq!(engine.predict_matrix(&matrix), reference, "{}", engine.name());
+//!     }
 //! }
 //! # Ok(())
 //! # }
@@ -57,8 +62,10 @@ use crate::backend::{BackendKind, CompiledForest};
 // construction.
 use crate::batch::{score_spans, BatchEngine, BatchOptions};
 use crate::compile::CompileTreeError;
+use crate::dispatch::KernelPath;
+use crate::f16::{HalfCompare, HalfForest, SimdF16Engine};
 use crate::jit::{JitCompare, TieredJit};
-use crate::simd::{SimdCompare, SimdEngine};
+use crate::simd::{lane_policy, SimdCompare, SimdEngine};
 use flint_codegen::{VmForest, VmVariant};
 use flint_data::{Dataset, FeatureMatrix};
 use flint_forest::RandomForest;
@@ -68,10 +75,13 @@ use flint_qscorer::{QsCompare, QsForest};
 /// compiled and ready to score.
 ///
 /// All engines implement the same majority-vote aggregation (ties to
-/// the lower class index), so any two registered engines built from the
-/// same forest return bit-identical labels on every input — the
-/// workspace-wide generalization of the paper's "accuracy unchanged"
-/// claim, asserted by `tests/engine_equivalence.rs`.
+/// the lower class index), so any two registered engines of the same
+/// precision built from the same forest return bit-identical labels on
+/// every input — the workspace-wide generalization of the paper's
+/// "accuracy unchanged" claim, asserted by
+/// `tests/engine_equivalence.rs`. The binary16 engines
+/// ([`EngineKind::is_exact`] is false) answer for their own f16
+/// comparison family instead: bit-identical to [`HalfForest::predict`].
 ///
 /// `Send + Sync` are explicit supertraits: a boxed engine is shared
 /// across scoring workers by the `flint-serve` micro-batching front
@@ -159,15 +169,23 @@ pub enum EngineKind {
     /// x86-64 Linux), interpreting cold forests and falling back to
     /// the interpreter bit-identically where emitted code cannot run.
     Jit(JitCompare),
+    /// The half-precision lane engine ([`SimdF16Engine`]): the same
+    /// wave-interleaved branchless walk over 8-byte binary16 nodes and
+    /// `u16` feature slabs — half the memory traffic per level. Its
+    /// own comparison family: bit-identical to the scalar f16 walk
+    /// ([`HalfForest::predict`]), *not* to the f32 majority vote
+    /// (see [`EngineKind::is_exact`]).
+    SimdF16(HalfCompare),
 }
 
 impl EngineKind {
     /// Every registered engine, in registry order: the five scalar
     /// if-else configurations, their blocked counterparts, QuickScorer
     /// in both comparison modes, the three VM variants, the SIMD
-    /// lane engine in both comparison modes, and the template JIT in
+    /// lane engine in both comparison modes, the template JIT in
+    /// both comparison modes, and the half-precision lane engine in
     /// both comparison modes.
-    pub const ALL: [EngineKind; 19] = [
+    pub const ALL: [EngineKind; 21] = [
         EngineKind::Scalar(BackendKind::Naive),
         EngineKind::Scalar(BackendKind::Cags),
         EngineKind::Scalar(BackendKind::Flint),
@@ -187,6 +205,8 @@ impl EngineKind {
         EngineKind::Simd(SimdCompare::Float),
         EngineKind::Jit(JitCompare::Flint),
         EngineKind::Jit(JitCompare::Float),
+        EngineKind::SimdF16(HalfCompare::Flint),
+        EngineKind::SimdF16(HalfCompare::Float),
     ];
 
     /// The four configurations of the paper's Fig. 3, as engines —
@@ -220,6 +240,8 @@ impl EngineKind {
             EngineKind::Simd(SimdCompare::Float) => "simd-float",
             EngineKind::Jit(JitCompare::Flint) => "jit",
             EngineKind::Jit(JitCompare::Float) => "jit-float",
+            EngineKind::SimdF16(HalfCompare::Flint) => "simd-f16",
+            EngineKind::SimdF16(HalfCompare::Float) => "simd-f16-float",
         }
     }
 
@@ -283,7 +305,25 @@ impl EngineKind {
             EngineKind::Jit(JitCompare::Float) => {
                 "tiered template JIT to x86-64 machine code, float ucomiss compares"
             }
+            EngineKind::SimdF16(HalfCompare::Flint) => {
+                "8-wide lane traversal over 8-byte binary16 nodes, FLInt 16-bit compares"
+            }
+            EngineKind::SimdF16(HalfCompare::Float) => {
+                "8-wide lane traversal over 8-byte binary16 nodes, widen-to-f32 compares"
+            }
         }
+    }
+
+    /// Whether the engine is bit-identical to the f32 forest's
+    /// majority vote on every input — true for all full-precision
+    /// engines (the workspace-wide form of the paper's "accuracy
+    /// unchanged" claim), false for the binary16 engines, which
+    /// quantize thresholds and features to half precision and are
+    /// instead bit-identical to their own scalar f16 reference
+    /// ([`HalfForest::predict`]). Differential suites use this to pick
+    /// the right reference per engine.
+    pub fn is_exact(self) -> bool {
+        !matches!(self, EngineKind::SimdF16(_))
     }
 
     /// Looks a registry name up (the inverse of
@@ -447,11 +487,17 @@ impl<'f> EngineBuilder<'f> {
             EngineKind::Simd(compare) => Box::new(SimdLaneEngine {
                 forest: CompiledForest::compile(self.forest, compare.backend(), self.profile)?,
                 compare,
+                // The kernel path (and any FLINT_KERNEL override) is
+                // resolved once here, at engine build time.
+                path: lane_policy().select(),
                 opts: self.opts,
             }),
             EngineKind::Jit(compare) => Box::new(JitEngine {
                 tiered: TieredJit::new(self.forest, compare),
                 opts: self.opts,
+            }),
+            EngineKind::SimdF16(compare) => Box::new(SimdF16LaneEngine {
+                engine: SimdF16Engine::new(HalfForest::compile(self.forest, compare)?, self.opts),
             }),
         })
     }
@@ -669,13 +715,42 @@ impl Predictor for VmEngine {
 
 /// [`EngineKind::Simd`]: the 8-wide lane-parallel traversal — lane
 /// groups of samples walk each tree through branchless compare/blend
-/// steps over zero-padded gathers, with runtime-dispatched AVX2
-/// kernels when the `simd-avx2` feature is on.
+/// steps over zero-padded gathers. The kernel path (portable, AVX2 or
+/// NEON) is dispatched once at build time through
+/// [`lane_policy`], honoring the `FLINT_KERNEL` override, and
+/// [`describe`](Predictor::describe) reports the path actually chosen.
 #[derive(Debug)]
 struct SimdLaneEngine {
     forest: CompiledForest,
     compare: SimdCompare,
+    path: KernelPath,
     opts: BatchOptions,
+}
+
+/// The dispatch-aware description of the f32 lane engine: the base
+/// strategy line with the resolved kernel path appended in the stable
+/// `[kernel <path>]` suffix log scrapers key on.
+fn simd_describe(compare: SimdCompare, path: KernelPath) -> &'static str {
+    match (compare, path) {
+        (SimdCompare::Flint, KernelPath::Portable) => {
+            "8-wide SIMD lane traversal, FLInt integer compares, branchless blend [kernel portable]"
+        }
+        (SimdCompare::Flint, KernelPath::Avx2) => {
+            "8-wide SIMD lane traversal, FLInt integer compares, branchless blend [kernel avx2]"
+        }
+        (SimdCompare::Flint, KernelPath::Neon) => {
+            "8-wide SIMD lane traversal, FLInt integer compares, branchless blend [kernel neon]"
+        }
+        (SimdCompare::Float, KernelPath::Portable) => {
+            "8-wide SIMD lane traversal, float compares, branchless blend [kernel portable]"
+        }
+        (SimdCompare::Float, KernelPath::Avx2) => {
+            "8-wide SIMD lane traversal, float compares, branchless blend [kernel avx2]"
+        }
+        (SimdCompare::Float, KernelPath::Neon) => {
+            "8-wide SIMD lane traversal, float compares, branchless blend [kernel neon]"
+        }
+    }
 }
 
 impl Predictor for SimdLaneEngine {
@@ -695,12 +770,84 @@ impl Predictor for SimdLaneEngine {
         self.opts
     }
 
+    fn describe(&self) -> &'static str {
+        simd_describe(self.compare, self.path)
+    }
+
     fn predict_one(&self, features: &[f32]) -> u32 {
         self.forest.predict(features)
     }
 
     fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
-        SimdEngine::new(&self.forest, *opts).predict(matrix)
+        SimdEngine::new(&self.forest, *opts)
+            .with_kernel(self.path)
+            .predict(matrix)
+    }
+}
+
+/// [`EngineKind::SimdF16`]: the half-precision lane engine — the wave
+/// walk of [`SimdLaneEngine`] over 8-byte binary16 nodes and `u16`
+/// feature slabs. `predict_one` runs the family's scalar reference
+/// ([`HalfForest::predict`]), so single-row and batched answers are
+/// bit-identical by construction; [`describe`](Predictor::describe)
+/// reports the dispatched kernel path.
+#[derive(Debug)]
+struct SimdF16LaneEngine {
+    engine: SimdF16Engine,
+}
+
+/// The dispatch-aware description of the f16 lane engine (same
+/// `[kernel <path>]` suffix contract as [`simd_describe`]).
+fn simd_f16_describe(compare: HalfCompare, path: KernelPath) -> &'static str {
+    match (compare, path) {
+        (HalfCompare::Flint, KernelPath::Portable) => {
+            "8-wide lane traversal over 8-byte binary16 nodes, FLInt 16-bit compares [kernel portable]"
+        }
+        (HalfCompare::Flint, KernelPath::Avx2) => {
+            "8-wide lane traversal over 8-byte binary16 nodes, FLInt 16-bit compares [kernel avx2]"
+        }
+        (HalfCompare::Flint, KernelPath::Neon) => {
+            "8-wide lane traversal over 8-byte binary16 nodes, FLInt 16-bit compares [kernel neon]"
+        }
+        (HalfCompare::Float, KernelPath::Portable) => {
+            "8-wide lane traversal over 8-byte binary16 nodes, widen-to-f32 compares [kernel portable]"
+        }
+        (HalfCompare::Float, KernelPath::Avx2) => {
+            "8-wide lane traversal over 8-byte binary16 nodes, widen-to-f32 compares [kernel avx2]"
+        }
+        (HalfCompare::Float, KernelPath::Neon) => {
+            "8-wide lane traversal over 8-byte binary16 nodes, widen-to-f32 compares [kernel neon]"
+        }
+    }
+}
+
+impl Predictor for SimdF16LaneEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::SimdF16(self.engine.forest().compare())
+    }
+
+    fn n_features(&self) -> usize {
+        self.engine.forest().n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.engine.forest().n_classes()
+    }
+
+    fn options(&self) -> BatchOptions {
+        self.engine.options()
+    }
+
+    fn describe(&self) -> &'static str {
+        simd_f16_describe(self.engine.forest().compare(), self.engine.kernel_path())
+    }
+
+    fn predict_one(&self, features: &[f32]) -> u32 {
+        self.engine.forest().predict(features)
+    }
+
+    fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
+        self.engine.predict_with(matrix, opts)
     }
 }
 
@@ -787,7 +934,7 @@ mod tests {
     /// `match` below enumerates every `(outer, inner)` combination
     /// with **no wildcard at any level**, so growing `EngineKind` *or*
     /// any of its payload enums (`BackendKind`, `QsCompare`,
-    /// `VmVariant`, `SimdCompare`) refuses to compile here until the
+    /// `VmVariant`, `SimdCompare`, `HalfCompare`) refuses to compile here until the
     /// new engine is added to the match — and the match arms double as
     /// the reconstruction of the full engine space that `ALL` and
     /// `parse` are then checked against, so forgetting to register the
@@ -815,7 +962,9 @@ mod tests {
                 | EngineKind::Simd(SimdCompare::Flint)
                 | EngineKind::Simd(SimdCompare::Float)
                 | EngineKind::Jit(JitCompare::Flint)
-                | EngineKind::Jit(JitCompare::Float) => {}
+                | EngineKind::Jit(JitCompare::Float)
+                | EngineKind::SimdF16(HalfCompare::Flint)
+                | EngineKind::SimdF16(HalfCompare::Float) => {}
             }
         }
         let space = [
@@ -838,6 +987,8 @@ mod tests {
             EngineKind::Simd(SimdCompare::Float),
             EngineKind::Jit(JitCompare::Flint),
             EngineKind::Jit(JitCompare::Float),
+            EngineKind::SimdF16(HalfCompare::Flint),
+            EngineKind::SimdF16(HalfCompare::Float),
         ];
         assert_eq!(space.len(), EngineKind::ALL.len());
         for kind in space {
@@ -909,13 +1060,28 @@ mod tests {
         }
     }
 
+    /// The family reference the registry promises for `kind`: the f32
+    /// majority vote for exact engines, the scalar f16 walk for the
+    /// binary16 family.
+    fn family_reference(forest: &RandomForest, kind: EngineKind, data: &Dataset) -> Vec<u32> {
+        match kind {
+            EngineKind::SimdF16(compare) => {
+                let half = HalfForest::compile(forest, compare).expect("compiles");
+                (0..data.n_samples())
+                    .map(|i| half.predict(data.sample(i)))
+                    .collect()
+            }
+            _ => forest.predict_dataset_majority(data),
+        }
+    }
+
     #[test]
-    fn every_engine_agrees_with_the_forest_majority_vote() {
+    fn every_engine_agrees_with_its_family_reference() {
         let (data, forest) = setup();
         let matrix = FeatureMatrix::from_dataset(&data);
-        let reference = forest.predict_dataset_majority(&data);
         let builder = EngineBuilder::new(&forest).profile_data(&data);
         for engine in builder.build_all().expect("all engines build") {
+            let reference = family_reference(&forest, engine.kind(), &data);
             assert_eq!(engine.n_features(), forest.n_features());
             assert_eq!(engine.n_classes(), forest.n_classes());
             assert_eq!(
@@ -935,6 +1101,43 @@ mod tests {
                     engine.predict_one(data.sample(i)),
                     reference[i],
                     "{} sample {i}",
+                    engine.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_partitions_the_registry_by_precision() {
+        for kind in EngineKind::ALL {
+            let is_f16 = kind.name().contains("f16");
+            assert_eq!(kind.is_exact(), !is_f16, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn describe_reports_the_dispatched_kernel_path() {
+        let (data, forest) = setup();
+        let builder = EngineBuilder::new(&forest).profile_data(&data);
+        let dispatch_aware = ["simd", "simd-float", "simd-f16", "simd-f16-float"];
+        for engine in builder.build_all().expect("all engines build") {
+            let description = engine.describe();
+            assert!(!description.is_empty(), "{}", engine.name());
+            if dispatch_aware.contains(&engine.name()) {
+                let expected = match engine.name() {
+                    "simd" | "simd-float" => lane_policy().select(),
+                    _ => {
+                        let compare = match engine.kind() {
+                            EngineKind::SimdF16(c) => c,
+                            _ => unreachable!(),
+                        };
+                        crate::f16::f16_policy(compare).select()
+                    }
+                };
+                let suffix = format!("[kernel {}]", expected.name());
+                assert!(
+                    description.ends_with(&suffix),
+                    "{}: {description:?} should end with {suffix:?}",
                     engine.name()
                 );
             }

@@ -21,9 +21,23 @@
 //!   samples descend each tree in lane groups through branchless
 //!   compare/blend steps ([`simd::F32x8`]/[`simd::U32x8`] portable
 //!   vectors, plus `std::arch` AVX2 kernels behind the `simd-avx2`
-//!   feature with runtime CPUID dispatch). Ragged tails read
+//!   feature and NEON kernels on aarch64). Ragged tails read
 //!   zero-padded lanes from [`flint_data::FeatureMatrix::gather_lanes`]
 //!   instead of branching;
+//! * [`dispatch`] — the unified kernel-dispatch layer: host
+//!   capabilities ([`dispatch::KernelCaps`]) probed once per process,
+//!   a per-engine-family [`dispatch::KernelPolicy`], the
+//!   `FLINT_KERNEL` environment override, and a recorded
+//!   [`dispatch::KernelPath`] that every dispatch-aware engine reports
+//!   through [`engine::Predictor::describe`];
+//! * [`mod@f16`] — half-precision node slabs: forests re-compiled with
+//!   `f16` thresholds ([`flint_core::half::Half`], monotone
+//!   round-to-nearest-even) into 8-byte nodes, walked by the
+//!   `simd-f16`/`simd-f16-float` lane engines that move half the node
+//!   bytes per wave. Quantization legitimately changes decisions near
+//!   thresholds, so these engines form their own comparison family,
+//!   pinned to their scalar f16 walk rather than the f32 majority
+//!   vote;
 //! * [`jit::TieredJit`] — the in-process template JIT: the same tree
 //!   programs the VM interprets, emitted as x86-64 machine code into
 //!   `mmap`'d W^X pages (`jit-x86` feature, x86-64 Linux) and called
@@ -81,7 +95,9 @@ pub mod backend;
 pub mod batch;
 pub mod compile;
 pub mod compile64;
+pub mod dispatch;
 pub mod engine;
+pub mod f16;
 pub mod jit;
 pub mod simd;
 
@@ -89,9 +105,11 @@ pub use backend::{BackendKind, CompareMode, CompiledForest};
 pub use batch::{BatchEngine, BatchOptions};
 pub use compile::{CompileTreeError, FloatNode, FloatTree, IntNode, IntTree};
 pub use compile64::{FloatNode64, FloatTree64, IntNode64, IntTree64};
+pub use dispatch::{KernelCaps, KernelPath, KernelPolicy, KERNEL_ENV};
 pub use engine::{BuildEngineError, EngineBuilder, EngineKind, ParseEngineKindError, Predictor};
+pub use f16::{f16_policy, HalfCompare, HalfForest, SimdF16Engine};
 pub use jit::{
     jit_supported, EmittedCode, JitCompare, JitError, JitForest, JitTier, TieredJit,
     DEFAULT_HOT_AFTER, FORCE_FALLBACK_ENV,
 };
-pub use simd::{avx2_enabled, SimdCompare, SimdEngine, LANES};
+pub use simd::{avx2_enabled, lane_policy, SimdCompare, SimdEngine, LANES};

@@ -62,6 +62,7 @@
 use crate::backend::{BackendKind, CompiledForest, Trees};
 use crate::batch::{score_spans, BatchOptions};
 use crate::compile::{FloatNode, IntNode, FLIP_BIT, LEAF_MARKER};
+use crate::dispatch::{KernelPath, KernelPolicy};
 use flint_data::FeatureMatrix;
 pub use flint_data::LANES;
 
@@ -189,9 +190,10 @@ impl U32x8 {
 }
 
 /// Whether the AVX2 kernels are compiled in (`simd-avx2` feature on an
-/// x86-64 target) **and** the CPU reports AVX2 at runtime. The engine
-/// dispatches on this once per batch; when it is `false` the portable
-/// autovectorized kernels run instead — same results, bit for bit.
+/// x86-64 target) **and** the CPU reports AVX2 at runtime. Kept as the
+/// family's historical probe; engines now select a [`KernelPath`]
+/// through [`lane_policy`] at build time instead of re-probing per
+/// batch.
 pub fn avx2_enabled() -> bool {
     #[cfg(all(feature = "simd-avx2", target_arch = "x86_64"))]
     {
@@ -200,6 +202,17 @@ pub fn avx2_enabled() -> bool {
     #[cfg(not(all(feature = "simd-avx2", target_arch = "x86_64")))]
     {
         false
+    }
+}
+
+/// The f32 lane family's dispatch policy: AVX2 kernels exist behind
+/// the `simd-avx2` feature on x86-64, NEON kernels on aarch64, and the
+/// portable autovectorized walk everywhere.
+pub fn lane_policy() -> KernelPolicy {
+    KernelPolicy {
+        avx2: cfg!(all(feature = "simd-avx2", target_arch = "x86_64")),
+        f16c_required: false,
+        neon: cfg!(target_arch = "aarch64"),
     }
 }
 
@@ -236,14 +249,38 @@ impl SimdCompare {
 pub struct SimdEngine<'f> {
     forest: &'f CompiledForest,
     opts: BatchOptions,
+    path: KernelPath,
 }
 
 impl<'f> SimdEngine<'f> {
     /// Binds `forest` to the given options. `block_samples` is the
     /// cache-blocking unit exactly as in the blocked engine; lane
-    /// groups of [`LANES`] samples are carved out of each block.
+    /// groups of [`LANES`] samples are carved out of each block. The
+    /// kernel path is selected here, once, through [`lane_policy`]
+    /// (honoring the `FLINT_KERNEL` override) and stays fixed for the
+    /// engine's lifetime.
     pub fn new(forest: &'f CompiledForest, opts: BatchOptions) -> Self {
-        Self { forest, opts }
+        Self {
+            forest,
+            opts,
+            path: lane_policy().select(),
+        }
+    }
+
+    /// Overrides the dispatched kernel path (differential tests pin
+    /// the accelerated paths against portable this way).
+    ///
+    /// Forcing a path whose kernels are not compiled in silently runs
+    /// portable; forcing a compiled-in path on a CPU without the ISA
+    /// panics at predict time (the kernel entries re-assert support).
+    pub fn with_kernel(mut self, path: KernelPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// The kernel path this engine dispatches to.
+    pub fn kernel_path(&self) -> KernelPath {
+        self.path
     }
 
     /// The bound options (clamping applied at use, not here).
@@ -265,10 +302,9 @@ impl<'f> SimdEngine<'f> {
             "feature matrix width"
         );
         let mut out = vec![0u32; matrix.n_samples()];
-        // One CPUID decision per batch, not per lane group.
-        let use_avx2 = avx2_enabled();
+        // The kernel decision was made once at engine build time.
         score_spans(&self.opts, &mut out, |start, span| {
-            self.score_span(matrix, start, span, use_avx2);
+            self.score_span(matrix, start, span, self.path);
         });
         out
     }
@@ -277,7 +313,7 @@ impl<'f> SimdEngine<'f> {
     /// `block_trees` is ignored: the wave walk already amortizes each
     /// tree's node array over every resident lane group, so there is
     /// no inner tree-blocking level to tune.
-    fn score_span(&self, matrix: &FeatureMatrix, start: usize, out: &mut [u32], use_avx2: bool) {
+    fn score_span(&self, matrix: &FeatureMatrix, start: usize, out: &mut [u32], path: KernelPath) {
         let block = self.opts.block_samples.max(1);
         let n_features = self.forest.n_features();
         let n_classes = self.forest.n_classes();
@@ -313,7 +349,7 @@ impl<'f> SimdEngine<'f> {
                             &lanes,
                             n_groups,
                             group_stride,
-                            |slabs, cursors| walk_float(nodes, slabs, cursors, use_avx2),
+                            |slabs, cursors| walk_float(nodes, slabs, cursors, path),
                             |g, cursor| {
                                 vote_group(votes, n_classes, len, g, |i| {
                                     nodes[cursor.0[i] as usize].left
@@ -347,7 +383,7 @@ impl<'f> SimdEngine<'f> {
                             &lanes,
                             n_groups,
                             group_stride,
-                            |slabs, cursors| walk_int(nodes, slabs, cursors, use_avx2),
+                            |slabs, cursors| walk_int(nodes, slabs, cursors, path),
                             |g, cursor| {
                                 vote_group(votes, n_classes, len, g, |i| {
                                     nodes[cursor.0[i] as usize].left
@@ -369,8 +405,9 @@ impl<'f> SimdEngine<'f> {
 
 /// Records one vote per live lane of group `g` (pad lanes past `len`
 /// are never read back — their traversal result is discarded here).
+/// Shared with the f16 lane engine in [`crate::f16`].
 #[inline]
-fn vote_group(
+pub(crate) fn vote_group(
     votes: &mut [u32],
     n_classes: usize,
     len: usize,
@@ -405,7 +442,7 @@ fn soft_le_mask(x: F32x8, t: F32x8) -> U32x8 {
 /// latency, not throughput; a wave of independent groups keeps several
 /// such chains in flight — the lane-engine analogue of the blocked
 /// walk's interleaved per-sample load chains.
-const WAVE: usize = 8;
+pub(crate) const WAVE: usize = 8;
 
 /// Carves `n_groups` lane slabs out of `lanes`, walks them in waves of
 /// [`WAVE`] through `walk` (which advances every cursor to its leaf),
@@ -433,26 +470,31 @@ fn each_wave(
     }
 }
 
-/// Float-comparison wave walk with runtime AVX2 dispatch.
+/// Float-comparison wave walk, dispatched on the engine's
+/// [`KernelPath`]. Paths whose kernels are not compiled in fall
+/// through to portable (the match arms are `cfg`-gated away).
 #[inline]
-fn walk_float(nodes: &[FloatNode], slabs: &[&[f32]], cursors: &mut [U32x8], use_avx2: bool) {
-    #[cfg(all(feature = "simd-avx2", target_arch = "x86_64"))]
-    if use_avx2 {
-        return avx2::walk_float(nodes, slabs, cursors);
+fn walk_float(nodes: &[FloatNode], slabs: &[&[f32]], cursors: &mut [U32x8], path: KernelPath) {
+    match path {
+        #[cfg(all(feature = "simd-avx2", target_arch = "x86_64"))]
+        KernelPath::Avx2 => avx2::walk_float(nodes, slabs, cursors),
+        #[cfg(target_arch = "aarch64")]
+        KernelPath::Neon => neon::walk_float(nodes, slabs, cursors),
+        _ => walk_float_portable(nodes, slabs, cursors, F32x8::le),
     }
-    let _ = use_avx2;
-    walk_float_portable(nodes, slabs, cursors, F32x8::le)
 }
 
-/// FLInt-comparison wave walk with runtime AVX2 dispatch.
+/// FLInt-comparison wave walk, dispatched on the engine's
+/// [`KernelPath`].
 #[inline]
-fn walk_int(nodes: &[IntNode], slabs: &[&[f32]], cursors: &mut [U32x8], use_avx2: bool) {
-    #[cfg(all(feature = "simd-avx2", target_arch = "x86_64"))]
-    if use_avx2 {
-        return avx2::walk_int(nodes, slabs, cursors);
+fn walk_int(nodes: &[IntNode], slabs: &[&[f32]], cursors: &mut [U32x8], path: KernelPath) {
+    match path {
+        #[cfg(all(feature = "simd-avx2", target_arch = "x86_64"))]
+        KernelPath::Avx2 => avx2::walk_int(nodes, slabs, cursors),
+        #[cfg(target_arch = "aarch64")]
+        KernelPath::Neon => neon::walk_int(nodes, slabs, cursors),
+        _ => walk_int_portable(nodes, slabs, cursors),
     }
-    let _ = use_avx2;
-    walk_int_portable(nodes, slabs, cursors)
 }
 
 /// Walks a wave of lane groups down one float-comparison tree. Each
@@ -767,6 +809,199 @@ mod avx2 {
     }
 }
 
+/// The `std::arch` NEON kernels for aarch64: the node-field and lane
+/// gathers stay scalar (AdvSIMD has no hardware gather), but the
+/// per-level compare + child-select — the work the walk repeats at
+/// every node — runs on explicit 128-bit vectors (`vcleq_f32` /
+/// `vcgtq_s32` compares, `vbslq_u32` selects) over the group's two
+/// 4-lane halves.
+///
+/// This island is only reachable through [`KernelPath::Neon`], which
+/// [`lane_policy`] hands out solely on aarch64 hosts; the entry
+/// wrappers still re-assert NEON support before entering the
+/// `#[target_feature]` functions. All memory access happens through
+/// plain slice indexing and unaligned `vld1q`/`vst1q` on local
+/// arrays, so the soundness argument is confined to the feature gate.
+#[cfg(target_arch = "aarch64")]
+#[allow(unsafe_code)]
+mod neon {
+    use super::{U32x8, LANES, WAVE};
+    use crate::compile::{FloatNode, IntNode, FLIP_BIT, LEAF_MARKER};
+    use core::arch::aarch64::{
+        vandq_u32, vbslq_u32, vcgtq_s32, vcleq_f32, vdupq_n_u32, veorq_u32, vld1q_f32, vld1q_u32,
+        vreinterpretq_s32_u32, vreinterpretq_u32_s32, vshrq_n_s32, vst1q_u32,
+    };
+
+    /// Dispatch-checked entry for the float wave walk.
+    #[inline]
+    pub fn walk_float(nodes: &[FloatNode], slabs: &[&[f32]], cursors: &mut [U32x8]) {
+        assert!(
+            std::arch::is_aarch64_feature_detected!("neon"),
+            "NEON kernel entered without AdvSIMD support"
+        );
+        debug_assert!(!nodes.is_empty());
+        debug_assert_eq!(slabs.len(), cursors.len());
+        // SAFETY: NEON verified above; all loads/stores are on local
+        // arrays per the module docs.
+        unsafe { walk_float_neon(nodes, slabs, cursors) }
+    }
+
+    /// Dispatch-checked entry for the FLInt wave walk.
+    #[inline]
+    pub fn walk_int(nodes: &[IntNode], slabs: &[&[f32]], cursors: &mut [U32x8]) {
+        assert!(
+            std::arch::is_aarch64_feature_detected!("neon"),
+            "NEON kernel entered without AdvSIMD support"
+        );
+        debug_assert!(!nodes.is_empty());
+        debug_assert_eq!(slabs.len(), cursors.len());
+        // SAFETY: NEON verified above; all loads/stores are on local
+        // arrays per the module docs.
+        unsafe { walk_int_neon(nodes, slabs, cursors) }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn walk_float_neon(nodes: &[FloatNode], slabs: &[&[f32]], cursors: &mut [U32x8]) {
+        let mut done = [false; WAVE];
+        loop {
+            let mut remaining = false;
+            for (gi, &slab) in slabs.iter().enumerate() {
+                if done[gi] {
+                    continue;
+                }
+                let cursor = cursors[gi];
+                let mut feature = [0u32; LANES];
+                let mut threshold = [0.0f32; LANES];
+                let mut left = [0u32; LANES];
+                let mut right = [0u32; LANES];
+                let mut x = [0.0f32; LANES];
+                let mut all_leaves = true;
+                for i in 0..LANES {
+                    let node = &nodes[cursor.0[i] as usize];
+                    feature[i] = node.feature;
+                    threshold[i] = node.threshold;
+                    left[i] = node.left;
+                    right[i] = node.right;
+                    let is_leaf = node.feature == LEAF_MARKER;
+                    all_leaves &= is_leaf;
+                    // Leaf lanes read slot 0; the result is blended away.
+                    let f = if is_leaf { 0 } else { node.feature as usize };
+                    x[i] = slab[f * LANES + i];
+                }
+                if all_leaves {
+                    done[gi] = true;
+                    continue;
+                }
+                remaining = true;
+                let leaf = vdupq_n_u32(LEAF_MARKER);
+                let mut next = [0u32; LANES];
+                for h in [0usize, 4] {
+                    // SAFETY: every load reads 4 lanes of an 8-lane
+                    // local array at offset 0 or 4; the store writes
+                    // the same shape. vld1q/vst1q are unaligned.
+                    unsafe {
+                        let f_v = vld1q_u32(feature.as_ptr().add(h));
+                        let is_leaf = core::arch::aarch64::vceqq_u32(f_v, leaf);
+                        // IEEE <=: NaN lanes compare false, exactly
+                        // like the scalar operator and _CMP_LE_OQ.
+                        let go_left = vcleq_f32(
+                            vld1q_f32(x.as_ptr().add(h)),
+                            vld1q_f32(threshold.as_ptr().add(h)),
+                        );
+                        let stepped = vbslq_u32(
+                            go_left,
+                            vld1q_u32(left.as_ptr().add(h)),
+                            vld1q_u32(right.as_ptr().add(h)),
+                        );
+                        let out = vbslq_u32(is_leaf, vld1q_u32(cursor.0.as_ptr().add(h)), stepped);
+                        vst1q_u32(next.as_mut_ptr().add(h), out);
+                    }
+                }
+                cursors[gi] = U32x8(next);
+            }
+            if !remaining {
+                break;
+            }
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn walk_int_neon(nodes: &[IntNode], slabs: &[&[f32]], cursors: &mut [U32x8]) {
+        let mut done = [false; WAVE];
+        loop {
+            let mut remaining = false;
+            for (gi, &slab) in slabs.iter().enumerate() {
+                if done[gi] {
+                    continue;
+                }
+                let cursor = cursors[gi];
+                let mut ff = [0u32; LANES];
+                let mut key = [0u32; LANES];
+                let mut left = [0u32; LANES];
+                let mut right = [0u32; LANES];
+                let mut bits = [0u32; LANES];
+                let mut all_leaves = true;
+                for i in 0..LANES {
+                    let node = &nodes[cursor.0[i] as usize];
+                    ff[i] = node.feature_and_flip;
+                    key[i] = node.key as u32;
+                    left[i] = node.left;
+                    right[i] = node.right;
+                    let is_leaf = node.feature_and_flip == LEAF_MARKER;
+                    all_leaves &= is_leaf;
+                    let f = if is_leaf {
+                        0
+                    } else {
+                        (node.feature_and_flip & !FLIP_BIT) as usize
+                    };
+                    bits[i] = slab[f * LANES + i].to_bits();
+                }
+                if all_leaves {
+                    done[gi] = true;
+                    continue;
+                }
+                remaining = true;
+                let leaf = vdupq_n_u32(LEAF_MARKER);
+                let sign = vdupq_n_u32(FLIP_BIT);
+                let mut next = [0u32; LANES];
+                for h in [0usize, 4] {
+                    // SAFETY: every load reads 4 lanes of an 8-lane
+                    // local array at offset 0 or 4; the store writes
+                    // the same shape. vld1q/vst1q are unaligned.
+                    unsafe {
+                        let ff_v = vld1q_u32(ff.as_ptr().add(h));
+                        let is_leaf = core::arch::aarch64::vceqq_u32(ff_v, leaf);
+                        // The flip bit is the sign bit of
+                        // feature_and_flip (arithmetic-shift mask).
+                        let flip =
+                            vreinterpretq_u32_s32(vshrq_n_s32::<31>(vreinterpretq_s32_u32(ff_v)));
+                        let bx = veorq_u32(vld1q_u32(bits.as_ptr().add(h)), vandq_u32(flip, sign));
+                        let key_v = vld1q_u32(key.as_ptr().add(h));
+                        // go right: flip ? key > bx : bx > key (signed)
+                        // — the negation of PreparedThreshold::le_bits.
+                        let go_right = vbslq_u32(
+                            flip,
+                            vcgtq_s32(vreinterpretq_s32_u32(key_v), vreinterpretq_s32_u32(bx)),
+                            vcgtq_s32(vreinterpretq_s32_u32(bx), vreinterpretq_s32_u32(key_v)),
+                        );
+                        let stepped = vbslq_u32(
+                            go_right,
+                            vld1q_u32(right.as_ptr().add(h)),
+                            vld1q_u32(left.as_ptr().add(h)),
+                        );
+                        let out = vbslq_u32(is_leaf, vld1q_u32(cursor.0.as_ptr().add(h)), stepped);
+                        vst1q_u32(next.as_mut_ptr().add(h), out);
+                    }
+                }
+                cursors[gi] = U32x8(next);
+            }
+            if !remaining {
+                break;
+            }
+        }
+    }
+}
+
 impl CompiledForest {
     /// Batch prediction through the lane-parallel SIMD engine.
     /// Convenience wrapper mirroring
@@ -895,15 +1130,24 @@ mod tests {
             let (data, backend) = setup(kind);
             let matrix = FeatureMatrix::from_dataset(&data);
             let engine = SimdEngine::new(&backend, BatchOptions::default());
-            let mut via_dispatch = vec![0u32; matrix.n_samples()];
-            score_spans(&engine.opts, &mut via_dispatch, |start, span| {
-                engine.score_span(&matrix, start, span, true);
-            });
-            let mut portable = vec![0u32; matrix.n_samples()];
-            score_spans(&engine.opts, &mut portable, |start, span| {
-                engine.score_span(&matrix, start, span, false);
-            });
-            assert_eq!(via_dispatch, portable, "{kind:?}");
+            let accelerated = engine.with_kernel(KernelPath::Avx2).predict(&matrix);
+            let portable = engine.with_kernel(KernelPath::Portable).predict(&matrix);
+            assert_eq!(accelerated, portable, "{kind:?}");
         }
+    }
+
+    /// The engine's auto-selected path obeys the family policy and the
+    /// live capability snapshot.
+    #[test]
+    fn build_time_path_matches_policy() {
+        let (_, backend) = setup(BackendKind::Flint);
+        let engine = SimdEngine::new(&backend, BatchOptions::default());
+        // The unit-test process may or may not have FLINT_KERNEL set;
+        // re-running the policy must reproduce the engine's choice.
+        assert_eq!(engine.kernel_path(), lane_policy().select());
+        assert_eq!(
+            engine.with_kernel(KernelPath::Portable).kernel_path(),
+            KernelPath::Portable
+        );
     }
 }

@@ -1,29 +1,58 @@
 //! Cross-engine differential suite: every engine of the registry —
 //! scalar and blocked if-else backends, QuickScorer in both comparison
-//! modes, the three codegen VM variants, the SIMD lane engine, and the
-//! tiered template JIT — must return **bit-identical** labels to the
-//! forest's own majority vote, on every dataset, for every batch shape
-//! and thread count.
+//! modes, the three codegen VM variants, the SIMD lane engines (f32
+//! and binary16), and the tiered template JIT — must return
+//! **bit-identical** labels to its comparison family's scalar
+//! reference, on every dataset, for every batch shape and thread
+//! count.
 //!
 //! This is the workspace-wide generalization of the paper's claim: not
 //! only is FLInt a drop-in replacement for float comparison inside one
 //! traversal, but *every* registered execution strategy is a drop-in
-//! replacement for every other.
+//! replacement for every other of the same precision.
 //!
-//! The reference is [`RandomForest::predict_majority`] (one vote per
-//! tree, ties to the lower class index) — the aggregation every engine
+//! For the full-precision engines ([`EngineKind::is_exact`]) the
+//! reference is [`RandomForest::predict_majority`] (one vote per tree,
+//! ties to the lower class index) — the aggregation every engine
 //! implements. `RandomForest::predict` is *not* the reference: it
 //! argmaxes averaged leaf class distributions, which is a different
 //! (probability-weighted) aggregation and can legitimately disagree
-//! with a vote count on close calls.
+//! with a vote count on close calls. The binary16 engines quantize
+//! thresholds and features to half precision, so their reference is an
+//! independently compiled [`HalfForest`] walked scalar node by node —
+//! the same per-family pattern the NaN suites below established.
 
 use flint_codegen::VmVariant;
 use flint_data::synth::SynthSpec;
 use flint_data::uci::{Scale, UciDataset};
 use flint_data::{Dataset, FeatureMatrix};
-use flint_exec::{BackendKind, BatchOptions, EngineBuilder, EngineKind, JitCompare, SimdCompare};
+use flint_exec::{
+    BackendKind, BatchOptions, EngineBuilder, EngineKind, HalfCompare, HalfForest, JitCompare,
+    SimdCompare,
+};
 use flint_forest::{ForestConfig, RandomForest};
 use proptest::prelude::*;
+
+/// The scalar reference of `kind`'s comparison family over explicit
+/// rows: the f32 majority vote for exact engines, a freshly compiled
+/// binary16 forest's scalar walk for the f16 engines.
+fn family_reference(forest: &RandomForest, kind: EngineKind, rows: &[Vec<f32>]) -> Vec<u32> {
+    match kind {
+        EngineKind::SimdF16(compare) => {
+            let half = HalfForest::compile(forest, compare).expect("compiles");
+            rows.iter().map(|r| half.predict(r)).collect()
+        }
+        _ => rows.iter().map(|r| forest.predict_majority(r)).collect(),
+    }
+}
+
+/// [`family_reference`] over a dataset's samples.
+fn family_reference_dataset(forest: &RandomForest, kind: EngineKind, data: &Dataset) -> Vec<u32> {
+    let rows: Vec<Vec<f32>> = (0..data.n_samples())
+        .map(|i| data.sample(i).to_vec())
+        .collect();
+    family_reference(forest, kind, &rows)
+}
 
 #[test]
 fn all_registered_engines_agree_on_all_uci_datasets() {
@@ -31,9 +60,9 @@ fn all_registered_engines_agree_on_all_uci_datasets() {
         let data = ds.generate(Scale::Tiny);
         let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 10)).expect("trainable");
         let matrix = FeatureMatrix::from_dataset(&data);
-        let reference = forest.predict_dataset_majority(&data);
         let builder = EngineBuilder::new(&forest).profile_data(&data);
         for engine in builder.build_all().expect("all engines build") {
+            let reference = family_reference_dataset(&forest, engine.kind(), &data);
             assert_eq!(
                 engine.predict_matrix(&matrix),
                 reference,
@@ -54,9 +83,9 @@ fn all_registered_engines_agree_across_batch_shapes_and_threads() {
         .generate();
     let forest = RandomForest::fit(&data, &ForestConfig::grid(6, 9)).expect("trainable");
     let matrix = FeatureMatrix::from_dataset(&data);
-    let reference = forest.predict_dataset_majority(&data);
     let builder = EngineBuilder::new(&forest).profile_data(&data);
     for engine in builder.build_all().expect("all engines build") {
+        let reference = family_reference_dataset(&forest, engine.kind(), &data);
         // 10_000 exceeds the dataset; 1 degenerates to per-sample spans.
         for block in [1usize, 7, 64, 10_000] {
             for threads in [1usize, 4] {
@@ -157,10 +186,10 @@ fn engines_agree_on_non_nan_adversarial_columns() {
         rows.push(vec![s; n_features]);
     }
     let matrix = matrix_of(&rows, n_features);
-    let reference: Vec<u32> = rows.iter().map(|r| forest.predict_majority(r)).collect();
 
     let builder = EngineBuilder::new(&forest).profile_data(&data);
     for engine in builder.build_all().expect("all engines build") {
+        let reference = family_reference(&forest, engine.kind(), &rows);
         for block in [1usize, 8, 64] {
             let opts = BatchOptions::default().block_samples(block);
             assert_eq!(
@@ -194,7 +223,11 @@ fn engines_agree_on_non_nan_adversarial_columns() {
 /// walk; `jit-float`'s `ucomiss; ja` encodes exactly the same contract
 /// (`ja` is never taken on unordered operands), so those two check each
 /// other. The JIT integer family executes the same FLInt order-key
-/// compare as every other FLInt engine.
+/// compare as every other FLInt engine. The binary16 engines map to
+/// `None` here because their family reference is not a registered
+/// scalar engine but the [`HalfForest`] walk — the dedicated
+/// `f16_engines_match_their_scalar_walk_on_adversarial_and_nan_columns`
+/// suite below diffs them (NaN columns included) against it.
 fn nan_reference(kind: EngineKind) -> Option<EngineKind> {
     match kind {
         EngineKind::Scalar(b) | EngineKind::Blocked(b) => Some(EngineKind::Scalar(b)),
@@ -204,7 +237,9 @@ fn nan_reference(kind: EngineKind) -> Option<EngineKind> {
         EngineKind::Vm(VmVariant::SoftFloat) => Some(EngineKind::Scalar(BackendKind::SoftFloat)),
         EngineKind::Jit(JitCompare::Flint) => Some(EngineKind::Scalar(BackendKind::Flint)),
         EngineKind::Jit(JitCompare::Float) => Some(EngineKind::Vm(VmVariant::NativeFloat)),
-        EngineKind::Vm(VmVariant::NativeFloat) | EngineKind::QuickScorer(_) => None,
+        EngineKind::Vm(VmVariant::NativeFloat)
+        | EngineKind::QuickScorer(_)
+        | EngineKind::SimdF16(_) => None,
     }
 }
 
@@ -261,6 +296,73 @@ fn nan_features_stay_bit_identical_within_each_compare_family() {
     }
 }
 
+/// The binary16 engines' own adversarial battery: harvested split
+/// values with ±1-ulp f32 neighbours (which straddle f16 rounding
+/// boundaries), signed zeros, subnormals (all of which quantize to
+/// f16 zero), infinities, f16-overflow magnitudes, and four NaN
+/// payloads — planted column-wise. The lane walk (portable or AVX2,
+/// whatever dispatch chose) must stay bit-identical to the family's
+/// scalar reference, the [`HalfForest`] walk, at every block size and
+/// thread count. This is the f16 mirror of the per-family NaN suite
+/// above: quantization happens through the identical `Half::from_f32`
+/// on both sides, so any divergence is a kernel bug, not rounding.
+#[test]
+fn f16_engines_match_their_scalar_walk_on_adversarial_and_nan_columns() {
+    let (data, forest) = adversarial_model(59);
+    let n_features = forest.n_features();
+    let mut specials: Vec<f32> = vec![
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f32::from_bits(1),
+        -f32::from_bits(1),
+        f32::MIN_POSITIVE,
+        65504.0,  // f16::MAX
+        65520.0,  // rounds to f16 infinity
+        -65520.0, // rounds to f16 -infinity
+        6.104e-5, // just above the f16 normal/subnormal boundary
+        5.96e-8,  // smallest positive f16 subnormal, roughly
+        f32::NAN,
+        f32::from_bits(0x7f80_0001), // signalling NaN
+        f32::from_bits(0xffc0_0000), // negative quiet NaN
+        f32::from_bits(0xffff_ffff), // all-ones payload
+    ];
+    for t in forest.trees().iter().flat_map(|t| t.thresholds()).take(24) {
+        specials.push(t);
+        specials.push(f32::from_bits(t.to_bits().wrapping_add(1)));
+        specials.push(f32::from_bits(t.to_bits().wrapping_sub(1)));
+    }
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (i, &s) in specials.iter().enumerate() {
+        let mut row = data.sample(i % data.n_samples()).to_vec();
+        row[i % n_features] = s;
+        rows.push(row);
+        rows.push(vec![s; n_features]);
+    }
+    let matrix = matrix_of(&rows, n_features);
+
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    for compare in [HalfCompare::Flint, HalfCompare::Float] {
+        let half = HalfForest::compile(&forest, compare).expect("compiles");
+        let reference: Vec<u32> = rows.iter().map(|r| half.predict(r)).collect();
+        let engine = builder.build(EngineKind::SimdF16(compare)).expect("builds");
+        for block in [1usize, 7, 64] {
+            for threads in [1usize, 2] {
+                let opts = BatchOptions::default()
+                    .block_samples(block)
+                    .threads(threads);
+                assert_eq!(
+                    engine.predict_batch(&matrix, &opts),
+                    reference,
+                    "{} diverges from its scalar f16 walk (block {block}, threads {threads})",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
 /// Ragged-tail coverage at every lane boundary: sample counts straddling
 /// multiples of the 8-wide lane group × block sizes {1, 8, 64} drive the
 /// zero-padded `FeatureMatrix::gather_lanes` path through every live-lane
@@ -275,8 +377,8 @@ fn tail_blocks_agree_at_every_lane_boundary() {
     for n_samples in [1usize, 7, 8, 9, 15, 16, 17] {
         let rows: Vec<Vec<f32>> = (0..n_samples).map(|i| data.sample(i).to_vec()).collect();
         let matrix = matrix_of(&rows, n_features);
-        let reference: Vec<u32> = rows.iter().map(|r| forest.predict_majority(r)).collect();
         for engine in &engines {
+            let reference = family_reference(&forest, engine.kind(), &rows);
             for block in [1usize, 8, 64] {
                 for threads in [1usize, 2] {
                     let opts = BatchOptions::default()
@@ -468,7 +570,6 @@ proptest! {
         let forest =
             RandomForest::fit(&data, &ForestConfig::grid(n_trees, depth)).expect("trainable");
         let matrix = FeatureMatrix::from_dataset(&data);
-        let reference = forest.predict_dataset_majority(&data);
         let opts = BatchOptions {
             block_samples: block,
             block_trees,
@@ -476,9 +577,10 @@ proptest! {
         };
         let builder = EngineBuilder::new(&forest).profile_data(&data).options(opts);
         for engine in builder.build_all().expect("all engines build") {
+            let reference = family_reference_dataset(&forest, engine.kind(), &data);
             prop_assert_eq!(
                 engine.predict_matrix(&matrix),
-                reference.clone(),
+                reference,
                 "{}",
                 engine.name()
             );
@@ -507,7 +609,12 @@ proptest! {
         let want = forest.predict_majority(&features);
         let builder = EngineBuilder::new(&forest).profile_data(&data);
         for engine in builder.build_all().expect("all engines build") {
-            prop_assert_eq!(engine.predict_one(&features), want, "{}", engine.name());
+            // `predict_one` on the f16 engines *is* the family's
+            // scalar reference, so diffing it against itself proves
+            // nothing — the exact engines are the ones under test.
+            if engine.kind().is_exact() {
+                prop_assert_eq!(engine.predict_one(&features), want, "{}", engine.name());
+            }
         }
     }
 
@@ -549,9 +656,9 @@ proptest! {
             })
             .collect();
         let matrix = matrix_of(&rows, forest.n_features());
-        let reference: Vec<u32> = rows.iter().map(|r| forest.predict_majority(r)).collect();
         let builder = EngineBuilder::new(&forest).profile_data(&data);
         for engine in builder.build_all().expect("all engines build") {
+            let reference = family_reference(&forest, engine.kind(), &rows);
             for block in [1usize, 8] {
                 let opts = BatchOptions::default().block_samples(block);
                 prop_assert_eq!(

@@ -1,0 +1,119 @@
+//! End-to-end `FLINT_KERNEL` override suite: the environment variable
+//! steers every dispatch-aware engine to the requested kernel path (or
+//! portable, never a *different* accelerated path), the chosen path
+//! shows up in `describe()`, and — the property everything else rests
+//! on — predictions are bit-identical across every path an engine
+//! family can dispatch to.
+//!
+//! The process environment is global, so **all** scenarios live in one
+//! `#[test]`: the default harness runs tests in parallel threads, and
+//! two tests racing on `FLINT_KERNEL` would make path expectations
+//! flap.
+
+use flint_data::synth::SynthSpec;
+use flint_data::FeatureMatrix;
+use flint_exec::{
+    f16_policy, lane_policy, BatchOptions, EngineBuilder, EngineKind, HalfCompare, KernelPath,
+    KERNEL_ENV,
+};
+use flint_forest::{ForestConfig, RandomForest};
+
+/// The engine kinds that consult the dispatch layer, with the policy
+/// governing each.
+fn dispatch_aware() -> Vec<(EngineKind, flint_exec::KernelPolicy)> {
+    vec![
+        (
+            EngineKind::Simd(flint_exec::SimdCompare::Flint),
+            lane_policy(),
+        ),
+        (
+            EngineKind::Simd(flint_exec::SimdCompare::Float),
+            lane_policy(),
+        ),
+        (
+            EngineKind::SimdF16(HalfCompare::Flint),
+            f16_policy(HalfCompare::Flint),
+        ),
+        (
+            EngineKind::SimdF16(HalfCompare::Float),
+            f16_policy(HalfCompare::Float),
+        ),
+    ]
+}
+
+#[test]
+fn kernel_env_overrides_are_honored_and_bit_identical() {
+    let data = SynthSpec::new(160, 6, 3)
+        .cluster_std(1.0)
+        .negative_fraction(0.5)
+        .seed(77)
+        .generate();
+    let forest = RandomForest::fit(&data, &ForestConfig::grid(12, 8)).expect("trains");
+    let matrix = FeatureMatrix::from_dataset(&data);
+    let opts = BatchOptions::default().block_samples(16).threads(2);
+
+    let build_and_run = |kind: EngineKind| {
+        let engine = EngineBuilder::new(&forest)
+            .options(opts)
+            .build(kind)
+            .expect("builds");
+        (
+            engine.predict_batch(&matrix, &opts),
+            engine.describe().to_owned(),
+        )
+    };
+    let suffix_of = |describe: &str| {
+        let start = describe.rfind("[kernel ").unwrap_or_else(|| {
+            panic!("dispatch-aware describe() lacks a kernel suffix: {describe}")
+        });
+        describe[start..].to_owned()
+    };
+
+    // Baseline: auto dispatch with the variable unset.
+    std::env::remove_var(KERNEL_ENV);
+    let auto: Vec<(Vec<u32>, String)> = dispatch_aware()
+        .iter()
+        .map(|&(kind, policy)| {
+            let (predictions, describe) = build_and_run(kind);
+            assert_eq!(
+                suffix_of(&describe),
+                format!(
+                    "[kernel {}]",
+                    policy.select_with(flint_exec::KernelCaps::get(), None)
+                ),
+                "{kind}: describe() must report the auto-selected path"
+            );
+            (predictions, describe)
+        })
+        .collect();
+
+    // Every expressible request: the engine lands on the requested
+    // path when its policy+CPU allow it, portable otherwise — and the
+    // predictions never change. `quantum` exercises the unknown-value
+    // fallback; the uppercase form pins case-insensitivity.
+    for requested in ["portable", "avx2", "AVX2", "neon", "quantum", ""] {
+        std::env::set_var(KERNEL_ENV, requested);
+        for (&(kind, policy), (auto_predictions, _)) in dispatch_aware().iter().zip(&auto) {
+            let expected = policy.select_with(flint_exec::KernelCaps::get(), Some(requested));
+            if !matches!(KernelPath::parse(requested), Some(p) if p == expected) {
+                assert_eq!(
+                    expected,
+                    KernelPath::Portable,
+                    "{kind}: an unsatisfied request must degrade to portable, \
+                     never a different accelerated path"
+                );
+            }
+            let (predictions, describe) = build_and_run(kind);
+            assert_eq!(
+                suffix_of(&describe),
+                format!("[kernel {expected}]"),
+                "{kind} with {KERNEL_ENV}={requested}: {describe}"
+            );
+            assert_eq!(
+                &predictions, auto_predictions,
+                "{kind} with {KERNEL_ENV}={requested}: kernel paths diverge"
+            );
+        }
+    }
+    std::env::remove_var(KERNEL_ENV);
+}

@@ -14,7 +14,7 @@
 
 use flint_data::synth::SynthSpec;
 use flint_data::Dataset;
-use flint_exec::{EngineBuilder, EngineKind};
+use flint_exec::{EngineBuilder, EngineKind, HalfForest};
 use flint_forest::{ForestConfig, RandomForest};
 use flint_serve::{BatchPolicy, Server};
 use std::io::{BufRead, BufReader, Write};
@@ -50,7 +50,7 @@ fn response_class(line: &str) -> u32 {
 /// suite quietly stopped proving that engine and must fail here.
 #[test]
 fn differential_suite_covers_every_known_registry_name() {
-    const REQUIRED: [&str; 19] = [
+    const REQUIRED: [&str; 21] = [
         "naive",
         "cags",
         "flint",
@@ -70,6 +70,8 @@ fn differential_suite_covers_every_known_registry_name() {
         "simd-float",
         "jit",
         "jit-float",
+        "simd-f16",
+        "simd-f16-float",
     ];
     let names: std::collections::BTreeSet<&str> =
         EngineKind::ALL.iter().map(|k| k.name()).collect();
@@ -90,13 +92,25 @@ fn differential_suite_covers_every_known_registry_name() {
 #[test]
 fn every_engine_serves_bit_identical_predictions() {
     let (data, forest) = model();
-    let reference: Vec<u32> = (0..data.n_samples())
-        .map(|i| forest.predict_majority(data.sample(i)))
-        .collect();
     let builder = EngineBuilder::new(&forest).profile_data(&data);
     const CLIENTS: usize = 4;
 
     for kind in EngineKind::ALL {
+        // Each engine is diffed against its comparison family's scalar
+        // reference: the f32 majority vote for exact engines, the
+        // binary16 forest's scalar walk for the f16 engines.
+        let reference: Vec<u32> = match kind {
+            EngineKind::SimdF16(compare) => {
+                let half = HalfForest::compile(&forest, compare).expect("compiles");
+                (0..data.n_samples())
+                    .map(|i| half.predict(data.sample(i)))
+                    .collect()
+            }
+            _ => (0..data.n_samples())
+                .map(|i| forest.predict_majority(data.sample(i)))
+                .collect(),
+        };
+        let reference = &reference;
         for max_batch in [1usize, 7, 64] {
             let policy = BatchPolicy::default()
                 .max_batch(max_batch)
