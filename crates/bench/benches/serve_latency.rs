@@ -1,27 +1,131 @@
-//! Serving latency under closed-loop load: batch-size cap vs p50/p99
-//! request latency and throughput through the `flint-serve`
-//! micro-batcher — the data behind the "Serving latency" section of
-//! EXPERIMENTS.md.
+//! Serving latency two ways — the data behind the "Serving latency"
+//! and "Open-loop serving" sections of EXPERIMENTS.md.
 //!
-//! Plain `main` (no criterion): the quantity of interest is the
-//! latency *distribution* of concurrent requests, not the mean runtime
-//! of a hot loop.
+//! 1. **Closed loop** against the bare micro-batcher: batch-size cap vs
+//!    p50/p99/p999 and throughput, with a coordinated-omission caution
+//!    when latency stalls distorted the send schedule.
+//! 2. **Open loop** over real TCP against *both* serving front ends
+//!    (`epoll` event loop and `threads` baseline) at the same fixed
+//!    offered rate: requests depart on a virtual-time schedule and
+//!    every latency is charged from its **intended** send time, so a
+//!    backed-up server shows up in the tail instead of hiding in a
+//!    stretched schedule.
+//!
+//! Plain `main` (no criterion): the quantity of interest is the latency
+//! *distribution* of concurrent requests, not the mean runtime of a hot
+//! loop.
 //!
 //! ```text
 //! cargo bench -p flint-bench --bench serve_latency
+//! cargo bench -p flint-bench --bench serve_latency -- \
+//!     --rate 2000 --requests 8000 --conns 8 --json BENCH_serve.json
 //! ```
 
-use flint_bench::loadgen::closed_loop;
+use flint_bench::loadgen::{closed_loop, open_loop, OpenLoopReport, OpenLoopSpec};
 use flint_data::train_test_split;
 use flint_data::uci::{Scale, UciDataset};
-use flint_exec::{BatchOptions, EngineBuilder, EngineKind};
+use flint_exec::{BatchOptions, EngineBuilder, EngineKind, KernelCaps};
 use flint_forest::{ForestConfig, RandomForest};
-use flint_serve::{BatchPolicy, Batcher};
+use flint_serve::{BatchPolicy, Batcher, EpollServer, FrontEnd, Server};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
+struct Args {
+    rate_rps: f64,
+    requests: usize,
+    conns: usize,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        rate_rps: 2000.0,
+        requests: 6000,
+        conns: 8,
+        json_path: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--rate" => args.rate_rps = value("--rate").parse().expect("numeric --rate"),
+            "--requests" => {
+                args.requests = value("--requests").parse().expect("numeric --requests")
+            }
+            "--conns" => args.conns = value("--conns").parse().expect("numeric --conns"),
+            "--json" => args.json_path = Some(value("--json")),
+            "--bench" => {} // cargo bench passes this through
+            other => panic!("unknown flag {other} (valid: --rate --requests --conns --json)"),
+        }
+    }
+    args
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|rev| rev.trim().to_owned())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Serves one open-loop run over TCP on the chosen front end, then
+/// shuts the server down.
+fn open_loop_against(
+    front_end: FrontEnd,
+    forest: &RandomForest,
+    kind: EngineKind,
+    max_batch: usize,
+    rows: &[Vec<f32>],
+    spec: OpenLoopSpec,
+) -> OpenLoopReport {
+    let engine = EngineBuilder::new(forest)
+        .options(BatchOptions::default().block_samples(max_batch))
+        .build(kind)
+        .expect("builds");
+    let policy = BatchPolicy::default()
+        .max_batch(max_batch)
+        .linger(Duration::from_micros(200))
+        .workers(2);
+    let (addr, runner): (SocketAddr, std::thread::JoinHandle<()>) = match front_end {
+        FrontEnd::Epoll => {
+            let server = EpollServer::bind("127.0.0.1:0", engine, policy).expect("binds loopback");
+            let addr = server.local_addr();
+            (
+                addr,
+                std::thread::spawn(move || {
+                    server.run().expect("serves");
+                }),
+            )
+        }
+        FrontEnd::Threads => {
+            let server = Server::bind("127.0.0.1:0", engine, policy).expect("binds loopback");
+            let addr = server.local_addr();
+            (
+                addr,
+                std::thread::spawn(move || {
+                    server.run().expect("serves");
+                }),
+            )
+        }
+    };
+    let report = open_loop(addr, rows, spec).expect("open loop runs");
+    let mut admin = TcpStream::connect(addr).expect("connects for shutdown");
+    admin.write_all(b"shutdown\n").expect("requests shutdown");
+    runner.join().expect("server thread");
+    report
+}
+
 fn main() {
+    let args = parse_args();
     let clients = 8;
     let per_client = 250;
+    let max_batch_serving = 64;
     let data = UciDataset::Magic.generate(Scale::Small);
     let split = train_test_split(&data, 0.25, 42);
     let forest = RandomForest::fit(&split.train, &ForestConfig::grid(24, 16)).expect("trainable");
@@ -37,8 +141,8 @@ fn main() {
         forest.n_trees()
     );
     println!(
-        "{:>9} {:>10} {:>10} {:>10} {:>10} {:>10}",
-        "max_batch", "req/s", "mean fill", "p50 us", "p99 us", "max us"
+        "{:>9} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
+        "max_batch", "req/s", "mean fill", "p50 us", "p99 us", "p999 us", "max us"
     );
     for max_batch in [1usize, 8, 64] {
         let engine = EngineBuilder::new(&forest)
@@ -53,17 +157,99 @@ fn main() {
         let report = closed_loop(&batcher, &rows, clients, per_client);
         batcher.shutdown();
         println!(
-            "{:>9} {:>10.0} {:>10.2} {:>10} {:>10} {:>10}",
+            "{:>9} {:>10.0} {:>10.2} {:>9} {:>9} {:>9} {:>9}",
             max_batch,
             report.requests_per_sec,
             report.mean_fill,
             report.latency.p50_us,
             report.latency.p99_us,
+            report.latency.p999_us,
             report.latency.max_us
         );
+        if let Some(warning) = report.coordinated_omission_warning() {
+            println!("          ({warning})");
+        }
     }
     println!(
         "(closed loop: one request in flight per client, so offered concurrency = {clients};\n\
          max_batch 1 shows per-request dispatch overhead, larger caps amortize it)"
     );
+
+    let spec = OpenLoopSpec {
+        rate_rps: args.rate_rps,
+        total_requests: args.requests,
+        connections: args.conns,
+    };
+    println!();
+    println!(
+        "open loop over TCP: {} requests offered at {:.0} req/s across {} connections, \
+         max_batch {max_batch_serving} (latency from intended send time — \
+         coordinated-omission-safe)",
+        spec.total_requests, spec.rate_rps, spec.connections
+    );
+    println!(
+        "{:>9} {:>11} {:>11} {:>9} {:>9} {:>9} {:>9} {:>7}",
+        "front_end", "offered r/s", "achieved", "p50 us", "p99 us", "p999 us", "max us", "errors"
+    );
+    let mut measured: Vec<(FrontEnd, OpenLoopReport)> = Vec::new();
+    for front_end in FrontEnd::ALL {
+        if front_end == FrontEnd::Epoll && !cfg!(target_os = "linux") {
+            println!("{:>9} (skipped: epoll needs Linux)", front_end.name());
+            continue;
+        }
+        let report = open_loop_against(front_end, &forest, kind, max_batch_serving, &rows, spec);
+        println!(
+            "{:>9} {:>11.0} {:>11.0} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            front_end.name(),
+            report.offered_rps,
+            report.achieved_rps,
+            report.latency.p50_us,
+            report.latency.p99_us,
+            report.latency.p999_us,
+            report.latency.max_us,
+            report.errors
+        );
+        measured.push((front_end, report));
+    }
+    println!("(achieved < offered means the server could not absorb the schedule)");
+
+    if let Some(path) = args.json_path {
+        let rows_json: Vec<String> = measured
+            .iter()
+            .map(|(front_end, r)| {
+                format!(
+                    "{{\"front_end\":\"{}\",\"offered_rps\":{:.0},\"achieved_rps\":{:.0},\
+                     \"responses\":{},\"errors\":{},\"p50_us\":{},\"p99_us\":{},\
+                     \"p999_us\":{},\"max_us\":{}}}",
+                    front_end.name(),
+                    r.offered_rps,
+                    r.achieved_rps,
+                    r.responses,
+                    r.errors,
+                    r.latency.p50_us,
+                    r.latency.p99_us,
+                    r.latency.p999_us,
+                    r.latency.max_us
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\"schema\":\"flint-bench/2\",\"kernel_caps\":\"{}\",\"git_rev\":\"{}\",\
+             \"shape\":\"serve-open-loop\",\
+             \"workload\":{{\"requests\":{},\"rate_rps\":{:.0},\"connections\":{},\
+             \"features\":{},\"trees\":{},\"max_batch\":{},\"workers\":2}},\
+             \"front_ends\":[{}]}}\n",
+            KernelCaps::get().summary(),
+            git_rev(),
+            spec.total_requests,
+            spec.rate_rps,
+            spec.connections,
+            split.test.n_features(),
+            forest.n_trees(),
+            max_batch_serving,
+            rows_json.join(",")
+        );
+        std::fs::write(&path, json).expect("writes the JSON snapshot");
+        println!("wrote {path}");
+    }
 }

@@ -39,7 +39,9 @@ pub mod loadgen;
 pub mod report;
 pub mod shapes;
 
-pub use loadgen::{closed_loop, LatencySummary, LoadReport};
+pub use loadgen::{
+    closed_loop, open_loop, LatencySummary, LoadReport, OpenLoopReport, OpenLoopSpec,
+};
 pub use shapes::ForestShape;
 
 pub use experiments::{

@@ -1,16 +1,35 @@
-//! Closed-loop load generation against the `flint-serve` micro-batcher
-//! — the experiment behind the "Serving latency" section of
-//! EXPERIMENTS.md and `cargo bench --bench serve_latency`.
+//! Load generation against the `flint-serve` stack, closed-loop and
+//! open-loop — the experiments behind the "Serving latency" and
+//! "Open-loop serving" sections of EXPERIMENTS.md and
+//! `cargo bench --bench serve_latency`.
 //!
-//! Closed loop means each simulated client keeps exactly one request in
-//! flight: it sends a row, blocks until the response arrives, then
-//! sends the next. Offered concurrency therefore equals the client
-//! count, which is what makes batch-fill and latency measurements
-//! interpretable — an open-loop generator would conflate queueing delay
-//! with service time.
+//! **Closed loop** ([`closed_loop`]) means each simulated client keeps
+//! exactly one request in flight: it sends a row, blocks until the
+//! response arrives, then sends the next. Offered concurrency equals
+//! the client count, which makes batch-fill measurements interpretable
+//! — but the offered *rate* sags whenever the server stalls, because a
+//! blocked client stops sending. That feedback is **coordinated
+//! omission**: the slow moments are exactly the ones sampled least, so
+//! closed-loop tail percentiles flatter the server.
+//! [`LoadReport::coordinated_omission_warning`] estimates how many
+//! would-have-been requests the stalls hid and says so when the count
+//! is material.
+//!
+//! **Open loop** ([`open_loop`]) removes the feedback: requests depart
+//! on a fixed virtual-time schedule (request *k* is *due* at
+//! `start + k/rate` regardless of how the server is doing), writers
+//! never wait for responses, and every latency is measured from the
+//! request's **intended** departure time — so when the server falls
+//! behind, the queueing delay lands in the recorded tail instead of
+//! silently stretching the send schedule. This is the
+//! coordinated-omission-safe way to ask "what latency does a client see
+//! at N requests/second?", and it runs over real TCP against either
+//! serving front end.
 
 use flint_serve::Batcher;
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 
 /// Latency distribution over one load-generation run, microseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,6 +42,8 @@ pub struct LatencySummary {
     pub p50_us: u64,
     /// 99th percentile (nearest rank).
     pub p99_us: u64,
+    /// 99.9th percentile (nearest rank).
+    pub p999_us: u64,
     /// Worst observed.
     pub max_us: u64,
 }
@@ -42,6 +63,7 @@ impl LatencySummary {
             mean_us,
             p50_us: flint_serve::metrics::percentile(&samples_us, 50.0),
             p99_us: flint_serve::metrics::percentile(&samples_us, 99.0),
+            p999_us: flint_serve::metrics::percentile(&samples_us, 99.9),
             max_us: samples_us.last().copied().unwrap_or(0),
         }
     }
@@ -61,8 +83,37 @@ pub struct LoadReport {
     pub requests_per_sec: f64,
     /// Mean samples per scored batch (from the batcher's metrics).
     pub mean_fill: f64,
+    /// Estimated requests the closed loop *failed to send* because a
+    /// client was blocked on a slow response: for each request,
+    /// `max(0, latency/mean - 1)` more would have departed on a steady
+    /// schedule. Large values mean the tail percentiles are optimistic
+    /// (coordinated omission).
+    pub omitted_estimate: f64,
     /// Per-request latency distribution, measured at the callers.
     pub latency: LatencySummary,
+}
+
+impl LoadReport {
+    /// A human-readable coordinated-omission caution, when the omission
+    /// estimate exceeds 5% of the measured requests — the threshold at
+    /// which closed-loop percentiles start to meaningfully flatter the
+    /// server. `None` means the run's latencies were steady enough that
+    /// the closed loop barely distorted the schedule.
+    pub fn coordinated_omission_warning(&self) -> Option<String> {
+        if self.requests == 0 {
+            return None;
+        }
+        let pct = 100.0 * self.omitted_estimate / self.requests as f64;
+        if pct <= 5.0 {
+            return None;
+        }
+        Some(format!(
+            "coordinated omission: latency stalls hid an estimated {:.0} would-be requests \
+             ({pct:.1}% of the {} measured); closed-loop tail percentiles are optimistic — \
+             prefer the open-loop generator at a fixed offered rate",
+            self.omitted_estimate, self.requests
+        ))
+    }
 }
 
 /// Drives `batcher` with `clients` concurrent closed-loop clients, each
@@ -108,6 +159,22 @@ pub fn closed_loop(
     let fill_after = batcher.metrics();
     let batches = fill_after.batches.saturating_sub(fill_before.batches);
     let requests = samples_us.len();
+    let mean_us = if requests == 0 {
+        0.0
+    } else {
+        samples_us.iter().sum::<u64>() as f64 / requests as f64
+    };
+    // Each request slower than the mean kept its client silent for the
+    // excess time; at the client's own average pace that silence is
+    // worth `latency/mean - 1` unsent requests.
+    let omitted_estimate = if mean_us > 0.0 {
+        samples_us
+            .iter()
+            .map(|&us| (us as f64 / mean_us - 1.0).max(0.0))
+            .sum()
+    } else {
+        0.0
+    };
     LoadReport {
         clients,
         requests,
@@ -118,15 +185,186 @@ pub fn closed_loop(
         } else {
             (fill_after.requests.saturating_sub(fill_before.requests)) as f64 / batches as f64
         },
+        omitted_estimate,
         latency: LatencySummary::from_micros(samples_us),
     }
+}
+
+/// Shape of one open-loop run: how fast, how many, over how many
+/// connections.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Offered arrival rate, requests per second across all
+    /// connections. Request `k` is due at `start + k/rate` whether or
+    /// not the server keeps up.
+    pub rate_rps: f64,
+    /// Total requests in the run.
+    pub total_requests: usize,
+    /// TCP connections the requests round-robin over.
+    pub connections: usize,
+}
+
+/// One open-loop run against a live TCP serving front end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenLoopReport {
+    /// Connections used.
+    pub connections: usize,
+    /// The offered arrival rate (the schedule).
+    pub offered_rps: f64,
+    /// Completed responses divided by wall time; sags below
+    /// `offered_rps` when the server cannot keep up.
+    pub achieved_rps: f64,
+    /// Responses received.
+    pub responses: usize,
+    /// Responses that were not predictions (`busy` sheds, errors).
+    pub errors: usize,
+    /// Wall-clock seconds from the schedule start to the last response.
+    pub wall_secs: f64,
+    /// Per-request latency from **intended** departure time to response
+    /// — queueing delay from a backed-up schedule is included, which is
+    /// what makes the tail coordinated-omission-safe.
+    pub latency: LatencySummary,
+}
+
+/// Drives a live TCP serving endpoint with `spec.total_requests` rows
+/// on a fixed `spec.rate_rps` virtual-time schedule spread round-robin
+/// over `spec.connections` connections. Writers never wait for
+/// responses; readers match responses to requests FIFO per connection
+/// (the protocol answers in order) and time each one against its
+/// intended departure.
+///
+/// # Errors
+///
+/// Any [`std::io::Error`] from connecting, sending or receiving. A
+/// server that sheds or rejects a request still answers it (counted in
+/// [`OpenLoopReport::errors`]), so an error return means the transport
+/// itself failed.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or `spec.rate_rps` is not positive.
+pub fn open_loop(
+    addr: SocketAddr,
+    rows: &[Vec<f32>],
+    spec: OpenLoopSpec,
+) -> std::io::Result<OpenLoopReport> {
+    assert!(!rows.is_empty(), "need at least one request row");
+    assert!(spec.rate_rps > 0.0, "need a positive offered rate");
+    let connections = spec.connections.max(1);
+    let total = spec.total_requests;
+    // Pre-render every request line so the send path is one write call.
+    let lines: Vec<String> = (0..total)
+        .map(|k| {
+            let row = &rows[k % rows.len()];
+            let mut line = row.iter().map(f32::to_string).collect::<Vec<_>>().join(",");
+            line.push('\n');
+            line
+        })
+        .collect();
+    let streams: Vec<TcpStream> = (0..connections)
+        .map(|_| {
+            let stream = TcpStream::connect(addr)?;
+            stream.set_nodelay(true)?;
+            Ok(stream)
+        })
+        .collect::<std::io::Result<_>>()?;
+
+    // The schedule starts a breath in the future so connection 0's
+    // first request is not already late before the threads spawn.
+    let start = Instant::now() + Duration::from_millis(5);
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut errors = 0usize;
+    let mut last_response = start;
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut writers = Vec::with_capacity(connections);
+        let mut readers = Vec::with_capacity(connections);
+        for (c, stream) in streams.into_iter().enumerate() {
+            let mut write_half = stream.try_clone()?;
+            let lines = &lines;
+            writers.push(scope.spawn(move || -> std::io::Result<()> {
+                let mut k = c;
+                while k < total {
+                    let due = start + Duration::from_secs_f64(k as f64 / spec.rate_rps);
+                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    // Send even when late: the reader charges the delay
+                    // against the intended time, not this actual one.
+                    write_half.write_all(lines[k].as_bytes())?;
+                    k += connections;
+                }
+                Ok(())
+            }));
+            readers.push(
+                scope.spawn(move || -> std::io::Result<(Vec<u64>, usize, Instant)> {
+                    let mut reader = BufReader::new(stream);
+                    let mut latencies = Vec::with_capacity(total.div_ceil(connections));
+                    let mut errors = 0usize;
+                    let mut last = start;
+                    let mut line = String::new();
+                    let mut k = c;
+                    while k < total {
+                        line.clear();
+                        if reader.read_line(&mut line)? == 0 {
+                            return Err(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                format!(
+                                    "server closed connection {c} after {} responses",
+                                    latencies.len()
+                                ),
+                            ));
+                        }
+                        let now = Instant::now();
+                        last = now;
+                        let due = start + Duration::from_secs_f64(k as f64 / spec.rate_rps);
+                        let us = now
+                            .checked_duration_since(due)
+                            .map_or(0, |d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+                        latencies.push(us);
+                        if !line.starts_with("{\"class\":") {
+                            errors += 1;
+                        }
+                        k += connections;
+                    }
+                    Ok((latencies, errors, last))
+                }),
+            );
+        }
+        for writer in writers {
+            writer.join().expect("open-loop writer thread")?;
+        }
+        for reader in readers {
+            let (latencies, conn_errors, last) = reader.join().expect("open-loop reader thread")?;
+            all_latencies.extend(latencies);
+            errors += conn_errors;
+            if last > last_response {
+                last_response = last;
+            }
+        }
+        Ok(())
+    })?;
+
+    let responses = all_latencies.len();
+    let wall_secs = last_response
+        .saturating_duration_since(start)
+        .as_secs_f64()
+        .max(f64::MIN_POSITIVE);
+    Ok(OpenLoopReport {
+        connections,
+        offered_rps: spec.rate_rps,
+        achieved_rps: responses as f64 / wall_secs,
+        responses,
+        errors,
+        wall_secs,
+        latency: LatencySummary::from_micros(all_latencies),
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use flint_data::synth::SynthSpec;
-    use flint_exec::{EngineBuilder, EngineKind};
+    use flint_exec::{EngineBuilder, EngineKind, Predictor};
     use flint_forest::{ForestConfig, RandomForest};
     use flint_serve::BatchPolicy;
     use std::time::Duration;
@@ -137,6 +375,7 @@ mod tests {
         assert_eq!(summary.count, 200);
         assert_eq!(summary.p50_us, 100);
         assert_eq!(summary.p99_us, 198);
+        assert_eq!(summary.p999_us, 200);
         assert_eq!(summary.max_us, 200);
         assert_eq!(summary.mean_us, 100.5);
         let empty = LatencySummary::from_micros(Vec::new());
@@ -168,7 +407,77 @@ mod tests {
             "{report:?}"
         );
         assert!(report.latency.p99_us >= report.latency.p50_us);
+        assert!(report.omitted_estimate >= 0.0);
         let stats = batcher.shutdown();
         assert_eq!(stats.requests, 100);
+    }
+
+    #[test]
+    fn omission_warning_fires_on_stalls_not_on_steady_latency() {
+        // Perfectly steady latencies: nothing was omitted.
+        let steady = LoadReport {
+            clients: 1,
+            requests: 100,
+            wall_secs: 1.0,
+            requests_per_sec: 100.0,
+            mean_fill: 1.0,
+            omitted_estimate: 0.0,
+            latency: LatencySummary::from_micros(vec![100; 100]),
+        };
+        assert_eq!(steady.coordinated_omission_warning(), None);
+        // A big stall estimate trips the caution.
+        let stalled = LoadReport {
+            omitted_estimate: 40.0,
+            ..steady
+        };
+        let warning = stalled
+            .coordinated_omission_warning()
+            .expect("40% omission warns");
+        assert!(warning.contains("coordinated omission"), "{warning}");
+        assert!(warning.contains("open-loop"), "{warning}");
+    }
+
+    fn serving_engine() -> (Box<dyn Predictor>, Vec<Vec<f32>>) {
+        let data = SynthSpec::new(80, 4, 2).seed(7).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 6)).expect("trainable");
+        let engine = EngineBuilder::new(&forest)
+            .build(EngineKind::parse("flint-blocked").expect("registered"))
+            .expect("builds");
+        let rows = (0..data.n_samples())
+            .map(|i| data.sample(i).to_vec())
+            .collect();
+        (engine, rows)
+    }
+
+    #[test]
+    fn open_loop_measures_from_the_intended_schedule() {
+        let (engine, rows) = serving_engine();
+        let server = flint_serve::Server::bind("127.0.0.1:0", engine, BatchPolicy::default())
+            .expect("binds loopback");
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().expect("serves"));
+
+        let report = open_loop(
+            addr,
+            &rows,
+            OpenLoopSpec {
+                rate_rps: 2000.0,
+                total_requests: 200,
+                connections: 4,
+            },
+        )
+        .expect("open loop runs");
+        assert_eq!(report.responses, 200);
+        assert_eq!(report.errors, 0, "{report:?}");
+        assert_eq!(report.latency.count, 200);
+        assert!(report.achieved_rps > 0.0);
+        // The schedule spans 100 ms; a loopback run can't take 100x.
+        assert!(report.wall_secs < 10.0, "{report:?}");
+        assert!(report.latency.p999_us >= report.latency.p99_us);
+
+        let stream = TcpStream::connect(addr).expect("connects");
+        let mut w = stream.try_clone().expect("clones");
+        w.write_all(b"shutdown\n").expect("writes");
+        runner.join().expect("server thread");
     }
 }

@@ -92,6 +92,14 @@ pub enum Command {
         queue_depth: usize,
         /// TCP listen address.
         addr: String,
+        /// TCP front end (`epoll` event loop or `threads`
+        /// thread-per-connection); parsed by [`flint_serve::FrontEnd`].
+        front_end: String,
+        /// Connection cap of the event-loop front end (further accepts
+        /// are answered `busy` and closed).
+        max_conns: usize,
+        /// In-flight prediction cap of the event-loop front end.
+        max_inflight: usize,
         /// Serve stdin/stdout instead of TCP.
         stdin: bool,
     },
@@ -296,6 +304,20 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .get("addr")
                 .cloned()
                 .unwrap_or_else(|| "127.0.0.1:7878".to_owned()),
+            front_end: map
+                .get("front-end")
+                .cloned()
+                .unwrap_or_else(|| "epoll".to_owned()),
+            max_conns: map
+                .get("max-conns")
+                .map(|v| parse_number(v, "max-conns"))
+                .transpose()?
+                .unwrap_or(16384),
+            max_inflight: map
+                .get("max-inflight")
+                .map(|v| parse_number(v, "max-inflight"))
+                .transpose()?
+                .unwrap_or(1024),
             stdin: map.contains_key("stdin"),
         }),
         "emit" => Ok(Command::Emit {
@@ -341,7 +363,8 @@ USAGE:
                    [--runs R] [--engines a,b,c] [--output table|csv|json]
   flint bench      --list
   flint serve      --model model.txt [--engine ENGINE] [--max-batch B] [--linger-us U]
-                   [--workers W] [--queue-depth Q] [--addr HOST:PORT] [--stdin]
+                   [--workers W] [--queue-depth Q] [--addr HOST:PORT]
+                   [--front-end epoll|threads] [--max-conns C] [--max-inflight I] [--stdin]
   flint emit       --model model.txt [--lang c|c64|rust|asm-arm|asm-x86] [--variant std|flint]
   flint importance --model model.txt
   flint simulate   --model model.txt --data d.csv --classes K [--machine x86s|x86d|arms|armd|embedded] [--config naive|cags|flint|cags-flint|flint-asm|softfloat]
@@ -363,7 +386,10 @@ bandwidth-bound), deep (12 x 18).
 
 `flint serve` speaks one request per line (CSV feature row or
 {\"features\":[...]}; `stats` and `shutdown` commands) and answers one
-JSON object per line.
+JSON object per line. The default `epoll` front end is a readiness
+event loop (one thread, thousands of idle connections, explicit `busy`
+shedding past --max-conns / --max-inflight); `--front-end threads` is
+the thread-per-connection baseline, and the one that works off Linux.
 
 CSV format: one row per sample, float features followed by an integer
 class label, no header.
@@ -519,12 +545,16 @@ mod tests {
                 workers: 2,
                 queue_depth: 1024,
                 addr: "127.0.0.1:7878".into(),
+                front_end: "epoll".into(),
+                max_conns: 16384,
+                max_inflight: 1024,
                 stdin: false,
             }
         );
         let cmd = parse(&argv(
             "serve --model m.txt --engine quickscorer --max-batch 16 --linger-us 500 \
-             --workers 4 --queue-depth 64 --addr 0.0.0.0:9000 --stdin",
+             --workers 4 --queue-depth 64 --addr 0.0.0.0:9000 --front-end threads \
+             --max-conns 100 --max-inflight 32 --stdin",
         ))
         .expect("parses");
         assert_eq!(
@@ -537,6 +567,9 @@ mod tests {
                 workers: 4,
                 queue_depth: 64,
                 addr: "0.0.0.0:9000".into(),
+                front_end: "threads".into(),
+                max_conns: 100,
+                max_inflight: 32,
                 stdin: true,
             }
         );
@@ -544,6 +577,8 @@ mod tests {
         assert!(err.0.contains("--model"), "{err}");
         let err = parse(&argv("serve --model m.txt --max-batch soon")).unwrap_err();
         assert!(err.0.contains("max-batch"), "{err}");
+        let err = parse(&argv("serve --model m.txt --max-conns lots")).unwrap_err();
+        assert!(err.0.contains("max-conns"), "{err}");
     }
 
     #[test]

@@ -11,7 +11,9 @@ use flint_data::{csv, Dataset, FeatureMatrix};
 use flint_exec::{BatchOptions, EngineBuilder, EngineKind, KernelCaps};
 use flint_forest::metrics::accuracy;
 use flint_forest::{io as model_io, ForestConfig, RandomForest};
-use flint_serve::{serve_lines, BatchPolicy, Batcher, Server};
+use flint_serve::{
+    serve_lines, BatchPolicy, Batcher, EpollServer, EventLoopConfig, FrontEnd, Server,
+};
 use flint_sim::{simulate_forest, Machine, SimConfig};
 use std::fmt::Write as FmtWrite;
 use std::fs::File;
@@ -404,10 +406,16 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
             workers,
             queue_depth,
             addr,
+            front_end,
+            max_conns,
+            max_inflight,
             stdin,
         } => {
             let forest = load_model(&model)?;
             let kind = engine_kind(&engine)?;
+            let front_end: FrontEnd = front_end
+                .parse()
+                .map_err(|e: flint_serve::ParseFrontEndError| RunError::Invalid(e.to_string()))?;
             // One worker scores one batch at a time; parallelism comes
             // from the pool, so each engine runs its batch inline.
             let opts = BatchOptions::default()
@@ -427,21 +435,36 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
                 serve_lines(&batcher, std::io::stdin().lock(), &mut *out)?;
                 writeln!(out, "{}", batcher.shutdown().to_json())?;
             } else {
-                let server = Server::bind(&addr, engine, policy)?;
-                writeln!(
-                    out,
-                    "listening on {} (engine {}, max-batch {}, linger {linger_us}us, \
-                     workers {}, queue {})",
-                    server.local_addr(),
-                    server.engine_name(),
-                    max_batch.max(1),
-                    workers.max(1),
-                    queue_depth.max(1)
-                )?;
-                // The startup line must reach pipes before the accept
-                // loop blocks (smoke tests wait for it).
-                out.flush()?;
-                let stats = server.run()?;
+                let banner = |local_addr: std::net::SocketAddr, engine_name: &str| {
+                    format!(
+                        "listening on {local_addr} (engine {engine_name}, front-end {front_end}, \
+                         max-batch {}, linger {linger_us}us, workers {}, queue {})",
+                        max_batch.max(1),
+                        workers.max(1),
+                        queue_depth.max(1)
+                    )
+                };
+                let stats = match front_end {
+                    FrontEnd::Epoll => {
+                        let config = EventLoopConfig::default()
+                            .max_conns(max_conns)
+                            .max_inflight(max_inflight);
+                        let server = EpollServer::bind_with_config(&addr, engine, policy, config)?;
+                        writeln!(out, "{}", banner(server.local_addr(), server.engine_name()))?;
+                        // The startup line must reach pipes before the
+                        // event loop starts (smoke tests wait for it).
+                        out.flush()?;
+                        server.run()?
+                    }
+                    FrontEnd::Threads => {
+                        let server = Server::bind(&addr, engine, policy)?;
+                        writeln!(out, "{}", banner(server.local_addr(), server.engine_name()))?;
+                        // The startup line must reach pipes before the
+                        // accept loop blocks (smoke tests wait for it).
+                        out.flush()?;
+                        server.run()?
+                    }
+                };
                 writeln!(out, "{}", stats.to_json())?;
             }
         }

@@ -119,6 +119,10 @@ pub enum ServeError {
     /// The batcher is shutting down (or has shut down); the request was
     /// not scored.
     ShuttingDown,
+    /// The bounded request queue is full and the caller asked not to
+    /// block ([`BatchHandle::try_submit`]): admission control shed this
+    /// request instead of growing a backlog.
+    Busy,
 }
 
 impl core::fmt::Display for ServeError {
@@ -128,18 +132,25 @@ impl core::fmt::Display for ServeError {
                 write!(f, "expected {expected} features, got {got}")
             }
             Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::Busy => write!(f, "request queue full"),
         }
     }
 }
 
 impl std::error::Error for ServeError {}
 
+/// How a scored prediction finds its way back to whoever asked: a
+/// oneshot callback. The blocking [`BatchHandle::predict`] wraps a
+/// channel send; the event-loop front end wraps "push onto the
+/// completion queue and wake the poller".
+type Reply = Box<dyn FnOnce(Prediction) + Send>;
+
 /// One queued request: the gathered row, its enqueue time (for the
-/// latency metrics) and the caller's oneshot reply channel.
+/// latency metrics) and the caller's oneshot reply callback.
 struct Request {
     features: Vec<f32>,
     enqueued: Instant,
-    reply: SyncSender<Prediction>,
+    reply: Reply,
 }
 
 /// Queue messages: requests, or the shutdown sentinel `Batcher` sends.
@@ -152,7 +163,7 @@ enum Msg {
 /// row-major features plus one reply slot per row.
 struct Batch {
     rows: Vec<f32>,
-    replies: Vec<(SyncSender<Prediction>, Instant)>,
+    replies: Vec<(Reply, Instant)>,
 }
 
 /// The caller-side entry point: cheap to clone, safe to share across
@@ -176,18 +187,14 @@ impl BatchHandle {
     /// [`ServeError::ShuttingDown`] if the batcher stopped before this
     /// request could be scored.
     pub fn predict(&self, features: &[f32]) -> Result<Prediction, ServeError> {
-        if features.len() != self.n_features {
-            self.metrics.record_rejected();
-            return Err(ServeError::WrongArity {
-                expected: self.n_features,
-                got: features.len(),
-            });
-        }
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        self.check_arity(features)?;
         let request = Request {
             features: features.to_vec(),
             enqueued: Instant::now(),
-            reply: reply_tx,
+            reply: Box::new(move |prediction| {
+                let _ = reply_tx.send(prediction);
+            }),
         };
         self.tx
             .send(Msg::Predict(request))
@@ -196,6 +203,53 @@ impl BatchHandle {
         // The reply channel is dropped unanswered only when the batcher
         // tears down before this batch is scored.
         reply_rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Enqueues one feature row **without blocking**: `on_done` fires
+    /// from a scoring worker once the row's batch is scored. This is
+    /// the event-loop entry point — the loop must never sleep on a full
+    /// queue, so a full queue sheds instead of blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::WrongArity`] on a bad row (checked before
+    /// queueing), [`ServeError::Busy`] when the bounded queue is full
+    /// (counted as shed in the metrics), [`ServeError::ShuttingDown`]
+    /// when the batcher has stopped. On every error `on_done` is
+    /// dropped unfired — the caller still owns the response.
+    pub fn try_submit(
+        &self,
+        features: &[f32],
+        on_done: impl FnOnce(Prediction) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        self.check_arity(features)?;
+        let request = Request {
+            features: features.to_vec(),
+            enqueued: Instant::now(),
+            reply: Box::new(on_done),
+        };
+        match self.tx.try_send(Msg::Predict(request)) {
+            Ok(()) => {
+                self.metrics.record_request();
+                Ok(())
+            }
+            Err(mpsc::TrySendError::Full(_)) => {
+                self.metrics.record_shed();
+                Err(ServeError::Busy)
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    fn check_arity(&self, features: &[f32]) -> Result<(), ServeError> {
+        if features.len() != self.n_features {
+            self.metrics.record_rejected();
+            return Err(ServeError::WrongArity {
+                expected: self.n_features,
+                got: features.len(),
+            });
+        }
+        Ok(())
     }
 
     /// The registry name of the engine answering requests.
@@ -290,6 +344,12 @@ impl Batcher {
     /// A point-in-time reading of the serving counters.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The live counters themselves, for the front ends that record
+    /// connection gauges and buffer high-water marks.
+    pub(crate) fn metrics_shared(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Graceful shutdown: every already-queued request is still scored
@@ -409,9 +469,11 @@ fn worker_loop(engine: &dyn Predictor, batch_rx: &Mutex<Receiver<Batch>>, metric
         metrics.record_batch(fill);
         for ((reply, enqueued), class) in batch.replies.into_iter().zip(classes) {
             metrics.record_latency(enqueued.elapsed());
-            // A dropped reply receiver means the caller gave up; the
-            // batch's other rows are unaffected.
-            let _ = reply.send(Prediction {
+            // The callback decides what "answered" means: a channel
+            // send for blocking callers (a dropped receiver is a caller
+            // that gave up — harmless), a completion-queue push plus
+            // poller wake for the event loop.
+            reply(Prediction {
                 class,
                 batch_fill: fill,
             });

@@ -1,0 +1,844 @@
+//! The readiness event-loop TCP front end: one thread, one `epoll`
+//! instance, and the sans-io [`ProtocolMachine`] — the shape that holds
+//! thousands of mostly-idle connections in one process, where the
+//! thread-per-connection [`Server`](crate::Server) would pay a stack
+//! and a scheduler entry apiece.
+//!
+//! How a request flows:
+//!
+//! 1. the loop's `epoll_wait` reports a connection readable; raw bytes
+//!    go through the connection's [`ProtocolMachine`], which emits one
+//!    [`WireEvent`] per complete line regardless of how the kernel
+//!    chunked them;
+//! 2. a predict request **reserves an ordered response slot** on its
+//!    connection and enters the shared [`Batcher`] through the
+//!    non-blocking [`BatchHandle::try_submit`] — the loop never sleeps
+//!    on scoring;
+//! 3. a scoring worker finishes the row's batch and runs the completion
+//!    callback: push `(token, seq, prediction)` onto the completion
+//!    queue and nudge the loop's [`Waker`];
+//! 4. the loop drains completions into their reserved slots and writes
+//!    out each connection's *ready prefix* — responses leave in request
+//!    order per connection, no matter how batches interleaved.
+//!
+//! Admission control sheds load explicitly instead of queueing it
+//! invisibly ([`EventLoopConfig`]): a full accept table turns new
+//! connections away with a `busy` line, a full global in-flight window
+//! or per-connection pending window answers `busy` without scoring, and
+//! a connection whose peer stops reading has its **read interest
+//! withdrawn** once its write buffer passes the cap — backpressure
+//! lands on the slow client alone, never on the loop.
+//!
+//! Everything here is safe code; the `unsafe` lives behind the vendored
+//! [`epoll`] shim's minimal API. On non-Linux targets
+//! [`EpollServer::run`] fails with `Unsupported` and callers fall back
+//! to `--front-end threads`.
+
+use crate::batcher::{BatchHandle, BatchPolicy, Batcher, Prediction, ServeError};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::protocol::{
+    render_busy, render_error, render_prediction, ProtocolMachine, Request, WireEvent,
+};
+use crate::server::{respond_event, Action};
+use epoll::{Events, Interest, Poller, Waker};
+use flint_exec::Predictor;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Poll token of the accept listener.
+const LISTENER: u64 = 0;
+/// Poll token of the completion waker's read end.
+const WAKER: u64 = 1;
+/// First token handed to an accepted connection (monotonic, never
+/// reused, so a stale completion can never reach a newer connection).
+const FIRST_CONN: u64 = 2;
+
+/// Upper bound on one `epoll_wait` sleep: the loop's shutdown/overload
+/// bookkeeping runs at least this often even with no I/O.
+const POLL_TICK: Duration = Duration::from_millis(100);
+/// Bytes per `read` call.
+const READ_CHUNK: usize = 4096;
+/// Reads taken from one connection per readiness report before the loop
+/// moves on; level-triggered epoll re-reports leftovers, so a firehose
+/// client cannot starve its neighbours.
+const READ_BURSTS: usize = 16;
+
+/// Admission-control and buffering limits of the event loop. Every cap
+/// sheds with an explicit `busy` response (counted in
+/// [`MetricsSnapshot::shed`]) rather than queueing invisibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventLoopConfig {
+    /// Most connections held open at once; further accepts are answered
+    /// `busy` and closed.
+    pub max_conns: usize,
+    /// Most predictions in the batcher at once across all connections
+    /// (the loop-wide concurrency window).
+    pub max_inflight: usize,
+    /// Most unanswered predictions per connection (a single pipelining
+    /// client's window).
+    pub max_pending_per_conn: usize,
+    /// Write-buffer size past which a connection's *read* interest is
+    /// withdrawn until the peer drains half of it — per-slow-client
+    /// backpressure.
+    pub max_write_buffer: usize,
+}
+
+impl Default for EventLoopConfig {
+    /// 16384 connections, 1024 in flight, 128 pending per connection,
+    /// 256 KiB write buffer.
+    fn default() -> Self {
+        Self {
+            max_conns: 16384,
+            max_inflight: 1024,
+            max_pending_per_conn: 128,
+            max_write_buffer: 256 * 1024,
+        }
+    }
+}
+
+impl EventLoopConfig {
+    /// Sets the connection cap.
+    #[must_use]
+    pub fn max_conns(mut self, n: usize) -> Self {
+        self.max_conns = n;
+        self
+    }
+
+    /// Sets the loop-wide in-flight prediction cap.
+    #[must_use]
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n;
+        self
+    }
+
+    /// Sets the per-connection unanswered-prediction cap.
+    #[must_use]
+    pub fn max_pending_per_conn(mut self, n: usize) -> Self {
+        self.max_pending_per_conn = n;
+        self
+    }
+
+    /// Sets the write-buffer backpressure threshold in bytes.
+    #[must_use]
+    pub fn max_write_buffer(mut self, bytes: usize) -> Self {
+        self.max_write_buffer = bytes;
+        self
+    }
+}
+
+/// One finished prediction on its way back from a scoring worker:
+/// connection token, reserved slot sequence number, result.
+type Completion = (u64, u64, Prediction);
+
+/// The epoll-driven TCP inference server (Linux). Protocol,
+/// micro-batcher and metrics are shared with the threaded
+/// [`Server`](crate::Server); only the connection driving differs.
+///
+/// ```no_run
+/// use flint_serve::{BatchPolicy, EpollServer};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// # let engine: Box<dyn flint_exec::Predictor> = unimplemented!();
+/// let server = EpollServer::bind("127.0.0.1:7878", engine, BatchPolicy::default())?;
+/// println!("listening on {}", server.local_addr());
+/// let final_stats = server.run()?; // until a client sends `shutdown`
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct EpollServer {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    batcher: Batcher,
+    config: EventLoopConfig,
+}
+
+impl EpollServer {
+    /// Binds `addr` with the default [`EventLoopConfig`] and starts the
+    /// micro-batcher over `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from binding the listener.
+    pub fn bind(
+        addr: &str,
+        engine: Box<dyn Predictor>,
+        policy: BatchPolicy,
+    ) -> std::io::Result<Self> {
+        Self::bind_with_config(addr, engine, policy, EventLoopConfig::default())
+    }
+
+    /// Binds `addr` with explicit admission-control limits.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from binding the listener.
+    pub fn bind_with_config(
+        addr: &str,
+        engine: Box<dyn Predictor>,
+        policy: BatchPolicy,
+        config: EventLoopConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            local_addr,
+            batcher: Batcher::start(engine, policy),
+            config,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The registry name of the engine answering requests.
+    pub fn engine_name(&self) -> &'static str {
+        self.batcher.engine_name()
+    }
+
+    /// The admission-control limits in force.
+    pub fn config(&self) -> EventLoopConfig {
+        self.config
+    }
+
+    /// Runs the event loop until a client sends `shutdown`, then drains
+    /// every in-flight prediction, flushes and closes every connection,
+    /// shuts the batcher down and returns the final metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from the poller or listener (including
+    /// `Unsupported` on non-Linux targets); per-connection I/O errors
+    /// only end that connection.
+    pub fn run(self) -> std::io::Result<MetricsSnapshot> {
+        let EpollServer {
+            listener,
+            local_addr: _,
+            batcher,
+            config: cfg,
+        } = self;
+        let poller = Poller::new()?;
+        let waker = Waker::new()?;
+        listener.set_nonblocking(true)?;
+        poller.add(listener.as_raw_fd(), LISTENER, Interest::READ)?;
+        poller.add(waker.read_fd(), WAKER, Interest::READ)?;
+
+        let handle = batcher.handle();
+        let metrics = batcher.metrics_shared();
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut conns: HashMap<u64, Conn> = HashMap::new();
+        let mut events = Events::with_capacity(1024);
+        let mut next_token = FIRST_CONN;
+        let mut inflight = 0usize;
+        let mut stopping = false;
+        let mut accepting = true;
+        let mut dirty: Vec<u64> = Vec::new();
+
+        loop {
+            poller.wait(&mut events, Some(POLL_TICK))?;
+            dirty.clear();
+            // Copy the reports out so `events` is free for the next
+            // wait and the borrow checker is free for `conns`.
+            let ready: Vec<epoll::Event> = events.iter().collect();
+            for event in ready {
+                match event.token {
+                    LISTENER => accept_ready(
+                        &listener,
+                        &poller,
+                        &mut conns,
+                        &mut next_token,
+                        &metrics,
+                        &cfg,
+                        stopping,
+                    )?,
+                    WAKER => waker.drain(),
+                    token => {
+                        if let Some(conn) = conns.get_mut(&token) {
+                            if event.readable || event.closed {
+                                read_ready(
+                                    conn,
+                                    token,
+                                    &handle,
+                                    &metrics,
+                                    &completions,
+                                    &waker,
+                                    &cfg,
+                                    &mut inflight,
+                                    &mut stopping,
+                                );
+                            }
+                            dirty.push(token);
+                        }
+                    }
+                }
+            }
+
+            // Scored predictions land in the slots they reserved. The
+            // in-flight window shrinks even when the connection is
+            // already gone — the batcher did the work either way.
+            let done: Vec<Completion> =
+                std::mem::take(&mut *completions.lock().expect("completion queue lock"));
+            for (token, seq, prediction) in done {
+                inflight = inflight.saturating_sub(1);
+                if let Some(conn) = conns.get_mut(&token) {
+                    conn.fill_slot(seq, render_prediction(&prediction, handle.engine_name()));
+                    dirty.push(token);
+                }
+            }
+
+            if stopping && accepting {
+                accepting = false;
+                let _ = poller.delete(listener.as_raw_fd());
+            }
+            if stopping {
+                // Idle connections drain and close too, not just the
+                // ones with activity this tick.
+                dirty.extend(conns.keys().copied());
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            for token in dirty.drain(..) {
+                let Some(conn) = conns.get_mut(&token) else {
+                    continue;
+                };
+                if conn.pump(&poller, token, &metrics, &cfg, stopping) {
+                    let conn = conns.remove(&token).expect("live connection");
+                    let _ = poller.delete(conn.stream.as_raw_fd());
+                    metrics.record_disconnect();
+                }
+            }
+
+            if stopping && conns.is_empty() && inflight == 0 {
+                break;
+            }
+        }
+        Ok(batcher.shutdown())
+    }
+}
+
+/// One live connection: its nonblocking stream, framing machine, write
+/// buffer, and the ordered response slots that keep per-connection
+/// request/response order under out-of-order batch completion.
+struct Conn {
+    stream: TcpStream,
+    machine: ProtocolMachine,
+    /// Bytes waiting for the socket; `out_pos..` is still unsent.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// One slot per not-yet-flushed request, in arrival order: `None`
+    /// while its prediction is in flight, `Some(line)` once answered.
+    /// Only the answered *prefix* may be written out.
+    slots: VecDeque<Option<String>>,
+    /// Sequence number of `slots.front()`.
+    base_seq: u64,
+    /// Slots still `None` (this connection's in-flight window).
+    pending: usize,
+    eof: bool,
+    dead: bool,
+    /// Read interest withdrawn while the write buffer is over the cap.
+    paused: bool,
+    want_read: bool,
+    want_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            machine: ProtocolMachine::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            slots: VecDeque::new(),
+            base_seq: 0,
+            pending: 0,
+            eof: false,
+            dead: false,
+            paused: false,
+            want_read: true,
+            want_write: false,
+        }
+    }
+
+    /// Appends an already-answered slot (stats, errors, busy lines).
+    fn push_response(&mut self, line: String) {
+        self.slots.push_back(Some(line));
+    }
+
+    /// Reserves the next slot for an in-flight prediction and returns
+    /// its sequence number.
+    fn reserve_slot(&mut self) -> u64 {
+        let seq = self.base_seq + self.slots.len() as u64;
+        self.slots.push_back(None);
+        self.pending += 1;
+        seq
+    }
+
+    /// Delivers a response into its reserved slot.
+    fn fill_slot(&mut self, seq: u64, line: String) {
+        let idx = seq.wrapping_sub(self.base_seq) as usize;
+        if let Some(slot @ None) = self.slots.get_mut(idx) {
+            *slot = Some(line);
+            self.pending -= 1;
+        }
+    }
+
+    /// Moves the answered slot prefix into the write buffer, flushes as
+    /// much as the socket takes, updates backpressure state and poll
+    /// interest. Returns true when the connection should be closed
+    /// (dead, or drained after EOF / during shutdown).
+    fn pump(
+        &mut self,
+        poller: &Poller,
+        token: u64,
+        metrics: &ServeMetrics,
+        cfg: &EventLoopConfig,
+        stopping: bool,
+    ) -> bool {
+        if self.dead {
+            return true;
+        }
+        while matches!(self.slots.front(), Some(Some(_))) {
+            let line = self
+                .slots
+                .pop_front()
+                .flatten()
+                .expect("answered slot prefix");
+            self.base_seq += 1;
+            self.out.extend_from_slice(line.as_bytes());
+            self.out.push(b'\n');
+        }
+        metrics.record_write_buffer(self.out.len() - self.out_pos);
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return true;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return true;
+                }
+            }
+        }
+        if self.out_pos == self.out.len() {
+            self.out.clear();
+            self.out_pos = 0;
+        }
+        if self.out.is_empty() && self.slots.is_empty() && (self.eof || stopping) {
+            return true;
+        }
+        let buffered = self.out.len() - self.out_pos;
+        if !self.paused && buffered > cfg.max_write_buffer {
+            self.paused = true;
+        } else if self.paused && buffered <= cfg.max_write_buffer / 2 {
+            self.paused = false;
+        }
+        let want_read = !self.eof && !self.paused;
+        let want_write = self.out_pos < self.out.len();
+        if (want_read, want_write) != (self.want_read, self.want_write) {
+            self.want_read = want_read;
+            self.want_write = want_write;
+            let _ = poller.modify(
+                self.stream.as_raw_fd(),
+                token,
+                Interest {
+                    readable: want_read,
+                    writable: want_write,
+                },
+            );
+        }
+        false
+    }
+}
+
+/// Drains the accept queue: new connections are registered read-only,
+/// or turned away with one `busy` line when over the cap (or during
+/// shutdown).
+fn accept_ready(
+    listener: &TcpListener,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_token: &mut u64,
+    metrics: &ServeMetrics,
+    cfg: &EventLoopConfig,
+    stopping: bool,
+) -> std::io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                if stopping || conns.len() >= cfg.max_conns {
+                    metrics.record_shed();
+                    let reason = if stopping {
+                        "server shutting down".to_owned()
+                    } else {
+                        format!("connection limit {} reached", cfg.max_conns)
+                    };
+                    // Best effort: a just-accepted socket has an empty
+                    // send buffer, so this short line will not block.
+                    let mut line = render_busy(&reason);
+                    line.push('\n');
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.write_all(line.as_bytes());
+                    continue; // drop closes it
+                }
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                let token = *next_token;
+                *next_token += 1;
+                poller.add(stream.as_raw_fd(), token, Interest::READ)?;
+                metrics.record_connect();
+                conns.insert(token, Conn::new(stream));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            // Transient per-connection accept failures (ECONNABORTED
+            // and friends): skip, the listener itself is fine.
+            Err(_) => return Ok(()),
+        }
+    }
+}
+
+/// Reads whatever the socket has (bounded per readiness report), feeds
+/// it through the framing machine and dispatches every completed line.
+#[allow(clippy::too_many_arguments)]
+fn read_ready(
+    conn: &mut Conn,
+    token: u64,
+    handle: &BatchHandle,
+    metrics: &ServeMetrics,
+    completions: &Arc<Mutex<Vec<Completion>>>,
+    waker: &Waker,
+    cfg: &EventLoopConfig,
+    inflight: &mut usize,
+    stopping: &mut bool,
+) {
+    let mut buf = [0u8; READ_CHUNK];
+    let mut wire: Vec<WireEvent> = Vec::new();
+    for _ in 0..READ_BURSTS {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.eof = true;
+                // A final unterminated line is still a request
+                // (`BufRead::lines` semantics, same as the threaded
+                // front end).
+                wire.extend(conn.machine.finish());
+                break;
+            }
+            Ok(n) => {
+                conn.machine.receive(&buf[..n], |event| wire.push(event));
+                metrics.record_read_buffer(conn.machine.buffered());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    for event in wire {
+        dispatch_wire_event(
+            conn,
+            token,
+            event,
+            handle,
+            metrics,
+            completions,
+            waker,
+            cfg,
+            inflight,
+            stopping,
+        );
+    }
+}
+
+/// Turns one framing event into either an immediate response slot or an
+/// in-flight prediction with a reserved slot.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_wire_event(
+    conn: &mut Conn,
+    token: u64,
+    event: WireEvent,
+    handle: &BatchHandle,
+    metrics: &ServeMetrics,
+    completions: &Arc<Mutex<Vec<Completion>>>,
+    waker: &Waker,
+    cfg: &EventLoopConfig,
+    inflight: &mut usize,
+    stopping: &mut bool,
+) {
+    let row = match event {
+        WireEvent::Request(Request::Predict(row)) => row,
+        other => {
+            // Stats, shutdown, malformed and oversized lines answer
+            // without touching the batcher — same renderings as the
+            // threaded front end, so the wire format cannot diverge.
+            let (response, action) = respond_event(other, handle);
+            conn.push_response(response);
+            if action == Action::Shutdown {
+                *stopping = true;
+            }
+            return;
+        }
+    };
+    if conn.pending >= cfg.max_pending_per_conn {
+        metrics.record_shed();
+        conn.push_response(render_busy(&format!(
+            "connection pending cap {} reached",
+            cfg.max_pending_per_conn
+        )));
+        return;
+    }
+    if *inflight >= cfg.max_inflight {
+        metrics.record_shed();
+        conn.push_response(render_busy(&format!(
+            "max-inflight {} reached",
+            cfg.max_inflight
+        )));
+        return;
+    }
+    let seq = conn.reserve_slot();
+    let queue = Arc::clone(completions);
+    let wake = waker.clone();
+    match handle.try_submit(&row, move |prediction| {
+        queue
+            .lock()
+            .expect("completion queue lock")
+            .push((token, seq, prediction));
+        wake.wake();
+    }) {
+        Ok(()) => *inflight += 1,
+        // `try_submit` already counted the shed / rejection; the
+        // reserved slot is answered inline so ordering holds.
+        Err(ServeError::Busy) => conn.fill_slot(seq, render_busy("request queue full")),
+        Err(e) => conn.fill_slot(seq, render_error(&e.to_string())),
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use flint_data::synth::SynthSpec;
+    use flint_exec::{EngineBuilder, EngineKind};
+    use flint_forest::{ForestConfig, RandomForest};
+    use std::io::{BufRead, BufReader};
+
+    fn engine_and_data() -> (Box<dyn Predictor>, RandomForest, flint_data::Dataset) {
+        let data = SynthSpec::new(90, 4, 3).seed(5).generate();
+        let forest = RandomForest::fit(&data, &ForestConfig::grid(4, 6)).expect("trainable");
+        let engine = EngineBuilder::new(&forest)
+            .build(EngineKind::parse("flint-blocked").expect("registered"))
+            .expect("builds");
+        (engine, forest, data)
+    }
+
+    #[test]
+    fn epoll_server_round_trips_the_protocol() {
+        let (engine, forest, data) = engine_and_data();
+        let server = EpollServer::bind("127.0.0.1:0", engine, BatchPolicy::default().workers(2))
+            .expect("binds loopback");
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().expect("serves"));
+
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+        let mut writer = stream;
+        let mut line = String::new();
+        for i in 0..6 {
+            let row: Vec<String> = data.sample(i).iter().map(f32::to_string).collect();
+            writeln!(writer, "{}", row.join(",")).expect("writes");
+            line.clear();
+            reader.read_line(&mut line).expect("reads");
+            let expected = forest.predict_majority(data.sample(i));
+            assert!(
+                line.starts_with(&format!("{{\"class\":{expected},")),
+                "sample {i}: {line}"
+            );
+            assert!(line.contains("\"engine\":\"flint-blocked\""), "{line}");
+        }
+        writeln!(writer, "1.0,2.0").expect("writes"); // wrong arity
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.contains("expected 4 features, got 2"), "{line}");
+        writeln!(writer, "stats").expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.contains("\"requests\":6"), "{line}");
+        assert!(line.contains("\"connections\":1"), "{line}");
+        writeln!(writer, "shutdown").expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.contains("shutting down"), "{line}");
+        let stats = runner.join().expect("server thread");
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.connections, 0, "all connections closed");
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let (engine, forest, data) = engine_and_data();
+        let server = EpollServer::bind("127.0.0.1:0", engine, BatchPolicy::default().workers(2))
+            .expect("binds loopback");
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().expect("serves"));
+
+        // Fire a burst of requests without reading a single response:
+        // replies must come back in request order even though batches
+        // complete out of lockstep.
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+        let mut writer = stream;
+        let mut burst = String::new();
+        for i in 0..32 {
+            let row: Vec<String> = data.sample(i % 90).iter().map(f32::to_string).collect();
+            burst.push_str(&row.join(","));
+            burst.push('\n');
+        }
+        writer.write_all(burst.as_bytes()).expect("writes");
+        let mut line = String::new();
+        for i in 0..32 {
+            line.clear();
+            reader.read_line(&mut line).expect("reads");
+            let expected = forest.predict_majority(data.sample(i % 90));
+            assert!(
+                line.starts_with(&format!("{{\"class\":{expected},")),
+                "response {i} out of order: {line}"
+            );
+        }
+        writeln!(writer, "shutdown").expect("writes");
+        runner.join().expect("server thread");
+    }
+
+    #[test]
+    fn inflight_cap_sheds_with_busy_responses() {
+        let (engine, _, data) = engine_and_data();
+        // A zero in-flight window: every predict sheds, but stats and
+        // shutdown still answer.
+        let server = EpollServer::bind_with_config(
+            "127.0.0.1:0",
+            engine,
+            BatchPolicy::default(),
+            EventLoopConfig::default().max_inflight(0),
+        )
+        .expect("binds loopback");
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().expect("serves"));
+
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+        let mut writer = stream;
+        let row: Vec<String> = data.sample(0).iter().map(f32::to_string).collect();
+        let mut line = String::new();
+        for _ in 0..3 {
+            writeln!(writer, "{}", row.join(",")).expect("writes");
+            line.clear();
+            reader.read_line(&mut line).expect("reads");
+            assert!(line.contains("\"busy\":true"), "{line}");
+            assert!(line.contains("max-inflight 0"), "{line}");
+        }
+        writeln!(writer, "stats").expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.contains("\"shed\":3"), "{line}");
+        assert!(line.contains("\"requests\":0"), "{line}");
+        writeln!(writer, "shutdown").expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.contains("shutting down"), "{line}");
+        let stats = runner.join().expect("server thread");
+        assert_eq!(stats.shed, 3);
+    }
+
+    #[test]
+    fn connection_cap_turns_extra_clients_away() {
+        let (engine, _, data) = engine_and_data();
+        let server = EpollServer::bind_with_config(
+            "127.0.0.1:0",
+            engine,
+            BatchPolicy::default(),
+            EventLoopConfig::default().max_conns(1),
+        )
+        .expect("binds loopback");
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().expect("serves"));
+
+        let keeper = TcpStream::connect(addr).expect("connects");
+        keeper.set_nodelay(true).expect("nodelay");
+        let mut keeper_reader = BufReader::new(keeper.try_clone().expect("clones"));
+        let mut keeper_writer = keeper;
+        // Prove the first connection is in before the second dials.
+        let row: Vec<String> = data.sample(0).iter().map(f32::to_string).collect();
+        writeln!(keeper_writer, "{}", row.join(",")).expect("writes");
+        let mut line = String::new();
+        keeper_reader.read_line(&mut line).expect("reads");
+        assert!(line.contains("\"class\":"), "{line}");
+
+        let turned_away = TcpStream::connect(addr).expect("connects");
+        let mut reader = BufReader::new(turned_away);
+        line.clear();
+        reader.read_line(&mut line).expect("reads busy line");
+        assert!(line.contains("\"busy\":true"), "{line}");
+        assert!(line.contains("connection limit 1"), "{line}");
+        line.clear();
+        // ...and the socket is closed right after.
+        assert_eq!(reader.read_line(&mut line).expect("eof"), 0);
+
+        writeln!(keeper_writer, "shutdown").expect("writes");
+        runner.join().expect("server thread");
+    }
+
+    #[test]
+    fn idle_connections_survive_and_close_on_shutdown() {
+        let (engine, _, _) = engine_and_data();
+        let server = EpollServer::bind("127.0.0.1:0", engine, BatchPolicy::default())
+            .expect("binds loopback");
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().expect("serves"));
+
+        let idle: Vec<TcpStream> = (0..64)
+            .map(|_| TcpStream::connect(addr).expect("connects"))
+            .collect();
+        let admin = TcpStream::connect(addr).expect("connects");
+        admin.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(admin.try_clone().expect("clones"));
+        let mut writer = admin;
+        // Wait until every idle connection has been accepted into the
+        // loop (accept is asynchronous from connect returning).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut line = String::new();
+        loop {
+            writeln!(writer, "stats").expect("writes");
+            line.clear();
+            reader.read_line(&mut line).expect("reads");
+            if line.contains("\"connections\":65") {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle connections never registered: {line}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        writeln!(writer, "shutdown").expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.contains("shutting down"), "{line}");
+        let stats = runner.join().expect("server thread");
+        assert_eq!(stats.accepted, 65);
+        assert_eq!(stats.connections, 0, "idle connections all closed");
+        drop(idle);
+    }
+}

@@ -23,14 +23,23 @@
 //!   `stats` command;
 //! * [`protocol`] — the newline-delimited request/response format
 //!   (bare CSV rows or `{"features":[...]}` lines in, one JSON object
-//!   per line out);
-//! * [`server`] — [`Server`], a `std::net` TCP front end (one thread
-//!   per connection, all connections share one batcher), and
-//!   [`serve_lines`] for stdin/stdout serving.
+//!   per line out), including [`ProtocolMachine`], the sans-io framing
+//!   state machine every front end drives — chunk boundaries can never
+//!   change the response stream;
+//! * [`server`] — [`Server`], the thread-per-connection TCP front end
+//!   (`--front-end threads`), [`serve_lines`] for stdin/stdout serving,
+//!   and the [`FrontEnd`] selector;
+//! * [`event_loop`] — [`EpollServer`], the readiness event-loop front
+//!   end (`--front-end epoll`, the default on Linux): one thread, an
+//!   epoll poller from the vendored [`epoll`] shim, non-blocking
+//!   batcher submission with ordered per-connection response slots,
+//!   and explicit admission control ([`EventLoopConfig`]) that sheds
+//!   overload with `busy` responses instead of queueing it invisibly.
 //!
 //! Everything is plain `std`: no async runtime, no serde — the crate
 //! works in the vendored-offline workspace and anywhere the rest of
-//! the toolchain builds.
+//! the toolchain builds. All `unsafe` lives behind the vendored
+//! `epoll` crate's safe API.
 //!
 //! ```
 //! use flint_data::synth::SynthSpec;
@@ -57,11 +66,16 @@
 #![deny(unsafe_code)]
 
 pub mod batcher;
+pub mod event_loop;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 
 pub use batcher::{BatchHandle, BatchPolicy, Batcher, Prediction, ServeError};
+pub use event_loop::{EpollServer, EventLoopConfig};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
-pub use protocol::{parse_request, render_error, render_prediction, ParseRequestError, Request};
-pub use server::{serve_lines, Server};
+pub use protocol::{
+    parse_request, render_busy, render_error, render_prediction, ParseRequestError,
+    ProtocolMachine, Request, WireEvent, MAX_LINE_BYTES,
+};
+pub use server::{serve_lines, FrontEnd, ParseFrontEndError, Server};

@@ -1,6 +1,7 @@
-//! Serving metrics: request/batch counters and a request-latency
-//! reservoir, cheap enough to update on every request and rich enough
-//! to answer the `stats` protocol command (p50/p99, mean batch fill).
+//! Serving metrics: request/batch counters, connection gauges, buffer
+//! high-water marks and a request-latency reservoir, cheap enough to
+//! update on every request and rich enough to answer the `stats`
+//! protocol command (p50/p99/p999, mean batch fill, live connections).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -12,13 +13,19 @@ use std::time::Duration;
 const LATENCY_WINDOW: usize = 1 << 16;
 
 /// Shared serving counters. One instance lives behind an `Arc`, updated
-/// by the request handles, the batch collector and the scoring workers.
+/// by the request handles, the batch collector, the scoring workers and
+/// the front end driving the connections.
 #[derive(Debug, Default)]
 pub struct ServeMetrics {
     requests: AtomicU64,
     rejected: AtomicU64,
+    shed: AtomicU64,
     batches: AtomicU64,
     batched_samples: AtomicU64,
+    connections: AtomicU64,
+    accepted: AtomicU64,
+    read_hwm: AtomicU64,
+    write_hwm: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -39,6 +46,36 @@ impl ServeMetrics {
     /// feature arity, malformed line).
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one request or connection shed by admission control (the
+    /// `busy` responses: max-conns, max-inflight, per-connection caps,
+    /// full queue).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted connection (raises the live gauge).
+    pub fn record_connect(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the live-connection gauge.
+    pub fn record_disconnect(&self) {
+        self.connections.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Folds one connection's current read-buffer size into the
+    /// high-water mark.
+    pub fn record_read_buffer(&self, bytes: usize) {
+        self.read_hwm.fetch_max(bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Folds one connection's current write-buffer size into the
+    /// high-water mark.
+    pub fn record_write_buffer(&self, bytes: usize) {
+        self.write_hwm.fetch_max(bytes as u64, Ordering::Relaxed);
     }
 
     /// Counts one scored batch of `fill` samples.
@@ -75,14 +112,20 @@ impl ServeMetrics {
         MetricsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             batches,
             mean_fill: if batches == 0 {
                 0.0
             } else {
                 batched as f64 / batches as f64
             },
+            connections: self.connections.load(Ordering::Relaxed),
+            accepted: self.accepted.load(Ordering::Relaxed),
+            read_hwm: self.read_hwm.load(Ordering::Relaxed),
+            write_hwm: self.write_hwm.load(Ordering::Relaxed),
             p50_us: percentile(&samples, 50.0),
             p99_us: percentile(&samples, 99.0),
+            p999_us: percentile(&samples, 99.9),
             max_us: samples.last().copied().unwrap_or(0),
         }
     }
@@ -106,15 +149,27 @@ pub struct MetricsSnapshot {
     pub requests: u64,
     /// Requests rejected before queueing.
     pub rejected: u64,
+    /// Requests or connections shed by admission control (`busy`).
+    pub shed: u64,
     /// Batches scored.
     pub batches: u64,
     /// Mean samples per scored batch.
     pub mean_fill: f64,
+    /// Connections currently open (gauge).
+    pub connections: u64,
+    /// Connections accepted since startup.
+    pub accepted: u64,
+    /// Largest per-connection read buffer observed, bytes.
+    pub read_hwm: u64,
+    /// Largest per-connection write buffer observed, bytes.
+    pub write_hwm: u64,
     /// Median request latency (enqueue to response) in microseconds,
     /// over the recent-latency window.
     pub p50_us: u64,
     /// 99th-percentile request latency in microseconds.
     pub p99_us: u64,
+    /// 99.9th-percentile request latency in microseconds.
+    pub p999_us: u64,
     /// Worst request latency in the window, microseconds.
     pub max_us: u64,
 }
@@ -123,14 +178,22 @@ impl MetricsSnapshot {
     /// The snapshot as one line of JSON (the `stats` wire format).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"requests\":{},\"rejected\":{},\"batches\":{},\"mean_fill\":{:.2},\
-             \"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            "{{\"requests\":{},\"rejected\":{},\"shed\":{},\"batches\":{},\
+             \"mean_fill\":{:.2},\"connections\":{},\"accepted\":{},\
+             \"read_hwm\":{},\"write_hwm\":{},\
+             \"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"max_us\":{}}}",
             self.requests,
             self.rejected,
+            self.shed,
             self.batches,
             self.mean_fill,
+            self.connections,
+            self.accepted,
+            self.read_hwm,
+            self.write_hwm,
             self.p50_us,
             self.p99_us,
+            self.p999_us,
             self.max_us
         )
     }
@@ -145,8 +208,12 @@ mod tests {
         let snap = ServeMetrics::default().snapshot();
         assert_eq!(snap.requests, 0);
         assert_eq!(snap.batches, 0);
+        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.connections, 0);
+        assert_eq!(snap.accepted, 0);
         assert_eq!(snap.p50_us, 0);
         assert_eq!(snap.p99_us, 0);
+        assert_eq!(snap.p999_us, 0);
         assert_eq!(snap.mean_fill, 0.0);
     }
 
@@ -167,11 +234,58 @@ mod tests {
         assert_eq!(snap.mean_fill, 50.0);
         assert_eq!(snap.p50_us, 50);
         assert_eq!(snap.p99_us, 99);
+        assert_eq!(snap.p999_us, 100);
         assert_eq!(snap.max_us, 100);
         let json = snap.to_json();
-        for key in ["requests", "batches", "mean_fill", "p50_us", "p99_us"] {
+        for key in [
+            "requests",
+            "shed",
+            "batches",
+            "mean_fill",
+            "connections",
+            "accepted",
+            "read_hwm",
+            "write_hwm",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+        ] {
             assert!(json.contains(key), "{json}");
         }
+    }
+
+    #[test]
+    fn connection_gauges_and_hwms_track_the_front_end() {
+        let m = ServeMetrics::default();
+        m.record_connect();
+        m.record_connect();
+        m.record_connect();
+        m.record_disconnect();
+        m.record_shed();
+        m.record_read_buffer(100);
+        m.record_read_buffer(40); // below the mark: no change
+        m.record_write_buffer(9000);
+        let snap = m.snapshot();
+        assert_eq!(snap.connections, 2);
+        assert_eq!(snap.accepted, 3);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.read_hwm, 100);
+        assert_eq!(snap.write_hwm, 9000);
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        let m = ServeMetrics::default();
+        for us in 1..=10_000u64 {
+            m.record_latency(Duration::from_micros(us));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.p99_us, 9900);
+        // Nearest rank lands on 9991 here: 0.999 * 10000 is just above
+        // 9990 in binary floating point, and ceil keeps the bias
+        // conservative (never under-reports the tail).
+        assert_eq!(snap.p999_us, 9991);
+        assert_eq!(snap.max_us, 10_000);
     }
 
     #[test]

@@ -20,8 +20,26 @@
 //! reader (no serde in the offline dependency set): the line must
 //! contain a `"features"` key followed by one flat `[...]` array of
 //! numbers.
+//!
+//! ## Sans-io framing
+//!
+//! [`ProtocolMachine`] is the transport-free half of the protocol: it
+//! consumes raw byte slices in whatever chunks the transport produced
+//! (one syscall's worth from a nonblocking socket, a whole stdin line,
+//! a proptest-chosen split) and emits one [`WireEvent`] per request
+//! line. It knows nothing about sockets, so the epoll event loop, the
+//! thread-per-connection server, the stdin loop and the unit tests all
+//! drive the *same* state machine — chunk boundaries can never change
+//! the response stream (proven by the chunking property suite).
 
 use crate::batcher::Prediction;
+
+/// Longest accepted request line in bytes (terminator excluded); the
+/// per-connection read-buffer cap. A line still unterminated past this
+/// limit is rejected with one error response and discarded up to its
+/// newline, so a hostile client cannot grow server memory without
+/// bound.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// One parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -93,12 +111,148 @@ fn features_array(text: &str) -> Result<&str, ParseRequestError> {
     Ok(inner)
 }
 
+/// One framing-level event from [`ProtocolMachine::receive`]: a parsed
+/// request, or the response-worthy reason a line could not become one.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireEvent {
+    /// A well-formed request line.
+    Request(Request),
+    /// A complete but malformed line (answered with
+    /// [`render_error`], the connection stays usable).
+    Invalid(ParseRequestError),
+    /// A line that exceeded [`MAX_LINE_BYTES`] before its newline
+    /// arrived; the rest of the line is being discarded.
+    Oversized {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+/// The sans-io line-framing state machine: buffers partial lines across
+/// arbitrarily-chunked reads, strips LF / CRLF terminators, enforces
+/// the line-length cap, and hands every complete line to
+/// [`parse_request`]. No transport knowledge: callers feed it bytes and
+/// write out whatever responses its events call for.
+#[derive(Debug)]
+pub struct ProtocolMachine {
+    /// Bytes of the current (still unterminated) line.
+    buf: Vec<u8>,
+    max_line: usize,
+    /// An oversized line was already reported; swallow bytes until its
+    /// newline.
+    discarding: bool,
+}
+
+impl Default for ProtocolMachine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProtocolMachine {
+    /// A machine with the standard [`MAX_LINE_BYTES`] cap.
+    pub fn new() -> Self {
+        Self::with_max_line(MAX_LINE_BYTES)
+    }
+
+    /// A machine with a custom line-length cap (tests use small caps).
+    pub fn with_max_line(max_line: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            max_line: max_line.max(1),
+            discarding: false,
+        }
+    }
+
+    /// Bytes currently buffered for a partial line (the read-side
+    /// memory this connection holds).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Consumes one transport chunk, emitting one [`WireEvent`] per
+    /// complete line. Chunk boundaries are invisible: any split of the
+    /// same byte stream yields the same event sequence.
+    pub fn receive(&mut self, mut bytes: &[u8], mut sink: impl FnMut(WireEvent)) {
+        while let Some(nl) = bytes.iter().position(|&b| b == b'\n') {
+            let (head, rest) = bytes.split_at(nl);
+            bytes = &rest[1..];
+            if self.discarding {
+                // The tail of a line already reported as oversized.
+                self.discarding = false;
+                continue;
+            }
+            if self.buf.len() + head.len() > self.max_line {
+                // Same verdict the split-chunk path reaches below, so
+                // chunking cannot change whether a line is accepted.
+                self.buf.clear();
+                sink(WireEvent::Oversized {
+                    limit: self.max_line,
+                });
+            } else if self.buf.is_empty() {
+                sink(line_event(head));
+            } else {
+                self.buf.extend_from_slice(head);
+                let line = std::mem::take(&mut self.buf);
+                sink(line_event(&line));
+            }
+        }
+        if self.discarding {
+            return;
+        }
+        if self.buf.len() + bytes.len() > self.max_line {
+            self.buf.clear();
+            self.discarding = true;
+            sink(WireEvent::Oversized {
+                limit: self.max_line,
+            });
+            return;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Flushes the final unterminated line at end of input, if any —
+    /// the same treatment `BufRead::lines` gives a file without a
+    /// trailing newline.
+    pub fn finish(&mut self) -> Option<WireEvent> {
+        self.discarding = false;
+        if self.buf.is_empty() {
+            return None;
+        }
+        let line = std::mem::take(&mut self.buf);
+        Some(line_event(&line))
+    }
+}
+
+/// Classifies one complete, terminator-stripped line.
+fn line_event(line: &[u8]) -> WireEvent {
+    // CRLF clients: the framing layer owns terminator stripping (the
+    // parser's trim would also handle it, but a `\r` must never count
+    // against field contents).
+    let line = line.strip_suffix(b"\r").unwrap_or(line);
+    let text = String::from_utf8_lossy(line);
+    match parse_request(&text) {
+        Ok(request) => WireEvent::Request(request),
+        Err(e) => WireEvent::Invalid(e),
+    }
+}
+
 /// Renders one prediction as a response line.
 pub fn render_prediction(prediction: &Prediction, engine: &str) -> String {
     format!(
         "{{\"class\":{},\"engine\":\"{engine}\",\"batch\":{}}}",
         prediction.class, prediction.batch_fill
     )
+}
+
+/// Renders the admission-control shed response: the server is over one
+/// of its load limits (`reason` names which) and this request was
+/// deliberately not queued. Clients detect the `"busy"` key and back
+/// off; the connection stays usable.
+pub fn render_busy(reason: &str) -> String {
+    let mut line = render_error(&format!("busy: {reason}"));
+    line.insert_str(line.len() - 1, ",\"busy\":true");
+    line
 }
 
 /// Renders an error as a single-line, well-formed JSON response:
@@ -176,5 +330,93 @@ mod tests {
             err,
             "{\"error\":\"cannot parse feature \\\"a\\\\\\\"b\\\"\"}"
         );
+    }
+
+    #[test]
+    fn busy_response_is_machine_detectable() {
+        let line = render_busy("max-inflight 4 reached");
+        assert_eq!(
+            line,
+            "{\"error\":\"busy: max-inflight 4 reached\",\"busy\":true}"
+        );
+    }
+
+    /// Feeds the whole stream in one chunk and collects the events.
+    fn events_of(machine: &mut ProtocolMachine, stream: &[u8]) -> Vec<WireEvent> {
+        let mut events = Vec::new();
+        machine.receive(stream, |e| events.push(e));
+        if let Some(last) = machine.finish() {
+            events.push(last);
+        }
+        events
+    }
+
+    #[test]
+    fn machine_frames_lf_and_crlf_identically() {
+        let mut lf = ProtocolMachine::new();
+        let mut crlf = ProtocolMachine::new();
+        let a = events_of(&mut lf, b"1,2,3\nstats\nshutdown\n");
+        let b = events_of(&mut crlf, b"1,2,3\r\nstats\r\nshutdown\r\n");
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            vec![
+                WireEvent::Request(Request::Predict(vec![1.0, 2.0, 3.0])),
+                WireEvent::Request(Request::Stats),
+                WireEvent::Request(Request::Shutdown),
+            ]
+        );
+    }
+
+    #[test]
+    fn machine_flushes_final_unterminated_line() {
+        let mut machine = ProtocolMachine::new();
+        let mut events = Vec::new();
+        machine.receive(b"sta", |e| events.push(e));
+        machine.receive(b"ts", |e| events.push(e));
+        assert!(events.is_empty(), "{events:?}");
+        assert_eq!(machine.buffered(), 5);
+        assert_eq!(machine.finish(), Some(WireEvent::Request(Request::Stats)));
+        assert_eq!(machine.finish(), None);
+    }
+
+    #[test]
+    fn machine_rejects_oversized_lines_and_recovers() {
+        let mut machine = ProtocolMachine::with_max_line(8);
+        // One oversized line split across chunks, then a healthy one.
+        let mut events = Vec::new();
+        machine.receive(b"1,2,3,4,5,6", |e| events.push(e));
+        machine.receive(b",7,8\nstats\n", |e| events.push(e));
+        assert_eq!(
+            events,
+            vec![
+                WireEvent::Oversized { limit: 8 },
+                WireEvent::Request(Request::Stats),
+            ]
+        );
+        // The same oversized line arriving terminator included in one
+        // chunk gets the same verdict.
+        let mut one_chunk = ProtocolMachine::with_max_line(8);
+        let events = events_of(&mut one_chunk, b"1,2,3,4,5,6,7,8\nstats\n");
+        assert_eq!(
+            events,
+            vec![
+                WireEvent::Oversized { limit: 8 },
+                WireEvent::Request(Request::Stats),
+            ]
+        );
+    }
+
+    #[test]
+    fn machine_reports_malformed_lines_as_events() {
+        let mut machine = ProtocolMachine::new();
+        let events = events_of(&mut machine, b"\nnope\n");
+        match &events[..] {
+            [WireEvent::Invalid(empty), WireEvent::Invalid(bad)] => {
+                assert!(empty.0.contains("empty"), "{empty}");
+                assert!(bad.0.contains("nope"), "{bad}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

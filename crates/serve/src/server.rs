@@ -1,19 +1,23 @@
-//! The serving front ends: a TCP line server and a stdin/stdout loop,
-//! both speaking the [`protocol`](crate::protocol) over a shared
-//! [`Batcher`].
+//! The blocking serving front ends: a thread-per-connection TCP line
+//! server and a stdin/stdout loop, both speaking the
+//! [`protocol`](crate::protocol) over a shared [`Batcher`].
 //!
-//! Built on `std::net` and `std::thread` only, so it runs in the
-//! vendored-offline workspace: one thread per connection, each blocking
-//! in [`BatchHandle::predict`] while the micro-batcher coalesces rows
-//! from every live connection into shared blocks. A `shutdown` request
-//! from any connection stops the accept loop, drains the batcher and
-//! joins every thread.
+//! Built on `std::net` and `std::thread` only: one thread per
+//! connection, each blocking in [`BatchHandle::predict`] while the
+//! micro-batcher coalesces rows from every live connection into shared
+//! blocks. A `shutdown` request from any connection stops the accept
+//! loop, drains the batcher and joins every thread. Line framing is
+//! the same sans-io [`ProtocolMachine`] the epoll front end drives, so
+//! the two front ends cannot diverge at the protocol layer — this one
+//! stays available behind `--front-end threads` as the A/B baseline
+//! for the [`event_loop`](crate::event_loop) front end, which is the
+//! right shape for large fleets of mostly-idle connections.
 
 use crate::batcher::{BatchHandle, BatchPolicy, Batcher};
-use crate::metrics::MetricsSnapshot;
-use crate::protocol::{parse_request, render_error, render_prediction, Request};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::protocol::{render_error, render_prediction, ProtocolMachine, Request, WireEvent};
 use flint_exec::Predictor;
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -23,30 +27,101 @@ use std::time::Duration;
 /// read timeout on every connection).
 const SESSION_POLL: Duration = Duration::from_millis(50);
 
-/// What a handled request line asks the session to do next.
+/// Which TCP front end answers connections: the readiness event loop
+/// (the default — one process, thousands of mostly-idle connections)
+/// or the thread-per-connection baseline it is benchmarked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontEnd {
+    /// Readiness event loop over the vendored epoll shim
+    /// ([`EpollServer`](crate::EpollServer)); Linux only.
+    #[default]
+    Epoll,
+    /// One blocking thread per connection ([`Server`]); every platform.
+    Threads,
+}
+
+impl FrontEnd {
+    /// Every selectable front end.
+    pub const ALL: [FrontEnd; 2] = [FrontEnd::Epoll, FrontEnd::Threads];
+
+    /// The flag spelling (`epoll`, `threads`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Epoll => "epoll",
+            Self::Threads => "threads",
+        }
+    }
+}
+
+impl core::fmt::Display for FrontEnd {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a front-end name did not parse; the message lists every valid
+/// spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFrontEndError(pub String);
+
+impl core::fmt::Display for ParseFrontEndError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseFrontEndError {}
+
+impl std::str::FromStr for FrontEnd {
+    type Err = ParseFrontEndError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let text = s.trim();
+        FrontEnd::ALL
+            .into_iter()
+            .find(|fe| text.eq_ignore_ascii_case(fe.name()))
+            .ok_or_else(|| {
+                let valid: Vec<&str> = FrontEnd::ALL.iter().map(|fe| fe.name()).collect();
+                ParseFrontEndError(format!(
+                    "unknown front end {text:?} (valid: {})",
+                    valid.join(", ")
+                ))
+            })
+    }
+}
+
+/// What a handled request asks the session to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Action {
+pub(crate) enum Action {
     /// Keep the session open.
     Continue,
     /// Stop the whole server.
     Shutdown,
 }
 
-/// Answers one request line: the response line to write back, plus
-/// whether the server should keep running. Shared verbatim by the TCP
-/// and stdin front ends.
-fn respond(line: &str, handle: &BatchHandle) -> (String, Action) {
-    match parse_request(line) {
-        Ok(Request::Predict(row)) => match handle.predict(&row) {
+/// Answers one framing event **with blocking scoring**: the response
+/// line to write back, plus whether the server should keep running.
+/// Shared by the thread-per-connection TCP front end and the stdin
+/// loop; the event loop answers the same events asynchronously but
+/// renders through the same protocol functions.
+pub(crate) fn respond_event(event: WireEvent, handle: &BatchHandle) -> (String, Action) {
+    match event {
+        WireEvent::Request(Request::Predict(row)) => match handle.predict(&row) {
             Ok(prediction) => (
                 render_prediction(&prediction, handle.engine_name()),
                 Action::Continue,
             ),
             Err(e) => (render_error(&e.to_string()), Action::Continue),
         },
-        Ok(Request::Stats) => (handle.metrics().to_json(), Action::Continue),
-        Ok(Request::Shutdown) => ("{\"ok\":\"shutting down\"}".to_owned(), Action::Shutdown),
-        Err(e) => (render_error(&e.to_string()), Action::Continue),
+        WireEvent::Request(Request::Stats) => (handle.metrics().to_json(), Action::Continue),
+        WireEvent::Request(Request::Shutdown) => {
+            ("{\"ok\":\"shutting down\"}".to_owned(), Action::Shutdown)
+        }
+        WireEvent::Invalid(e) => (render_error(&e.to_string()), Action::Continue),
+        WireEvent::Oversized { limit } => (
+            render_error(&format!("request line exceeds {limit} bytes")),
+            Action::Continue,
+        ),
     }
 }
 
@@ -113,6 +188,7 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let mut sessions: Vec<std::thread::JoinHandle<()>> = Vec::new();
         let wake = wake_addr(self.local_addr);
+        let metrics = self.batcher.metrics_shared();
         for stream in self.listener.incoming() {
             if stop.load(Ordering::SeqCst) {
                 break;
@@ -126,8 +202,11 @@ impl Server {
             };
             let handle = self.batcher.handle();
             let stop = Arc::clone(&stop);
+            let metrics = Arc::clone(&metrics);
+            metrics.record_connect();
             sessions.push(std::thread::spawn(move || {
-                let _ = serve_connection(stream, &handle, &stop, wake);
+                let _ = serve_connection(stream, &handle, &stop, wake, &metrics);
+                metrics.record_disconnect();
             }));
         }
         // Sessions poll the stop flag between reads, so even an idle
@@ -153,12 +232,14 @@ fn wake_addr(bound: SocketAddr) -> SocketAddr {
     addr
 }
 
-/// One connection session: read request lines, answer each in order.
+/// One connection session: feed raw reads through the sans-io framing
+/// machine, answer each request event in order.
 fn serve_connection(
-    stream: TcpStream,
+    mut stream: TcpStream,
     handle: &BatchHandle,
     stop: &AtomicBool,
     wake: SocketAddr,
+    metrics: &ServeMetrics,
 ) -> std::io::Result<()> {
     // Request/response is strictly ping-pong per connection; without
     // NODELAY, Nagle holds every response back for the peer's delayed
@@ -168,36 +249,48 @@ fn serve_connection(
     // idle client that never disconnects cannot pin the session thread
     // (and with it the server's shutdown join) forever.
     stream.set_read_timeout(Some(SESSION_POLL))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    let mut line = String::new();
+    let mut machine = ProtocolMachine::new();
+    let mut buf = [0u8; 4096];
+    let mut events: Vec<WireEvent> = Vec::new();
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // client hung up
-            Ok(_) => {
-                let (mut response, action) = respond(&line, handle);
-                line.clear();
-                response.push('\n');
-                writer.write_all(response.as_bytes())?;
-                writer.flush()?;
-                if action == Action::Shutdown {
-                    stop.store(true, Ordering::SeqCst);
-                    // The accept loop is blocked in `accept`; a
-                    // throwaway loopback connection wakes it so it can
-                    // observe the flag.
-                    let _ = TcpStream::connect(wake);
-                    break;
-                }
+        let eof = match stream.read(&mut buf) {
+            Ok(0) => {
+                // Client hung up; a final unterminated line is still a
+                // request (`BufRead::lines` semantics).
+                events.extend(machine.finish());
+                true
+            }
+            Ok(n) => {
+                machine.receive(&buf[..n], |event| events.push(event));
+                metrics.record_read_buffer(machine.buffered());
+                false
             }
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if stop.load(Ordering::SeqCst) {
                     break;
                 }
-                // Keep `line`: bytes read before the timeout are
-                // already appended and the next read continues the
-                // same request line.
+                // The machine keeps any partial line; the next read
+                // continues it.
+                continue;
             }
             Err(e) => return Err(e),
+        };
+        for event in events.drain(..) {
+            let (mut response, action) = respond_event(event, handle);
+            response.push('\n');
+            stream.write_all(response.as_bytes())?;
+            stream.flush()?;
+            if action == Action::Shutdown {
+                stop.store(true, Ordering::SeqCst);
+                // The accept loop is blocked in `accept`; a throwaway
+                // loopback connection wakes it so it can observe the
+                // flag.
+                let _ = TcpStream::connect(wake);
+                return Ok(());
+            }
+        }
+        if eof {
+            break;
         }
     }
     Ok(())
@@ -213,20 +306,37 @@ fn serve_connection(
 /// Any [`std::io::Error`] from reading requests or writing responses.
 pub fn serve_lines<R: BufRead, W: Write>(
     batcher: &Batcher,
-    input: R,
+    mut input: R,
     mut out: W,
 ) -> std::io::Result<()> {
     let handle = batcher.handle();
-    for line in input.lines() {
-        let (response, action) = respond(&line?, &handle);
-        out.write_all(response.as_bytes())?;
-        out.write_all(b"\n")?;
-        out.flush()?;
-        if action == Action::Shutdown {
-            break;
+    let mut machine = ProtocolMachine::new();
+    let mut events: Vec<WireEvent> = Vec::new();
+    loop {
+        let consumed = {
+            let chunk = input.fill_buf()?;
+            machine.receive(chunk, |event| events.push(event));
+            chunk.len()
+        };
+        if consumed == 0 {
+            // End of input: a final unterminated line still answers.
+            events.extend(machine.finish());
+        } else {
+            input.consume(consumed);
+        }
+        for event in events.drain(..) {
+            let (response, action) = respond_event(event, &handle);
+            out.write_all(response.as_bytes())?;
+            out.write_all(b"\n")?;
+            out.flush()?;
+            if action == Action::Shutdown {
+                return Ok(());
+            }
+        }
+        if consumed == 0 {
+            return Ok(());
         }
     }
-    Ok(())
 }
 
 #[cfg(test)]
@@ -235,6 +345,7 @@ mod tests {
     use flint_data::synth::SynthSpec;
     use flint_exec::{EngineBuilder, EngineKind};
     use flint_forest::{ForestConfig, RandomForest};
+    use std::io::BufReader;
 
     fn batcher() -> (Batcher, RandomForest, flint_data::Dataset) {
         let data = SynthSpec::new(90, 4, 3).seed(5).generate();

@@ -1,11 +1,15 @@
 //! Batcher policy edge cases: the linger deadline, the max-batch cap,
-//! wrong-arity rejection and shutdown drain semantics.
+//! wrong-arity rejection, shutdown drain semantics, and the
+//! non-blocking `try_submit` admission path the epoll front end rides
+//! (callback completion, arity rejection before queueing, and `Busy`
+//! shedding once the bounded pipeline is genuinely full).
 
 use flint_data::synth::SynthSpec;
 use flint_data::Dataset;
 use flint_exec::{EngineBuilder, EngineKind};
 use flint_forest::{ForestConfig, RandomForest};
 use flint_serve::{BatchPolicy, Batcher, ServeError};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 fn model() -> (Dataset, RandomForest) {
@@ -180,4 +184,151 @@ fn many_concurrent_clients_share_batches() {
     assert!(stats.batches > 0);
     assert!(stats.mean_fill >= 1.0);
     assert!(stats.p99_us >= stats.p50_us);
+}
+
+#[test]
+fn try_submit_completes_through_the_callback() {
+    let (data, forest) = model();
+    let policy = BatchPolicy::default()
+        .max_batch(8)
+        .linger(Duration::from_micros(500))
+        .workers(2);
+    let batcher = batcher(&forest, policy);
+    let handle = batcher.handle();
+    let (done_tx, done_rx) = mpsc::channel::<(usize, u32)>();
+    let submitted = 32.min(data.n_samples());
+    for i in 0..submitted {
+        let done_tx = done_tx.clone();
+        handle
+            .try_submit(data.sample(i), move |prediction| {
+                done_tx.send((i, prediction.class)).expect("reports");
+            })
+            .expect("queued");
+    }
+    drop(done_tx);
+    let mut classes = vec![None; submitted];
+    for _ in 0..submitted {
+        let (i, class) = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("every accepted submission completes");
+        classes[i] = Some(class);
+    }
+    for (i, class) in classes.into_iter().enumerate() {
+        assert_eq!(
+            class,
+            Some(forest.predict_majority(data.sample(i))),
+            "sample {i}"
+        );
+    }
+    let stats = batcher.shutdown();
+    assert_eq!(stats.requests, submitted as u64);
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
+fn try_submit_rejects_wrong_arity_without_queueing() {
+    let (_, forest) = model();
+    let batcher = batcher(&forest, BatchPolicy::default());
+    let handle = batcher.handle();
+    let fired = Arc::new(Mutex::new(false));
+    let flag = Arc::clone(&fired);
+    let err = handle
+        .try_submit(&[1.0, 2.0], move |_| *flag.lock().expect("flag") = true)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ServeError::WrongArity {
+            expected: 4,
+            got: 2
+        }
+    );
+    let stats = batcher.shutdown();
+    assert!(!*fired.lock().expect("flag"), "callback must not fire");
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.requests, 0);
+    assert_eq!(stats.shed, 0);
+}
+
+/// Fills the whole bounded pipeline deterministically: the single
+/// scoring worker is parked inside the first request's completion
+/// callback, so every downstream stage (the worker's next batch, the
+/// collector's in-hand request, the depth-1 queue) backs up with
+/// nowhere to drain, and `try_submit` **must** shed with `Busy` after
+/// a small bounded number of acceptances — no timing involved.
+#[test]
+fn try_submit_sheds_busy_when_the_pipeline_backs_up() {
+    let (data, forest) = model();
+    let policy = BatchPolicy::default()
+        .max_batch(1)
+        .linger(Duration::ZERO)
+        .queue_depth(1)
+        .workers(1);
+    let batcher = batcher(&forest, policy);
+    let handle = batcher.handle();
+
+    let (entered_tx, entered_rx) = mpsc::channel::<()>();
+    let (gate_tx, gate_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel::<(usize, u32)>();
+    let blocker_done = done_tx.clone();
+    handle
+        .try_submit(data.sample(0), move |prediction| {
+            entered_tx.send(()).expect("signals entry");
+            gate_rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("released");
+            blocker_done.send((0, prediction.class)).expect("reports");
+        })
+        .expect("first request queued");
+    entered_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("the worker reaches the gated callback");
+
+    // The worker is parked. Keep submitting until admission control
+    // sheds; the pipeline holds at most a handful of requests (one in
+    // the worker hand-off buffer, one in the collector's hand, one in
+    // the queue), so Busy must arrive within the attempt budget.
+    let mut accepted = vec![0usize];
+    let mut shed = false;
+    for i in 1..64 {
+        let done_tx = done_tx.clone();
+        match handle.try_submit(data.sample(i), move |prediction| {
+            done_tx.send((i, prediction.class)).expect("reports");
+        }) {
+            Ok(()) => accepted.push(i),
+            Err(ServeError::Busy) => {
+                shed = true;
+                break;
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+    drop(done_tx);
+    assert!(shed, "a blocked pipeline must shed, not accept unboundedly");
+    assert!(
+        accepted.len() <= 8,
+        "the bounded stages hold {} requests — admission leaked",
+        accepted.len()
+    );
+
+    // Release the worker: every accepted request (and none other)
+    // still completes with the right class.
+    gate_tx.send(()).expect("releases the worker");
+    let mut completed = Vec::new();
+    for _ in 0..accepted.len() {
+        let (i, class) = done_rx
+            .recv_timeout(Duration::from_secs(10))
+            .expect("accepted requests drain after release");
+        assert_eq!(class, forest.predict_majority(data.sample(i)), "sample {i}");
+        completed.push(i);
+    }
+    assert!(
+        done_rx.recv_timeout(Duration::from_millis(200)).is_err(),
+        "shed requests must never complete"
+    );
+    completed.sort_unstable();
+    assert_eq!(completed, accepted);
+
+    let stats = batcher.shutdown();
+    assert_eq!(stats.requests, accepted.len() as u64);
+    assert!(stats.shed >= 1, "shed counter records the Busy rejections");
 }

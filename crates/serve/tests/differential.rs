@@ -3,7 +3,11 @@
 //! direct `RandomForest::predict_majority` on the same rows, across
 //! batch-size caps {1, 7, 64} with a 2-thread worker pool and
 //! concurrent client connections — the serving-layer extension of the
-//! engine-equivalence suite.
+//! engine-equivalence suite. The whole suite runs through **both**
+//! serving front ends (the `threads` baseline and the `epoll` event
+//! loop), and a dedicated cross-front-end pass proves the two return
+//! **byte-identical** response lines — predictions, parse errors and
+//! oversized-line verdicts alike — for the same request stream.
 //!
 //! The engine list is taken from `EngineKind::ALL` at run time, so a
 //! new registry variant (the SIMD lane engines arrived this way) is
@@ -16,9 +20,10 @@ use flint_data::synth::SynthSpec;
 use flint_data::Dataset;
 use flint_exec::{EngineBuilder, EngineKind, HalfForest};
 use flint_forest::{ForestConfig, RandomForest};
-use flint_serve::{BatchPolicy, Server};
+use flint_serve::{BatchPolicy, EpollServer, FrontEnd, MetricsSnapshot, Server};
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 fn model() -> (Dataset, RandomForest) {
@@ -89,8 +94,36 @@ fn differential_suite_covers_every_known_registry_name() {
     }
 }
 
-#[test]
-fn every_engine_serves_bit_identical_predictions() {
+/// Binds and runs one server of the requested front end, returning the
+/// address and the thread that joins to the final stats snapshot.
+fn spawn_front_end(
+    front_end: FrontEnd,
+    engine: Box<dyn flint_exec::Predictor>,
+    policy: BatchPolicy,
+) -> (SocketAddr, JoinHandle<MetricsSnapshot>) {
+    match front_end {
+        FrontEnd::Epoll => {
+            let server =
+                EpollServer::bind("127.0.0.1:0", engine, policy).expect("binds an ephemeral port");
+            let addr = server.local_addr();
+            (
+                addr,
+                std::thread::spawn(move || server.run().expect("serves")),
+            )
+        }
+        FrontEnd::Threads => {
+            let server =
+                Server::bind("127.0.0.1:0", engine, policy).expect("binds an ephemeral port");
+            let addr = server.local_addr();
+            (
+                addr,
+                std::thread::spawn(move || server.run().expect("serves")),
+            )
+        }
+    }
+}
+
+fn every_engine_serves_bit_identical_predictions(front_end: FrontEnd) {
     let (data, forest) = model();
     let builder = EngineBuilder::new(&forest).profile_data(&data);
     const CLIENTS: usize = 4;
@@ -117,10 +150,7 @@ fn every_engine_serves_bit_identical_predictions() {
                 .linger(Duration::from_micros(300))
                 .workers(2);
             let engine = builder.build(kind).expect("registered engines build");
-            let server =
-                Server::bind("127.0.0.1:0", engine, policy).expect("binds an ephemeral port");
-            let addr = server.local_addr();
-            let runner = std::thread::spawn(move || server.run().expect("serves"));
+            let (addr, runner) = spawn_front_end(front_end, engine, policy);
 
             // Concurrent closed-loop clients, each owning a strided
             // slice of the rows, so batches really do mix rows from
@@ -171,5 +201,74 @@ fn every_engine_serves_bit_identical_predictions() {
                 stats.mean_fill
             );
         }
+    }
+}
+
+#[test]
+fn every_engine_is_bit_identical_through_the_threads_front_end() {
+    every_engine_serves_bit_identical_predictions(FrontEnd::Threads);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn every_engine_is_bit_identical_through_the_epoll_front_end() {
+    every_engine_serves_bit_identical_predictions(FrontEnd::Epoll);
+}
+
+/// Replays one fixed request stream — every model row, a malformed
+/// line, an oversized line and the shutdown command — through both
+/// front ends and asserts the response transcripts are **byte
+/// identical**, for every engine. `max_batch(1)` pins the reported
+/// batch fill so prediction lines are fully deterministic; the error
+/// and oversized verdicts must agree because both front ends share the
+/// sans-io `ProtocolMachine` and the same renderers.
+#[cfg(target_os = "linux")]
+#[test]
+fn front_ends_return_byte_identical_response_streams() {
+    let (data, forest) = model();
+    let builder = EngineBuilder::new(&forest).profile_data(&data);
+    let mut request_stream = String::new();
+    for i in 0..data.n_samples() {
+        let row: Vec<String> = data.sample(i).iter().map(f32::to_string).collect();
+        request_stream.push_str(&(row.join(",") + "\n"));
+    }
+    request_stream.push_str("not,a,number\n");
+    request_stream.push_str(&"9".repeat(70 * 1024));
+    request_stream.push('\n');
+    request_stream.push_str("shutdown\n");
+    let expected_lines = data.n_samples() + 3;
+
+    for kind in EngineKind::ALL {
+        let transcripts: Vec<Vec<String>> = FrontEnd::ALL
+            .iter()
+            .map(|&front_end| {
+                let policy = BatchPolicy::default()
+                    .max_batch(1)
+                    .linger(Duration::from_micros(100))
+                    .workers(2);
+                let engine = builder.build(kind).expect("registered engines build");
+                let (addr, runner) = spawn_front_end(front_end, engine, policy);
+                let stream = TcpStream::connect(addr).expect("connects");
+                stream.set_nodelay(true).expect("nodelay");
+                let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+                let mut writer = stream;
+                writer
+                    .write_all(request_stream.as_bytes())
+                    .expect("writes the pipelined stream");
+                let mut lines = Vec::with_capacity(expected_lines);
+                let mut line = String::new();
+                for _ in 0..expected_lines {
+                    line.clear();
+                    reader.read_line(&mut line).expect("reads");
+                    lines.push(line.clone());
+                }
+                runner.join().expect("server thread");
+                lines
+            })
+            .collect();
+        assert_eq!(
+            transcripts[0], transcripts[1],
+            "{kind}: front ends disagreed byte-for-byte"
+        );
     }
 }

@@ -1,8 +1,9 @@
-//! Client/server round trip through the `flint-serve` TCP front end:
-//! train a forest, serve it on a loopback port, score rows over the
-//! wire from concurrent client connections, check every response
-//! against the forest's direct majority vote, read the `stats`
-//! snapshot, and shut the server down cleanly.
+//! Client/server round trip through the `flint-serve` TCP front ends:
+//! train a forest, serve it on a loopback port — through the `epoll`
+//! event loop on Linux, the `threads` baseline elsewhere — score rows
+//! over the wire from concurrent client connections, check every
+//! response against the forest's direct majority vote, read the
+//! `stats` snapshot, and shut the server down cleanly.
 //!
 //! ```text
 //! cargo run --release --example serving_roundtrip
@@ -11,9 +12,10 @@
 use flint_suite::data::synth::SynthSpec;
 use flint_suite::exec::{EngineBuilder, EngineKind};
 use flint_suite::forest::{ForestConfig, RandomForest};
-use flint_suite::serve::{BatchPolicy, Server};
+use flint_suite::serve::{BatchPolicy, EpollServer, FrontEnd, MetricsSnapshot, Server};
 use std::io::{BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -26,15 +28,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .linger(Duration::from_micros(300))
         .workers(2);
 
+    // The event-loop front end is the default on Linux; both speak the
+    // identical line protocol, so everything below is front-end
+    // agnostic.
+    let front_end = if cfg!(target_os = "linux") {
+        FrontEnd::Epoll
+    } else {
+        FrontEnd::Threads
+    };
     // Port 0 = ephemeral: the OS picks a free loopback port.
-    let server = Server::bind("127.0.0.1:0", engine, policy)?;
-    let addr = server.local_addr();
+    type Runner = JoinHandle<std::io::Result<MetricsSnapshot>>;
+    let (addr, engine_name, runner): (SocketAddr, &str, Runner) = match front_end {
+        FrontEnd::Epoll => {
+            let server = EpollServer::bind("127.0.0.1:0", engine, policy)?;
+            let addr = server.local_addr();
+            let name = server.engine_name();
+            (addr, name, std::thread::spawn(move || server.run()))
+        }
+        FrontEnd::Threads => {
+            let server = Server::bind("127.0.0.1:0", engine, policy)?;
+            let addr = server.local_addr();
+            let name = server.engine_name();
+            (addr, name, std::thread::spawn(move || server.run()))
+        }
+    };
     println!(
-        "serving {} trees on {addr} (engine {})",
-        forest.n_trees(),
-        server.engine_name()
+        "serving {} trees on {addr} (engine {engine_name}, front end {front_end})",
+        forest.n_trees()
     );
-    let runner = std::thread::spawn(move || server.run());
 
     // Four concurrent clients, each scoring a strided quarter of the
     // rows — their requests coalesce into shared batches server-side.

@@ -1,0 +1,554 @@
+//! Offline in-workspace readiness-polling shim over raw `epoll`.
+//!
+//! The build environment has no network access to crates.io, so this
+//! crate plays the role `mio`/`polling` would play for the event-loop
+//! serving front end: a minimal safe wrapper over the three epoll
+//! syscalls (`epoll_create1` / `epoll_ctl` / `epoll_wait`) plus a
+//! pipe-based [`Waker`] for cross-thread wakeups, all through the libc
+//! symbols `std` already links — no new dependencies.
+//!
+//! The API is deliberately tiny and level-triggered:
+//!
+//! * [`Poller::new`] creates the epoll instance;
+//! * [`Poller::add`] / [`Poller::modify`] / [`Poller::delete`] manage
+//!   one interest set ([`Interest`]) per file descriptor, each tagged
+//!   with a caller-chosen `u64` token;
+//! * [`Poller::wait`] fills an [`Events`] buffer with the descriptors
+//!   that are ready right now;
+//! * [`Waker::wake`] makes any thread able to force `wait` to return
+//!   (the waker's read end is registered like any other descriptor).
+//!
+//! On non-Linux targets every constructor returns
+//! [`std::io::ErrorKind::Unsupported`], so callers can fall back to a
+//! blocking front end; the types still compile everywhere.
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+/// A raw file descriptor, as `std::os::fd::RawFd` spells it on Unix.
+pub type RawFd = i32;
+
+/// Which readiness classes a registration asks to be told about.
+/// Hang-up and error conditions are always reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the descriptor is readable.
+    pub readable: bool,
+    /// Report when the descriptor is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Self = Self {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Self = Self {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const READ_WRITE: Self = Self {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// The descriptor has bytes to read (or a pending accept).
+    pub readable: bool,
+    /// The descriptor can accept writes.
+    pub writable: bool,
+    /// The peer hung up (EPOLLHUP/EPOLLRDHUP) or the descriptor is in
+    /// an error state (EPOLLERR). Treated as "read until EOF/error".
+    pub closed: bool,
+}
+
+pub use sys::{Events, Poller, Waker};
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! The real Linux implementation. This module is the crate's one
+    //! unsafe island: every `unsafe` block is a raw libc call whose
+    //! arguments are validated Rust values (no pointers outlive the
+    //! call, every buffer length matches its allocation).
+
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use std::os::raw::{c_int, c_void};
+
+    // The subset of <sys/epoll.h>, <unistd.h> and <fcntl.h> the shim
+    // needs, declared against the libc `std` already links.
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const O_NONBLOCK: c_int = 0o4000;
+    const O_CLOEXEC: c_int = 0o2000000;
+
+    /// The kernel's `struct epoll_event`: packed on x86-64 (the kernel
+    /// ABI), naturally aligned everywhere else — matching glibc's
+    /// `__EPOLL_PACKED` exactly.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest_mask(interest: Interest) -> u32 {
+        let mut mask = EPOLLRDHUP;
+        if interest.readable {
+            mask |= EPOLLIN;
+        }
+        if interest.writable {
+            mask |= EPOLLOUT;
+        }
+        mask
+    }
+
+    /// A buffer [`Poller::wait`] fills with ready descriptors.
+    pub struct Events {
+        raw: Vec<EpollEvent>,
+        len: usize,
+    }
+
+    impl std::fmt::Debug for Events {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Events")
+                .field("capacity", &self.raw.len())
+                .field("len", &self.len)
+                .finish()
+        }
+    }
+
+    impl Events {
+        /// A buffer receiving at most `capacity` events per wait.
+        pub fn with_capacity(capacity: usize) -> Self {
+            Self {
+                raw: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+                len: 0,
+            }
+        }
+
+        /// The events delivered by the last [`Poller::wait`].
+        pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+            self.raw[..self.len].iter().map(|raw| {
+                // Copy out of the (possibly packed) struct before use.
+                let events = raw.events;
+                let data = raw.data;
+                Event {
+                    token: data,
+                    readable: events & EPOLLIN != 0,
+                    writable: events & EPOLLOUT != 0,
+                    closed: events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                }
+            })
+        }
+
+        /// Number of events delivered by the last wait.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True when the last wait timed out with nothing ready.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+    }
+
+    /// One epoll instance.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// Creates the epoll instance (`EPOLL_CLOEXEC`).
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Self { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, mut event: Option<EpollEvent>) -> io::Result<()> {
+            let ptr = event
+                .as_mut()
+                .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            // SAFETY: `ptr` is null (DEL) or points at a live stack
+            // value for the duration of the call.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, ptr) })?;
+            Ok(())
+        }
+
+        /// Registers `fd` with `token` and `interest`.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                Some(EpollEvent {
+                    events: interest_mask(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        /// Replaces the interest set of an already-registered `fd`.
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                Some(EpollEvent {
+                    events: interest_mask(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        /// Deregisters `fd`.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        /// Blocks until at least one registered descriptor is ready or
+        /// `timeout` elapses (`None` = forever). Returns the event
+        /// count; `EINTR` is retried internally.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            let timeout_ms: c_int = match timeout {
+                None => -1,
+                // Round up so a sub-millisecond timeout still sleeps
+                // instead of spinning at 0.
+                Some(d) => c_int::try_from(d.as_millis().max(1)).unwrap_or(c_int::MAX),
+            };
+            events.len = 0;
+            loop {
+                let capacity = c_int::try_from(events.raw.len()).unwrap_or(c_int::MAX);
+                // SAFETY: the buffer pointer and capacity describe the
+                // same live Vec allocation; the kernel writes at most
+                // `capacity` entries.
+                let n =
+                    unsafe { epoll_wait(self.epfd, events.raw.as_mut_ptr(), capacity, timeout_ms) };
+                match cvt(n) {
+                    Ok(n) => {
+                        events.len = n as usize;
+                        return Ok(events.len);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing a descriptor this struct exclusively owns.
+            let _ = unsafe { close(self.epfd) };
+        }
+    }
+
+    #[derive(Debug)]
+    struct WakerFds {
+        read_fd: RawFd,
+        write_fd: RawFd,
+    }
+
+    impl Drop for WakerFds {
+        fn drop(&mut self) {
+            // SAFETY: closing the pipe ends this struct exclusively owns.
+            unsafe {
+                let _ = close(self.read_fd);
+                let _ = close(self.write_fd);
+            }
+        }
+    }
+
+    /// A cross-thread wakeup: a nonblocking self-pipe whose read end is
+    /// registered in the poller like any other descriptor. Cloneable
+    /// and `Send`, so completion callbacks on worker threads can nudge
+    /// the event loop.
+    #[derive(Debug, Clone)]
+    pub struct Waker {
+        fds: Arc<WakerFds>,
+    }
+
+    impl Waker {
+        /// Creates the pipe (both ends `O_NONBLOCK | O_CLOEXEC`).
+        pub fn new() -> io::Result<Self> {
+            let mut fds = [0 as c_int; 2];
+            // SAFETY: `fds` is a live 2-element array for the call.
+            cvt(unsafe { pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) })?;
+            Ok(Self {
+                fds: Arc::new(WakerFds {
+                    read_fd: fds[0],
+                    write_fd: fds[1],
+                }),
+            })
+        }
+
+        /// The read end, for [`Poller::add`].
+        pub fn read_fd(&self) -> RawFd {
+            self.fds.read_fd
+        }
+
+        /// Makes the read end readable. A full pipe (`EAGAIN`) already
+        /// guarantees a pending wakeup, so that error is ignored.
+        pub fn wake(&self) {
+            let byte = 1u8;
+            // SAFETY: one-byte write from a live stack buffer to a
+            // descriptor the Arc keeps open.
+            let _ = unsafe { write(self.fds.write_fd, (&byte as *const u8).cast(), 1) };
+        }
+
+        /// Drains every pending wakeup byte (call after the poller
+        /// reports the read end readable).
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                // SAFETY: reads into a live stack buffer of the stated
+                // length from a descriptor the Arc keeps open.
+                let n = unsafe { read(self.fds.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Stub for non-Linux targets: everything compiles, constructors
+    //! report [`std::io::ErrorKind::Unsupported`] so callers fall back
+    //! to a blocking front end.
+
+    use super::{Event, Interest, RawFd};
+    use std::io;
+    use std::time::Duration;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is only available on Linux",
+        )
+    }
+
+    /// Event buffer stub.
+    #[derive(Debug)]
+    pub struct Events;
+
+    impl Events {
+        /// Stub constructor.
+        pub fn with_capacity(_capacity: usize) -> Self {
+            Self
+        }
+
+        /// Always empty.
+        pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+            std::iter::empty()
+        }
+
+        /// Always zero.
+        pub fn len(&self) -> usize {
+            0
+        }
+
+        /// Always true.
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+    }
+
+    /// Poller stub; [`Poller::new`] always errors.
+    #[derive(Debug)]
+    pub struct Poller;
+
+    impl Poller {
+        /// Always `Unsupported`.
+        pub fn new() -> io::Result<Self> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn add(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn wait(&self, _events: &mut Events, _timeout: Option<Duration>) -> io::Result<usize> {
+            Err(unsupported())
+        }
+    }
+
+    /// Waker stub; [`Waker::new`] always errors.
+    #[derive(Debug, Clone)]
+    pub struct Waker;
+
+    impl Waker {
+        /// Always `Unsupported`.
+        pub fn new() -> io::Result<Self> {
+            Err(unsupported())
+        }
+
+        /// Unreachable (no instance can exist).
+        pub fn read_fd(&self) -> RawFd {
+            -1
+        }
+
+        /// No-op.
+        pub fn wake(&self) {}
+
+        /// No-op.
+        pub fn drain(&self) {}
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let poller = Poller::new().expect("epoll available");
+        let waker = Waker::new().expect("pipe available");
+        let mut events = Events::with_capacity(4);
+        poller
+            .add(waker.read_fd(), 7, Interest::READ)
+            .expect("registers");
+
+        // Nothing pending: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .expect("waits");
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+
+        // A wake from another thread surfaces as readability with the
+        // registered token.
+        let remote = waker.clone();
+        std::thread::spawn(move || remote.wake());
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("waits");
+        assert_eq!(n, 1);
+        let event = events.iter().next().expect("one event");
+        assert_eq!(event.token, 7);
+        assert!(event.readable);
+        waker.drain();
+
+        // Drained: the next wait is empty again.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .expect("waits");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn socket_readiness_and_interest_changes() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let poller = Poller::new().expect("epoll available");
+        let mut events = Events::with_capacity(8);
+        poller
+            .add(listener.as_raw_fd(), 1, Interest::READ)
+            .expect("registers listener");
+
+        let mut client = TcpStream::connect(addr).expect("connects");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("waits");
+        assert!(n >= 1, "pending accept must be readable");
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        let (server_side, _) = listener.accept().expect("accepts");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        poller
+            .add(server_side.as_raw_fd(), 2, Interest::READ)
+            .expect("registers conn");
+
+        client.write_all(b"ping").expect("writes");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("waits");
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.token == 2 && e.readable));
+
+        // Writable interest on an idle socket reports immediately.
+        poller
+            .modify(server_side.as_raw_fd(), 2, Interest::READ_WRITE)
+            .expect("modifies");
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("waits");
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.token == 2 && e.writable));
+
+        // Peer hang-up surfaces as `closed`.
+        drop(client);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("waits");
+        assert!(n >= 1);
+        assert!(events.iter().any(|e| e.token == 2 && e.closed));
+
+        poller.delete(server_side.as_raw_fd()).expect("deletes");
+        let mut buf = [0u8; 8];
+        let mut conn = server_side;
+        let got = conn.read(&mut buf).expect("reads buffered ping");
+        assert_eq!(&buf[..got], b"ping");
+    }
+}
