@@ -121,6 +121,55 @@ fn open_loop_against(
     report
 }
 
+/// Serves one open-loop run through the fan-out/merge router over two
+/// in-process epoll shards (the forest split into contiguous tree
+/// spans), then shuts the tier down. Linux only (the shards are epoll
+/// servers).
+#[cfg(target_os = "linux")]
+fn open_loop_against_router(
+    forest: &RandomForest,
+    kind: EngineKind,
+    max_batch: usize,
+    rows: &[Vec<f32>],
+    spec: OpenLoopSpec,
+) -> OpenLoopReport {
+    let mut shards = Vec::new();
+    for (start, end) in forest.plan_spans(2) {
+        let part = forest.tree_span(start, end);
+        let engine = EngineBuilder::new(&part)
+            .options(BatchOptions::default().block_samples(max_batch))
+            .build(kind)
+            .expect("builds");
+        let policy = BatchPolicy::default()
+            .max_batch(max_batch)
+            .linger(Duration::from_micros(200))
+            .workers(2);
+        let server = EpollServer::bind("127.0.0.1:0", engine, policy).expect("binds loopback");
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || {
+            server.run().expect("shard serves");
+        });
+        shards.push((addr, runner));
+    }
+    let shard_addrs: Vec<SocketAddr> = shards.iter().map(|(a, _)| *a).collect();
+    let router =
+        flint_router::RouterServer::bind("127.0.0.1:0", shard_addrs).expect("router binds");
+    let addr = router.local_addr();
+    let runner = std::thread::spawn(move || {
+        router.run().expect("routes");
+    });
+    let report = open_loop(addr, rows, spec).expect("open loop runs");
+    let mut admin = TcpStream::connect(addr).expect("connects for shutdown");
+    admin.write_all(b"shutdown\n").expect("requests shutdown");
+    runner.join().expect("router thread");
+    for (addr, runner) in shards {
+        let mut admin = TcpStream::connect(addr).expect("connects for shutdown");
+        admin.write_all(b"shutdown\n").expect("requests shutdown");
+        runner.join().expect("shard thread");
+    }
+    report
+}
+
 fn main() {
     let args = parse_args();
     let clients = 8;
@@ -179,6 +228,7 @@ fn main() {
         rate_rps: args.rate_rps,
         total_requests: args.requests,
         connections: args.conns,
+        catch_up_factor: 2.0,
     };
     println!();
     println!(
@@ -191,7 +241,7 @@ fn main() {
         "{:>9} {:>11} {:>11} {:>9} {:>9} {:>9} {:>9} {:>7}",
         "front_end", "offered r/s", "achieved", "p50 us", "p99 us", "p999 us", "max us", "errors"
     );
-    let mut measured: Vec<(FrontEnd, OpenLoopReport)> = Vec::new();
+    let mut measured: Vec<(&str, OpenLoopReport)> = Vec::new();
     for front_end in FrontEnd::ALL {
         if front_end == FrontEnd::Epoll && !cfg!(target_os = "linux") {
             println!("{:>9} (skipped: epoll needs Linux)", front_end.name());
@@ -209,8 +259,29 @@ fn main() {
             report.latency.max_us,
             report.errors
         );
-        measured.push((front_end, report));
+        measured.push((front_end.name(), report));
     }
+    // The sharded tier: the same offered load through the fan-out
+    // router over two tree-span shards — the p50/p99 delta vs `epoll`
+    // is the price of one extra hop plus the histogram merge.
+    #[cfg(target_os = "linux")]
+    {
+        let report = open_loop_against_router(&forest, kind, max_batch_serving, &rows, spec);
+        println!(
+            "{:>9} {:>11.0} {:>11.0} {:>9} {:>9} {:>9} {:>9} {:>7}",
+            "router",
+            report.offered_rps,
+            report.achieved_rps,
+            report.latency.p50_us,
+            report.latency.p99_us,
+            report.latency.p999_us,
+            report.latency.max_us,
+            report.errors
+        );
+        measured.push(("router", report));
+    }
+    #[cfg(not(target_os = "linux"))]
+    println!("{:>9} (skipped: router shards need epoll/Linux)", "router");
     println!("(achieved < offered means the server could not absorb the schedule)");
 
     if let Some(path) = args.json_path {
@@ -221,7 +292,7 @@ fn main() {
                     "{{\"front_end\":\"{}\",\"offered_rps\":{:.0},\"achieved_rps\":{:.0},\
                      \"responses\":{},\"errors\":{},\"p50_us\":{},\"p99_us\":{},\
                      \"p999_us\":{},\"max_us\":{}}}",
-                    front_end.name(),
+                    front_end,
                     r.offered_rps,
                     r.achieved_rps,
                     r.responses,

@@ -202,6 +202,91 @@ pub struct OpenLoopSpec {
     pub total_requests: usize,
     /// TCP connections the requests round-robin over.
     pub connections: usize,
+    /// Multiple of `rate_rps` at which a writer re-sends backlog after
+    /// a stall (its own scheduling hiccup or a blocking `write_all`).
+    /// Must be at least 1. Without this bound the entire overdue
+    /// backlog departed as one unpaced burst the moment the writer
+    /// recovered — a send pattern no steady open-loop client produces,
+    /// which inflated p999 with self-made queueing. Latencies are still
+    /// measured from the *intended* departure times, so the pacing
+    /// never hides server-side delay (coordinated omission stays
+    /// impossible); it only stops the generator from manufacturing
+    /// load spikes the schedule never asked for. 2 is a sane default:
+    /// backlog drains at twice the offered rate.
+    pub catch_up_factor: f64,
+}
+
+/// Pure virtual-time pacer for one open-loop writer: decides how long
+/// to wait before sending request `k` given the current instant, and
+/// counts sends that departed after their schedule. On-time sends wait
+/// until their due instant; once the writer falls behind, overdue
+/// backlog is released at `catch_up` spacing (a bounded multiple of
+/// the offered rate) instead of as one burst. Pure logic over caller
+/// supplied instants, so stalls are unit-testable without sleeping.
+#[derive(Debug, Clone)]
+pub struct SendPacer {
+    start: Instant,
+    rate_rps: f64,
+    /// Minimum spacing between consecutive catch-up sends.
+    catch_up: Duration,
+    /// Earliest instant the next send may depart while draining
+    /// backlog; `None` when on schedule.
+    earliest: Option<Instant>,
+    late_sends: u64,
+}
+
+impl SendPacer {
+    /// A pacer for the global schedule `start + k / rate_rps` whose
+    /// catch-up sends this writer spaces `1 / catch_up_rps` apart.
+    pub fn new(start: Instant, rate_rps: f64, catch_up_rps: f64) -> Self {
+        assert!(rate_rps > 0.0, "need a positive offered rate");
+        assert!(catch_up_rps > 0.0, "need a positive catch-up rate");
+        Self {
+            start,
+            rate_rps,
+            catch_up: Duration::from_secs_f64(1.0 / catch_up_rps),
+            earliest: None,
+            late_sends: 0,
+        }
+    }
+
+    /// The instant request `k` is due on the virtual-time schedule.
+    pub fn due(&self, k: usize) -> Instant {
+        self.start + Duration::from_secs_f64(k as f64 / self.rate_rps)
+    }
+
+    /// How long the writer must sleep before sending request `k` when
+    /// the clock reads `now`. Zero means send immediately. Late sends
+    /// (departing after their due instant) are counted and pace the
+    /// rest of the backlog at the catch-up spacing.
+    pub fn wait_before(&mut self, k: usize, now: Instant) -> Duration {
+        let due = self.due(k);
+        let floor = self.earliest.map_or(due, |e| e.max(due));
+        match floor.checked_duration_since(now) {
+            Some(wait) if floor > due => {
+                // Paced catch-up slot: still late against the schedule.
+                self.late_sends += 1;
+                self.earliest = Some(floor + self.catch_up);
+                wait
+            }
+            Some(wait) => {
+                // On schedule; any backlog has drained.
+                self.earliest = None;
+                wait
+            }
+            None => {
+                // Overdue: send now, pace the rest of the backlog.
+                self.late_sends += 1;
+                self.earliest = Some(now + self.catch_up);
+                Duration::ZERO
+            }
+        }
+    }
+
+    /// Sends so far that departed after their due instant.
+    pub fn late_sends(&self) -> u64 {
+        self.late_sends
+    }
 }
 
 /// One open-loop run against a live TCP serving front end.
@@ -218,6 +303,11 @@ pub struct OpenLoopReport {
     pub responses: usize,
     /// Responses that were not predictions (`busy` sheds, errors).
     pub errors: usize,
+    /// Requests that departed after their intended schedule slot
+    /// (writer stalls; see [`OpenLoopSpec::catch_up_factor`]). A large
+    /// fraction means the generator — not the server — was the
+    /// bottleneck and the offered rate was not actually sustained.
+    pub late_sends: u64,
     /// Wall-clock seconds from the schedule start to the last response.
     pub wall_secs: f64,
     /// Per-request latency from **intended** departure time to response
@@ -250,6 +340,10 @@ pub fn open_loop(
 ) -> std::io::Result<OpenLoopReport> {
     assert!(!rows.is_empty(), "need at least one request row");
     assert!(spec.rate_rps > 0.0, "need a positive offered rate");
+    assert!(
+        spec.catch_up_factor >= 1.0,
+        "catch-up slower than the offered rate can never drain backlog"
+    );
     let connections = spec.connections.max(1);
     let total = spec.total_requests;
     // Pre-render every request line so the send path is one write call.
@@ -272,8 +366,12 @@ pub fn open_loop(
     // The schedule starts a breath in the future so connection 0's
     // first request is not already late before the threads spawn.
     let start = Instant::now() + Duration::from_millis(5);
+    // Each writer's share of the catch-up rate: backlog drains at
+    // `catch_up_factor` times the offered rate across all connections.
+    let catch_up_rps = spec.rate_rps * spec.catch_up_factor / connections as f64;
     let mut all_latencies: Vec<u64> = Vec::with_capacity(total);
     let mut errors = 0usize;
+    let mut late_sends = 0u64;
     let mut last_response = start;
     std::thread::scope(|scope| -> std::io::Result<()> {
         let mut writers = Vec::with_capacity(connections);
@@ -281,19 +379,22 @@ pub fn open_loop(
         for (c, stream) in streams.into_iter().enumerate() {
             let mut write_half = stream.try_clone()?;
             let lines = &lines;
-            writers.push(scope.spawn(move || -> std::io::Result<()> {
+            writers.push(scope.spawn(move || -> std::io::Result<u64> {
+                let mut pacer = SendPacer::new(start, spec.rate_rps, catch_up_rps);
                 let mut k = c;
                 while k < total {
-                    let due = start + Duration::from_secs_f64(k as f64 / spec.rate_rps);
-                    if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    let wait = pacer.wait_before(k, Instant::now());
+                    if !wait.is_zero() {
                         std::thread::sleep(wait);
                     }
                     // Send even when late: the reader charges the delay
-                    // against the intended time, not this actual one.
+                    // against the intended time, not this actual one —
+                    // the pacer only bounds the burst, never the
+                    // latency accounting.
                     write_half.write_all(lines[k].as_bytes())?;
                     k += connections;
                 }
-                Ok(())
+                Ok(pacer.late_sends())
             }));
             readers.push(
                 scope.spawn(move || -> std::io::Result<(Vec<u64>, usize, Instant)> {
@@ -331,7 +432,7 @@ pub fn open_loop(
             );
         }
         for writer in writers {
-            writer.join().expect("open-loop writer thread")?;
+            late_sends += writer.join().expect("open-loop writer thread")?;
         }
         for reader in readers {
             let (latencies, conn_errors, last) = reader.join().expect("open-loop reader thread")?;
@@ -355,6 +456,7 @@ pub fn open_loop(
         achieved_rps: responses as f64 / wall_secs,
         responses,
         errors,
+        late_sends,
         wall_secs,
         latency: LatencySummary::from_micros(all_latencies),
     })
@@ -464,6 +566,7 @@ mod tests {
                 rate_rps: 2000.0,
                 total_requests: 200,
                 connections: 4,
+                catch_up_factor: 2.0,
             },
         )
         .expect("open loop runs");
@@ -479,5 +582,75 @@ mod tests {
         let mut w = stream.try_clone().expect("clones");
         w.write_all(b"shutdown\n").expect("writes");
         runner.join().expect("server thread");
+    }
+
+    #[test]
+    fn pacer_releases_on_time_sends_at_their_due_instants() {
+        let start = Instant::now();
+        // 1000 rps schedule, catch-up at 2000 rps.
+        let mut pacer = SendPacer::new(start, 1000.0, 2000.0);
+        assert_eq!(pacer.wait_before(0, start), Duration::ZERO);
+        assert_eq!(pacer.wait_before(1, start), Duration::from_millis(1));
+        assert_eq!(
+            pacer.wait_before(7, start + Duration::from_millis(3)),
+            Duration::from_millis(4)
+        );
+        assert_eq!(pacer.late_sends(), 0);
+    }
+
+    #[test]
+    fn pacer_bounds_the_post_stall_burst_instead_of_releasing_it_at_once() {
+        let start = Instant::now();
+        let mut pacer = SendPacer::new(start, 1000.0, 2000.0);
+        // Simulate a 50 ms writer stall: when the writer wakes at
+        // start+52ms, requests 0..52 are all overdue.
+        let mut now = start + Duration::from_millis(52);
+        let mut departures = Vec::new();
+        for k in 0..52 {
+            let wait = pacer.wait_before(k, now);
+            now += wait; // the writer sleeps, then sends
+            departures.push(now);
+        }
+        // Before the fix the whole backlog departed at `now` as one
+        // burst; the pacer must spread it at the catch-up spacing.
+        for pair in departures.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= Duration::from_micros(500),
+                "catch-up sends {:?} apart; burst not bounded",
+                pair[1] - pair[0]
+            );
+        }
+        assert_eq!(pacer.late_sends(), 52);
+        // Every departure is late against its own due instant — the
+        // pacing never rewrites the schedule latencies are charged to.
+        for (k, &at) in departures.iter().enumerate() {
+            assert!(at > pacer.due(k), "request {k} must still count as late");
+        }
+        // Once the schedule catches back up (due beyond the backlog
+        // drain), the pacer returns to due-instant release and stops
+        // counting lates.
+        let due_far = pacer.due(200); // start + 200 ms
+        let wait = pacer.wait_before(200, now);
+        assert_eq!(now + wait, due_far);
+        assert_eq!(pacer.late_sends(), 52);
+        // ...and the backlog pacing state is fully reset afterwards.
+        assert_eq!(pacer.wait_before(201, due_far), Duration::from_millis(1));
+        assert_eq!(pacer.late_sends(), 52);
+    }
+
+    #[test]
+    #[should_panic(expected = "catch-up slower than the offered rate")]
+    fn open_loop_rejects_a_catch_up_factor_below_one() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().expect("parses");
+        let _ = open_loop(
+            addr,
+            &[vec![0.0]],
+            OpenLoopSpec {
+                rate_rps: 100.0,
+                total_requests: 1,
+                connections: 1,
+                catch_up_factor: 0.5,
+            },
+        );
     }
 }

@@ -100,8 +100,25 @@ pub enum Command {
         max_conns: usize,
         /// In-flight prediction cap of the event-loop front end.
         max_inflight: usize,
+        /// Serve only the contiguous tree span `a:b` (half-open, as
+        /// planned by `flint_forest::plan_spans`) — one shard of a
+        /// router fan-out instead of the whole ensemble.
+        trees: Option<String>,
         /// Serve stdin/stdout instead of TCP.
         stdin: bool,
+    },
+    /// Front N `flint serve` shards with the fan-out/merge router:
+    /// same wire protocol, answers bit-identical to a single server
+    /// over the whole forest.
+    Route {
+        /// Comma-separated shard addresses (`host:port,host:port`).
+        shards: String,
+        /// TCP listen address.
+        addr: String,
+        /// Connection cap (further accepts are answered `busy`).
+        max_conns: usize,
+        /// Fanned-out-and-unanswered request cap across all clients.
+        max_inflight: usize,
     },
     /// Emit source code for a stored model.
     Emit {
@@ -318,7 +335,25 @@ pub fn parse(args: &[String]) -> Result<Command, ParseArgsError> {
                 .map(|v| parse_number(v, "max-inflight"))
                 .transpose()?
                 .unwrap_or(1024),
+            trees: map.get("trees").cloned(),
             stdin: map.contains_key("stdin"),
+        }),
+        "route" => Ok(Command::Route {
+            shards: required(&map, "shards")?,
+            addr: map
+                .get("addr")
+                .cloned()
+                .unwrap_or_else(|| flint_router::DEFAULT_ROUTER_ADDR.to_owned()),
+            max_conns: map
+                .get("max-conns")
+                .map(|v| parse_number(v, "max-conns"))
+                .transpose()?
+                .unwrap_or(16384),
+            max_inflight: map
+                .get("max-inflight")
+                .map(|v| parse_number(v, "max-inflight"))
+                .transpose()?
+                .unwrap_or(1024),
         }),
         "emit" => Ok(Command::Emit {
             model: required(&map, "model")?,
@@ -364,7 +399,9 @@ USAGE:
   flint bench      --list
   flint serve      --model model.txt [--engine ENGINE] [--max-batch B] [--linger-us U]
                    [--workers W] [--queue-depth Q] [--addr HOST:PORT]
-                   [--front-end epoll|threads] [--max-conns C] [--max-inflight I] [--stdin]
+                   [--front-end epoll|threads] [--max-conns C] [--max-inflight I]
+                   [--trees A:B] [--stdin]
+  flint route      --shards HOST:PORT,HOST:PORT [--addr HOST:PORT] [--max-conns C] [--max-inflight I]
   flint emit       --model model.txt [--lang c|c64|rust|asm-arm|asm-x86] [--variant std|flint]
   flint importance --model model.txt
   flint simulate   --model model.txt --data d.csv --classes K [--machine x86s|x86d|arms|armd|embedded] [--config naive|cags|flint|cags-flint|flint-asm|softfloat]
@@ -390,6 +427,17 @@ JSON object per line. The default `epoll` front end is a readiness
 event loop (one thread, thousands of idle connections, explicit `busy`
 shedding past --max-conns / --max-inflight); `--front-end threads` is
 the thread-per-connection baseline, and the one that works off Linux.
+`--trees A:B` serves only that contiguous tree span — one shard of a
+sharded deployment.
+
+`flint route` fronts N shards started with `flint serve --trees`: it
+speaks the same protocol, fans each request to every shard as a
+`votes:` partial, merges the histograms and applies the canonical
+majority vote, so answers are bit-identical to one server over the
+whole forest. Control verbs on the same connection: health, shardmap,
+shardmap set a,b, drain, undrain, stats, shutdown. Any shard down or
+shedding fails that request with a visible busy — never a partial
+merge.
 
 CSV format: one row per sample, float features followed by an integer
 class label, no header.
@@ -548,13 +596,14 @@ mod tests {
                 front_end: "epoll".into(),
                 max_conns: 16384,
                 max_inflight: 1024,
+                trees: None,
                 stdin: false,
             }
         );
         let cmd = parse(&argv(
             "serve --model m.txt --engine quickscorer --max-batch 16 --linger-us 500 \
              --workers 4 --queue-depth 64 --addr 0.0.0.0:9000 --front-end threads \
-             --max-conns 100 --max-inflight 32 --stdin",
+             --max-conns 100 --max-inflight 32 --trees 0:12 --stdin",
         ))
         .expect("parses");
         assert_eq!(
@@ -570,6 +619,7 @@ mod tests {
                 front_end: "threads".into(),
                 max_conns: 100,
                 max_inflight: 32,
+                trees: Some("0:12".into()),
                 stdin: true,
             }
         );
@@ -579,6 +629,37 @@ mod tests {
         assert!(err.0.contains("max-batch"), "{err}");
         let err = parse(&argv("serve --model m.txt --max-conns lots")).unwrap_err();
         assert!(err.0.contains("max-conns"), "{err}");
+    }
+
+    #[test]
+    fn parse_route_defaults_and_flags() {
+        let cmd = parse(&argv("route --shards 127.0.0.1:7878,127.0.0.1:7879")).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Route {
+                shards: "127.0.0.1:7878,127.0.0.1:7879".into(),
+                addr: flint_router::DEFAULT_ROUTER_ADDR.into(),
+                max_conns: 16384,
+                max_inflight: 1024,
+            }
+        );
+        let cmd = parse(&argv(
+            "route --shards 10.0.0.1:1 --addr 0.0.0.0:9100 --max-conns 64 --max-inflight 8",
+        ))
+        .expect("parses");
+        assert_eq!(
+            cmd,
+            Command::Route {
+                shards: "10.0.0.1:1".into(),
+                addr: "0.0.0.0:9100".into(),
+                max_conns: 64,
+                max_inflight: 8,
+            }
+        );
+        let err = parse(&argv("route")).unwrap_err();
+        assert!(err.0.contains("--shards"), "{err}");
+        let err = parse(&argv("route --shards a:1 --max-inflight soon")).unwrap_err();
+        assert!(err.0.contains("max-inflight"), "{err}");
     }
 
     #[test]

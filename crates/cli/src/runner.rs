@@ -11,6 +11,7 @@ use flint_data::{csv, Dataset, FeatureMatrix};
 use flint_exec::{BatchOptions, EngineBuilder, EngineKind, KernelCaps};
 use flint_forest::metrics::accuracy;
 use flint_forest::{io as model_io, ForestConfig, RandomForest};
+use flint_router::RouterServer;
 use flint_serve::{
     serve_lines, BatchPolicy, Batcher, EpollServer, EventLoopConfig, FrontEnd, Server,
 };
@@ -82,6 +83,23 @@ fn git_rev() -> String {
         .map(|rev| rev.trim().to_owned())
         .filter(|rev| !rev.is_empty())
         .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Parses a `--trees a:b` half-open span against the model's ensemble
+/// size (the span syntax `flint_forest::plan_spans` plans in).
+fn parse_tree_span(text: &str, n_trees: usize) -> Result<(usize, usize), RunError> {
+    let invalid = || {
+        RunError::Invalid(format!(
+            "--trees expects a half-open span a:b with a < b <= {n_trees}, got {text:?}"
+        ))
+    };
+    let (a, b) = text.split_once(':').ok_or_else(invalid)?;
+    let start: usize = a.trim().parse().map_err(|_| invalid())?;
+    let end: usize = b.trim().parse().map_err(|_| invalid())?;
+    if start >= end || end > n_trees {
+        return Err(invalid());
+    }
+    Ok((start, end))
 }
 
 fn load_csv(path: &str, classes: usize) -> Result<Dataset, RunError> {
@@ -409,9 +427,14 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
             front_end,
             max_conns,
             max_inflight,
+            trees,
             stdin,
         } => {
-            let forest = load_model(&model)?;
+            let mut forest = load_model(&model)?;
+            if let Some(span) = &trees {
+                let (start, end) = parse_tree_span(span, forest.n_trees())?;
+                forest = forest.tree_span(start, end);
+            }
             let kind = engine_kind(&engine)?;
             let front_end: FrontEnd = front_end
                 .parse()
@@ -467,6 +490,44 @@ pub fn run<W: Write>(command: Command, out: &mut W) -> Result<(), RunError> {
                 };
                 writeln!(out, "{}", stats.to_json())?;
             }
+        }
+        Command::Route {
+            shards,
+            addr,
+            max_conns,
+            max_inflight,
+        } => {
+            let shard_addrs: Vec<std::net::SocketAddr> = shards
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse().map_err(|_| {
+                        RunError::Invalid(format!("--shards: invalid shard address {s:?}"))
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            if shard_addrs.is_empty() {
+                return Err(RunError::Invalid(
+                    "--shards lists no shard address".to_owned(),
+                ));
+            }
+            let config = EventLoopConfig::default()
+                .max_conns(max_conns)
+                .max_inflight(max_inflight);
+            let router = RouterServer::bind_with_config(&addr, shard_addrs.clone(), config)?;
+            writeln!(
+                out,
+                "routing on {} ({} shards: {}, max-conns {max_conns}, max-inflight {max_inflight})",
+                router.local_addr(),
+                shard_addrs.len(),
+                shards.trim()
+            )?;
+            // The startup line must reach pipes before the event loop
+            // starts (smoke tests wait for it).
+            out.flush()?;
+            let stats = router.run()?;
+            writeln!(out, "{}", stats.to_json())?;
         }
         Command::Emit {
             model,
@@ -906,6 +967,149 @@ mod tests {
         let output = String::from_utf8(buf.0.lock().expect("buffer lock").clone()).expect("utf8");
         assert!(output.contains(&format!("listening on {addr}")), "{output}");
         assert!(output.contains("\"requests\":10"), "{output}");
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn tree_span_flag_validates_its_bounds() {
+        let (data_path, _) = write_dataset_csv("span.csv", 21);
+        let model_path = temp_path("span_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 4 --depth 4 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        for bad in ["2", "3:2", "0:9", "x:2", "2:"] {
+            let err = run_argv(&format!(
+                "serve --model {} --trees {bad} --stdin",
+                model_path.display()
+            ))
+            .unwrap_err();
+            assert!(err.to_string().contains("--trees"), "{bad}: {err}");
+        }
+        let _ = std::fs::remove_file(data_path);
+        let _ = std::fs::remove_file(model_path);
+    }
+
+    #[test]
+    fn route_rejects_bad_shard_lists_before_binding() {
+        let err = run_argv("route --shards not-an-addr").unwrap_err();
+        assert!(err.to_string().contains("invalid shard address"), "{err}");
+        let err = run_argv("route --shards ,").unwrap_err();
+        assert!(err.to_string().contains("lists no shard"), "{err}");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn route_fronts_tree_span_shards_with_identical_answers() {
+        use std::io::{BufRead, BufReader as IoBufReader, Read as IoRead, Write as IoWrite};
+        use std::net::TcpStream;
+
+        let (data_path, ds) = write_dataset_csv("routecli.csv", 23);
+        let model_path = temp_path("routecli_model.txt");
+        run_argv(&format!(
+            "train --data {} --classes 2 --trees 5 --depth 6 --out {}",
+            data_path.display(),
+            model_path.display()
+        ))
+        .expect("trains");
+        let expected = run_argv(&format!(
+            "predict --model {} --data {} --classes 2 --backend flint-blocked",
+            model_path.display(),
+            data_path.display()
+        ))
+        .expect("predicts");
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+        impl IoWrite for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().expect("buffer lock").extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let spawn = |argv_text: String, buf: SharedBuf| {
+            std::thread::spawn(move || {
+                let argv: Vec<String> = argv_text.split_whitespace().map(str::to_owned).collect();
+                let mut out = buf;
+                run(parse(&argv).expect("parses"), &mut out).expect("runs");
+            })
+        };
+        let await_addr = |buf: &SharedBuf, marker: &str| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            loop {
+                let text =
+                    String::from_utf8(buf.0.lock().expect("buffer lock").clone()).expect("utf8");
+                if let Some(rest) = text.split_once(marker).map(|(_, r)| r) {
+                    break rest.split_whitespace().next().expect("address").to_owned();
+                }
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "never announced {marker:?}: {text:?}"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        };
+
+        // Two shards over the ragged 5-tree split 3/2, then the router.
+        let mut shard_addrs = Vec::new();
+        let mut handles = Vec::new();
+        for span in ["0:3", "3:5"] {
+            let buf = SharedBuf::default();
+            handles.push(spawn(
+                format!(
+                    "serve --model {} --addr 127.0.0.1:0 --trees {span} --max-batch 1 --workers 1",
+                    model_path.display()
+                ),
+                buf.clone(),
+            ));
+            shard_addrs.push(await_addr(&buf, "listening on "));
+        }
+        let router_buf = SharedBuf::default();
+        let router = spawn(
+            format!(
+                "route --shards {} --addr 127.0.0.1:0",
+                shard_addrs.join(",")
+            ),
+            router_buf.clone(),
+        );
+        let addr = await_addr(&router_buf, "routing on ");
+
+        let stream = TcpStream::connect(&addr).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = IoBufReader::new(stream.try_clone().expect("clones"));
+        let mut writer = stream;
+        let mut line = String::new();
+        for (i, want) in expected.lines().take(8).enumerate() {
+            let row: Vec<String> = ds.sample(i).iter().map(f32::to_string).collect();
+            writeln!(writer, "{}", row.join(",")).expect("writes");
+            line.clear();
+            reader.read_line(&mut line).expect("reads");
+            assert!(
+                line.starts_with(&format!("{{\"class\":{want},\"engine\":\"router\"")),
+                "sample {i}: {line}"
+            );
+        }
+        writeln!(writer, "health").expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"shards_up\":2"), "{line}");
+        writeln!(writer, "shutdown").expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        router.join().expect("router thread");
+        for (addr, handle) in shard_addrs.iter().zip(handles) {
+            let mut s = TcpStream::connect(addr).expect("connects shard");
+            s.write_all(b"shutdown\n").expect("writes");
+            let _ = s.read(&mut [0u8; 256]);
+            handle.join().expect("shard thread");
+        }
         let _ = std::fs::remove_file(data_path);
         let _ = std::fs::remove_file(model_path);
     }

@@ -407,6 +407,18 @@ impl VmForest {
     ///
     /// Propagates [`VmError`] from any tree program.
     pub fn run(&self, features: &[f32]) -> Result<(u32, ExecStats), VmError> {
+        let (votes, stats) = self.run_votes(features)?;
+        Ok((flint_forest::metrics::majority_vote(&votes), stats))
+    }
+
+    /// Per-class vote histogram (one vote per tree program) plus
+    /// accumulated instruction counts — the partial a forest shard
+    /// reports for distributed merge.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from any tree program.
+    pub fn run_votes(&self, features: &[f32]) -> Result<(Vec<u32>, ExecStats), VmError> {
         let mut votes = vec![0u32; self.n_classes];
         let mut stats = ExecStats::default();
         for p in &self.programs {
@@ -414,8 +426,7 @@ impl VmForest {
             votes[class as usize] += 1;
             stats.add(&s);
         }
-        let class = flint_forest::metrics::majority_vote(&votes);
-        Ok((class, stats))
+        Ok((votes, stats))
     }
 }
 

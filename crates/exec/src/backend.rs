@@ -202,6 +202,17 @@ impl CompiledForest {
     ///
     /// Panics if `features.len() != n_features()`.
     pub fn predict(&self, features: &[f32]) -> u32 {
+        flint_forest::metrics::majority_vote(&self.predict_votes(features))
+    }
+
+    /// The per-class vote histogram behind [`predict`](Self::predict):
+    /// one vote per compiled tree, the partial a forest shard reports
+    /// for distributed merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features()`.
+    pub fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
         assert_eq!(features.len(), self.n_features, "feature vector length");
         let mut votes = vec![0u32; self.n_classes];
         match &self.trees {
@@ -221,7 +232,7 @@ impl CompiledForest {
                 }
             }
         }
-        flint_forest::metrics::majority_vote(&votes)
+        votes
     }
 
     /// Batch prediction over a dataset.

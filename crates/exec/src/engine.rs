@@ -108,6 +108,23 @@ pub trait Predictor: core::fmt::Debug + Send + Sync {
     /// Panics if `features.len() != n_features()`.
     fn predict_one(&self, features: &[f32]) -> u32;
 
+    /// The per-class vote histogram behind
+    /// [`predict_one`](Self::predict_one): `votes[c]` trees voted for
+    /// class `c`, summing to the engine's tree count.
+    ///
+    /// This is the sharding seam of distributed inference: an engine
+    /// built on a tree span reports its histogram, disjoint spans merge
+    /// by element-wise addition, and the canonical
+    /// `flint_forest::metrics::majority_vote` tie-break over the merged
+    /// histogram is bit-identical to the single-node answer. Every
+    /// engine must satisfy
+    /// `majority_vote(predict_votes(x)) == predict_one(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features()`.
+    fn predict_votes(&self, features: &[f32]) -> Vec<u32>;
+
     /// Scores every sample of `matrix` under explicit batch options,
     /// returning one class per sample. Options the engine cannot use
     /// are ignored (e.g. `block_trees` outside the blocked engines);
@@ -560,6 +577,10 @@ impl Predictor for ScalarEngine {
         self.forest.predict(features)
     }
 
+    fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
+        self.forest.predict_votes(features)
+    }
+
     fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
         assert_eq!(
             matrix.n_features(),
@@ -603,6 +624,10 @@ impl Predictor for BlockedEngine {
         self.forest.predict(features)
     }
 
+    fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
+        self.forest.predict_votes(features)
+    }
+
     fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
         BatchEngine::new(&self.forest, *opts).predict(matrix)
     }
@@ -636,6 +661,12 @@ impl Predictor for QuickScorerEngine {
 
     fn predict_one(&self, features: &[f32]) -> u32 {
         self.qs.predict(features, self.compare)
+    }
+
+    fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
+        self.qs
+            .votes_with_scratch(features, self.compare, &mut self.qs.scratch())
+            .to_vec()
     }
 
     fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
@@ -696,6 +727,14 @@ impl Predictor for VmEngine {
         // correctly sized feature vector.
         self.vm
             .run(features)
+            .expect("compiled VM programs run to a return")
+            .0
+    }
+
+    fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
+        assert_eq!(features.len(), self.n_features, "feature vector length");
+        self.vm
+            .run_votes(features)
             .expect("compiled VM programs run to a return")
             .0
     }
@@ -778,6 +817,10 @@ impl Predictor for SimdLaneEngine {
         self.forest.predict(features)
     }
 
+    fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
+        self.forest.predict_votes(features)
+    }
+
     fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
         SimdEngine::new(&self.forest, *opts)
             .with_kernel(self.path)
@@ -846,6 +889,10 @@ impl Predictor for SimdF16LaneEngine {
         self.engine.forest().predict(features)
     }
 
+    fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
+        self.engine.forest().predict_votes(features)
+    }
+
     fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
         self.engine.predict_with(matrix, opts)
     }
@@ -888,6 +935,10 @@ impl Predictor for JitEngine {
         self.tiered.predict(features)
     }
 
+    fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
+        self.tiered.predict_votes(features)
+    }
+
     fn predict_batch(&self, matrix: &FeatureMatrix, opts: &BatchOptions) -> Vec<u32> {
         assert_eq!(
             matrix.n_features(),
@@ -916,6 +967,60 @@ mod tests {
             .generate();
         let forest = RandomForest::fit(&data, &ForestConfig::grid(5, 7)).expect("trainable");
         (data, forest)
+    }
+
+    /// Every engine's vote histogram sums to one vote per tree, feeds
+    /// the canonical tie-break back to its own `predict_one`, and — for
+    /// the exact engines — equals the reference forest's histogram. And
+    /// the sharding contract: engines of the same kind built on a
+    /// ragged tree-span partition produce histograms whose element-wise
+    /// merge equals the full engine's, so a distributed merge is
+    /// bit-identical to single-node inference.
+    #[test]
+    fn every_engine_votes_consistently_and_shards_merge_exactly() {
+        let (data, forest) = setup();
+        let builder = EngineBuilder::new(&forest).profile_data(&data);
+        // Ragged on purpose: 5 trees split 2/1/2.
+        let spans = [(0usize, 2usize), (2, 3), (3, 5)];
+        let shard_forests: Vec<RandomForest> =
+            spans.iter().map(|&(a, b)| forest.tree_span(a, b)).collect();
+        for kind in EngineKind::ALL {
+            let engine = builder.build(kind).expect("buildable");
+            let shards: Vec<Box<dyn Predictor>> = shard_forests
+                .iter()
+                .map(|f| {
+                    EngineBuilder::new(f)
+                        .profile_data(&data)
+                        .build(kind)
+                        .expect("buildable")
+                })
+                .collect();
+            for i in 0..40 {
+                let x = data.sample(i);
+                let votes = engine.predict_votes(x);
+                assert_eq!(votes.len(), forest.n_classes(), "{}", kind.name());
+                assert_eq!(
+                    votes.iter().sum::<u32>() as usize,
+                    forest.n_trees(),
+                    "{} sample {i}",
+                    kind.name()
+                );
+                assert_eq!(
+                    flint_forest::metrics::majority_vote(&votes),
+                    engine.predict_one(x),
+                    "{} sample {i}",
+                    kind.name()
+                );
+                if kind.is_exact() {
+                    assert_eq!(votes, forest.predict_votes(x), "{} sample {i}", kind.name());
+                }
+                let mut merged = vec![0u32; forest.n_classes()];
+                for shard in &shards {
+                    flint_forest::votes::merge_votes(&mut merged, &shard.predict_votes(x));
+                }
+                assert_eq!(merged, votes, "{} sharded merge sample {i}", kind.name());
+            }
+        }
     }
 
     #[test]

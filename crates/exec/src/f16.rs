@@ -390,6 +390,19 @@ impl HalfForest {
     ///
     /// Panics if `features.len() != n_features()`.
     pub fn predict(&self, features: &[f32]) -> u32 {
+        flint_forest::metrics::majority_vote(&self.predict_votes(features))
+    }
+
+    /// Per-class vote histogram (one vote per quantized tree) behind
+    /// [`predict`](Self::predict) — the partial a forest shard of the
+    /// f16 family reports for distributed merge. Shard histograms sum
+    /// to the full-forest f16 histogram because quantization is
+    /// per-tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features()`.
+    pub fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
         assert_eq!(features.len(), self.n_features, "feature vector length");
         let mut votes = vec![0u32; self.n_classes];
         match &self.trees {
@@ -404,7 +417,7 @@ impl HalfForest {
                 }
             }
         }
-        flint_forest::metrics::majority_vote(&votes)
+        votes
     }
 }
 

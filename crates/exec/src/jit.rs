@@ -643,6 +643,16 @@ impl JitForest {
     ///
     /// Panics if `features.len() != n_features()`.
     pub fn predict(&self, features: &[f32]) -> u32 {
+        flint_forest::metrics::majority_vote(&self.predict_votes(features))
+    }
+
+    /// Per-class vote histogram (one vote per native tree function) —
+    /// the partial a forest shard reports for distributed merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features()`.
+    pub fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
         assert_eq!(
             features.len(),
             self.n_features,
@@ -657,7 +667,7 @@ impl JitForest {
             let class = unsafe { native::call(&self.buf, entry, features.as_ptr()) };
             votes[class as usize] += 1;
         }
-        flint_forest::metrics::majority_vote(&votes)
+        votes
     }
 }
 
@@ -705,6 +715,11 @@ impl JitForest {
 
     /// Unreachable: the type is uninhabited on this build.
     pub fn predict(&self, _features: &[f32]) -> u32 {
+        match self.never {}
+    }
+
+    /// Unreachable: the type is uninhabited on this build.
+    pub fn predict_votes(&self, _features: &[f32]) -> Vec<u32> {
         match self.never {}
     }
 }
@@ -852,6 +867,24 @@ impl TieredJit {
         // Cold or fallback: the interpreter executes the same programs.
         self.interp
             .run(features)
+            .expect("compiled VM programs run to a return")
+            .0
+    }
+
+    /// Per-class vote histogram through whichever tier serves — both
+    /// tiers count one vote per tree over the same shared lowering, so
+    /// the histogram is tier-independent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features()`.
+    pub fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
+        assert_eq!(features.len(), self.n_features, "feature vector length");
+        if let Some(native) = self.hot_forest() {
+            return native.predict_votes(features);
+        }
+        self.interp
+            .run_votes(features)
             .expect("compiled VM programs run to a return")
             .0
     }

@@ -233,11 +233,60 @@ impl RandomForest {
     ///
     /// Panics if `features.len() != n_features()`.
     pub fn predict_majority(&self, features: &[f32]) -> u32 {
+        crate::metrics::majority_vote(&self.predict_votes(features))
+    }
+
+    /// Per-class vote histogram over the per-tree predicted classes:
+    /// `votes[c]` trees predicted class `c`, summing to
+    /// [`n_trees`](Self::n_trees).
+    ///
+    /// This is the partial result a forest *shard* contributes in
+    /// distributed inference: histograms from disjoint tree spans (see
+    /// [`tree_span`](Self::tree_span)) merge by element-wise addition
+    /// into exactly the histogram the whole forest would have produced,
+    /// so `majority_vote(merged)` is bit-identical to single-node
+    /// [`predict_majority`](Self::predict_majority). Merging shard
+    /// *classes* instead of histograms would not be: two shards can
+    /// disagree in a way the summed histogram settles differently than
+    /// any per-shard winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features()`.
+    pub fn predict_votes(&self, features: &[f32]) -> Vec<u32> {
         let mut votes = vec![0u32; self.n_classes];
         for tree in &self.trees {
             votes[tree.predict(features) as usize] += 1;
         }
-        crate::metrics::majority_vote(&votes)
+        votes
+    }
+
+    /// The sub-forest holding trees `start..end` of this ensemble, for
+    /// sharded serving: each shard loads the same model file and keeps
+    /// only its span, so disjoint covering spans partition the vote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the span is empty or out of bounds.
+    pub fn tree_span(&self, start: usize, end: usize) -> Self {
+        assert!(
+            start < end && end <= self.trees.len(),
+            "tree span {start}..{end} invalid for {} trees",
+            self.trees.len()
+        );
+        Self::from_trees(self.trees[start..end].to_vec())
+    }
+
+    /// Partitions this forest's trees into at most `n_shards`
+    /// contiguous `(start, end)` spans for
+    /// [`tree_span`](Self::tree_span) — the same `div_ceil` span
+    /// template the batch scorer uses for worker spans. The spans
+    /// cover every tree exactly once and are never empty, so the
+    /// returned count can be below `n_shards` when there are more
+    /// shards than trees (or the ceiling division leaves a trailing
+    /// span nothing falls into).
+    pub fn plan_spans(&self, n_shards: usize) -> Vec<(usize, usize)> {
+        plan_spans(self.trees.len(), n_shards)
     }
 
     /// Batch [`predict_majority`](Self::predict_majority) over a
@@ -267,6 +316,26 @@ impl RandomForest {
     }
 }
 
+/// Partitions `n_trees` into at most `n_shards` contiguous
+/// `(start, end)` spans: ceiling-divided so earlier spans are never
+/// smaller than later ones, covering every tree exactly once with no
+/// empty spans. This is the shard-assignment side of the workspace's
+/// one span-partitioning template (the batch scorer applies the same
+/// shape to output rows).
+///
+/// # Panics
+///
+/// Panics when `n_trees` is zero — there is nothing to shard.
+pub fn plan_spans(n_trees: usize, n_shards: usize) -> Vec<(usize, usize)> {
+    assert!(n_trees > 0, "cannot shard an empty forest");
+    let shards = n_shards.clamp(1, n_trees);
+    let span = n_trees.div_ceil(shards);
+    (0..shards)
+        .map(|s| (s * span, ((s + 1) * span).min(n_trees)))
+        .filter(|(start, end)| start < end)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,6 +348,24 @@ mod tests {
             .cluster_std(0.5)
             .seed(2)
             .generate()
+    }
+
+    #[test]
+    fn plan_spans_covers_every_tree_exactly_once() {
+        for (n_trees, n_shards) in [(5, 1), (5, 2), (5, 5), (5, 9), (10, 3), (10, 6), (1, 4)] {
+            let spans = plan_spans(n_trees, n_shards);
+            assert!(spans.len() <= n_shards.max(1), "{n_trees}/{n_shards}");
+            assert_eq!(spans.first().map(|s| s.0), Some(0));
+            assert_eq!(spans.last().map(|s| s.1), Some(n_trees));
+            for pair in spans.windows(2) {
+                assert_eq!(pair[0].1, pair[1].0, "spans must tile: {spans:?}");
+            }
+            for (start, end) in &spans {
+                assert!(start < end, "no empty spans: {spans:?}");
+            }
+        }
+        assert_eq!(plan_spans(5, 2), vec![(0, 3), (3, 5)]);
+        assert_eq!(plan_spans(5, 0), vec![(0, 5)]);
     }
 
     #[test]
@@ -370,6 +457,37 @@ mod tests {
     #[should_panic(expected = "at least one tree")]
     fn from_trees_rejects_empty() {
         let _ = RandomForest::from_trees(vec![]);
+    }
+
+    #[test]
+    fn sharded_votes_merge_to_the_single_node_answer() {
+        let ds = data();
+        let forest = RandomForest::fit(&ds, &ForestConfig::grid(7, 8)).expect("trainable");
+        // Ragged split on purpose: spans 0..3, 3..4, 4..7.
+        let spans = [(0, 3), (3, 4), (4, 7)];
+        let shards: Vec<_> = spans.iter().map(|&(a, b)| forest.tree_span(a, b)).collect();
+        for i in 0..ds.n_samples() {
+            let x = ds.sample(i);
+            let full = forest.predict_votes(x);
+            assert_eq!(full.iter().sum::<u32>() as usize, forest.n_trees());
+            let mut merged = vec![0u32; forest.n_classes()];
+            for shard in &shards {
+                crate::votes::merge_votes(&mut merged, &shard.predict_votes(x));
+            }
+            assert_eq!(merged, full, "sample {i}");
+            assert_eq!(
+                crate::metrics::majority_vote(&merged),
+                forest.predict_majority(x)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tree span")]
+    fn tree_span_rejects_out_of_bounds() {
+        let ds = data();
+        let forest = RandomForest::fit(&ds, &ForestConfig::grid(3, 4)).expect("trainable");
+        let _ = forest.tree_span(1, 5);
     }
 
     #[test]

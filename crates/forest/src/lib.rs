@@ -34,7 +34,8 @@ pub mod metrics;
 pub mod node;
 pub mod train;
 pub mod tree;
+pub mod votes;
 
-pub use forest::{ForestConfig, RandomForest};
+pub use forest::{plan_spans, ForestConfig, RandomForest};
 pub use node::{Node, NodeId};
 pub use tree::{example_tree, DecisionTree, ValidateTreeError};

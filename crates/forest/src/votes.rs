@@ -1,0 +1,173 @@
+//! Partial-vote wire serialization for sharded inference.
+//!
+//! A forest shard answers a request with its per-class vote histogram
+//! (see [`RandomForest::predict_votes`](crate::RandomForest::predict_votes));
+//! the router merges the shard histograms with [`merge_votes`] and
+//! applies the canonical [`majority_vote`](crate::metrics::majority_vote)
+//! tie-break, so the distributed answer is bit-identical to single-node
+//! `predict_majority`. The wire format is the JSON array literal
+//! (`[3,0,2]`) — the one fragment both the serve protocol's JSON
+//! responses and this crate need to agree on, which is why it lives
+//! here rather than in the server.
+
+use core::fmt;
+
+/// Renders a vote histogram as a JSON array literal: `[3,0,2]`.
+///
+/// # Examples
+///
+/// ```
+/// use flint_forest::votes::render_votes;
+///
+/// assert_eq!(render_votes(&[3, 0, 2]), "[3,0,2]");
+/// assert_eq!(render_votes(&[]), "[]");
+/// ```
+pub fn render_votes(votes: &[u32]) -> String {
+    let mut out = String::with_capacity(2 + votes.len() * 3);
+    out.push('[');
+    for (i, v) in votes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&v.to_string());
+    }
+    out.push(']');
+    out
+}
+
+/// Why a vote-histogram literal failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseVotesError {
+    /// The text is not bracketed by `[` and `]`.
+    NotAnArray,
+    /// An element is not a `u32` count.
+    BadCount(String),
+}
+
+impl fmt::Display for ParseVotesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotAnArray => write!(f, "votes must be a [..] array literal"),
+            Self::BadCount(s) => write!(f, "bad vote count {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseVotesError {}
+
+/// Parses a [`render_votes`]-formatted histogram back into counts.
+///
+/// Accepts surrounding whitespace around the array and its elements;
+/// an empty array parses to an empty histogram.
+///
+/// # Examples
+///
+/// ```
+/// use flint_forest::votes::parse_votes;
+///
+/// assert_eq!(parse_votes("[3, 0, 2]").unwrap(), vec![3, 0, 2]);
+/// assert!(parse_votes("3,0,2").is_err());
+/// ```
+pub fn parse_votes(text: &str) -> Result<Vec<u32>, ParseVotesError> {
+    let inner = text
+        .trim()
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or(ParseVotesError::NotAnArray)?;
+    if inner.trim().is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|tok| {
+            tok.trim()
+                .parse::<u32>()
+                .map_err(|_| ParseVotesError::BadCount(tok.trim().to_owned()))
+        })
+        .collect()
+}
+
+/// Element-wise sum of a shard's partial histogram into an accumulator.
+///
+/// # Panics
+///
+/// Panics if the histograms disagree on class count — shards serving
+/// different models must never be merged.
+///
+/// # Examples
+///
+/// ```
+/// use flint_forest::votes::merge_votes;
+///
+/// let mut acc = vec![3, 0, 2];
+/// merge_votes(&mut acc, &[0, 4, 1]);
+/// assert_eq!(acc, vec![3, 4, 3]);
+/// ```
+pub fn merge_votes(acc: &mut [u32], partial: &[u32]) {
+    assert_eq!(
+        acc.len(),
+        partial.len(),
+        "vote histograms disagree on class count"
+    );
+    for (a, p) in acc.iter_mut().zip(partial) {
+        *a += p;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::majority_vote;
+
+    #[test]
+    fn render_parse_round_trip() {
+        for votes in [vec![], vec![7], vec![3, 0, 2], vec![0, 0, u32::MAX]] {
+            let wire = render_votes(&votes);
+            assert_eq!(parse_votes(&wire).unwrap(), votes, "{wire}");
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_whitespace() {
+        assert_eq!(parse_votes("  [ 1 , 2 ,3 ]\t").unwrap(), vec![1, 2, 3]);
+        assert_eq!(parse_votes("[ ]").unwrap(), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert_eq!(parse_votes("1,2,3"), Err(ParseVotesError::NotAnArray));
+        assert_eq!(parse_votes("[1,2"), Err(ParseVotesError::NotAnArray));
+        assert_eq!(
+            parse_votes("[1,x]"),
+            Err(ParseVotesError::BadCount("x".into()))
+        );
+        assert_eq!(
+            parse_votes("[1,-2]"),
+            Err(ParseVotesError::BadCount("-2".into()))
+        );
+        assert_eq!(
+            parse_votes("[1,,2]"),
+            Err(ParseVotesError::BadCount("".into()))
+        );
+    }
+
+    #[test]
+    fn merged_histogram_beats_merged_winners() {
+        // Shard 1 votes {c0:3, c1:2}; shard 2 votes {c1:3, c2:2}. The
+        // true merge picks c1 (5 votes); merging the per-shard winner
+        // classes would tie 3-3 and break to c0 — the counterexample
+        // that forces histogram (not class) merging for bit-identity.
+        let mut acc = vec![3, 2, 0];
+        merge_votes(&mut acc, &[0, 3, 2]);
+        assert_eq!(acc, vec![3, 5, 2]);
+        assert_eq!(majority_vote(&acc), 1);
+        let winner_merge = majority_vote(&[1, 1, 0]); // one "vote" per shard winner
+        assert_eq!(winner_merge, 0, "class merging breaks the tie differently");
+    }
+
+    #[test]
+    #[should_panic(expected = "class count")]
+    fn merge_rejects_mismatched_classes() {
+        merge_votes(&mut [1, 2], &[1, 2, 3]);
+    }
+}

@@ -165,6 +165,24 @@ impl QsForest {
         compare: QsCompare,
         scratch: &mut QsScratch,
     ) -> u32 {
+        self.votes_with_scratch(features, compare, scratch);
+        flint_forest::metrics::majority_vote(&scratch.votes)
+    }
+
+    /// Fills `scratch.votes` with the per-class vote histogram (one
+    /// vote per tree) and returns it — the partial a forest shard
+    /// reports for distributed merge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.len() != n_features`, or if `scratch` was
+    /// built for a different forest (debug builds).
+    pub fn votes_with_scratch<'s>(
+        &self,
+        features: &[f32],
+        compare: QsCompare,
+        scratch: &'s mut QsScratch,
+    ) -> &'s [u32] {
         assert_eq!(features.len(), self.n_features, "feature vector length");
         debug_assert_eq!(
             scratch.bitsets.len(),
@@ -175,7 +193,7 @@ impl QsForest {
         for (tree, bitset) in self.trees.iter().zip(&mut scratch.bitsets) {
             scratch.votes[tree.score(features, compare, bitset) as usize] += 1;
         }
-        flint_forest::metrics::majority_vote(&scratch.votes)
+        &scratch.votes
     }
 
     /// Batch prediction over a structure-of-arrays [`FeatureMatrix`]

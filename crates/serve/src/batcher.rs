@@ -104,6 +104,19 @@ pub struct Prediction {
     pub batch_fill: usize,
 }
 
+/// One answered `votes:` request: the per-class vote histogram a
+/// forest shard reports upward for distributed merge, plus the same
+/// batch-fill observability as [`Prediction`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VotesReply {
+    /// Per-class vote counts, summing to the engine's tree count.
+    /// `majority_vote(&votes)` equals the [`Prediction::class`] the
+    /// same row would have received.
+    pub votes: Vec<u32>,
+    /// How many samples shared the batch this row was scored in.
+    pub batch_fill: usize,
+}
+
 /// Why a request was not answered.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -139,11 +152,18 @@ impl core::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// How a scored prediction finds its way back to whoever asked: a
-/// oneshot callback. The blocking [`BatchHandle::predict`] wraps a
-/// channel send; the event-loop front end wraps "push onto the
-/// completion queue and wake the poller".
-type Reply = Box<dyn FnOnce(Prediction) + Send>;
+/// How a scored request finds its way back to whoever asked: a oneshot
+/// callback. The blocking [`BatchHandle::predict`] wraps a channel
+/// send; the event-loop front end wraps "push onto the completion
+/// queue and wake the poller". Class and votes requests share one
+/// queue and one batch, so a shard serving `votes:` traffic batches
+/// exactly like a node serving predictions.
+enum Reply {
+    /// Answer with the majority-vote class.
+    Class(Box<dyn FnOnce(Prediction) + Send>),
+    /// Answer with the per-class vote histogram.
+    Votes(Box<dyn FnOnce(VotesReply) + Send>),
+}
 
 /// One queued request: the gathered row, its enqueue time (for the
 /// latency metrics) and the caller's oneshot reply callback.
@@ -192,9 +212,9 @@ impl BatchHandle {
         let request = Request {
             features: features.to_vec(),
             enqueued: Instant::now(),
-            reply: Box::new(move |prediction| {
+            reply: Reply::Class(Box::new(move |prediction| {
                 let _ = reply_tx.send(prediction);
-            }),
+            })),
         };
         self.tx
             .send(Msg::Predict(request))
@@ -202,6 +222,31 @@ impl BatchHandle {
         self.metrics.record_request();
         // The reply channel is dropped unanswered only when the batcher
         // tears down before this batch is scored.
+        reply_rx.recv().map_err(|_| ServeError::ShuttingDown)
+    }
+
+    /// Scores one feature row and blocks for its per-class vote
+    /// histogram — the blocking sibling of
+    /// [`try_submit_votes`](Self::try_submit_votes), used by the
+    /// thread-per-connection front end and the stdin loop.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`predict`](Self::predict).
+    pub fn predict_votes(&self, features: &[f32]) -> Result<VotesReply, ServeError> {
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        self.check_arity(features)?;
+        let request = Request {
+            features: features.to_vec(),
+            enqueued: Instant::now(),
+            reply: Reply::Votes(Box::new(move |votes| {
+                let _ = reply_tx.send(votes);
+            })),
+        };
+        self.tx
+            .send(Msg::Predict(request))
+            .map_err(|_| ServeError::ShuttingDown)?;
+        self.metrics.record_request();
         reply_rx.recv().map_err(|_| ServeError::ShuttingDown)
     }
 
@@ -222,11 +267,30 @@ impl BatchHandle {
         features: &[f32],
         on_done: impl FnOnce(Prediction) + Send + 'static,
     ) -> Result<(), ServeError> {
+        self.submit(features, Reply::Class(Box::new(on_done)))
+    }
+
+    /// Enqueues one `votes:` request **without blocking**: `on_done`
+    /// fires with the row's per-class vote histogram. Same admission
+    /// semantics as [`try_submit`](Self::try_submit).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`try_submit`](Self::try_submit).
+    pub fn try_submit_votes(
+        &self,
+        features: &[f32],
+        on_done: impl FnOnce(VotesReply) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        self.submit(features, Reply::Votes(Box::new(on_done)))
+    }
+
+    fn submit(&self, features: &[f32], reply: Reply) -> Result<(), ServeError> {
         self.check_arity(features)?;
         let request = Request {
             features: features.to_vec(),
             enqueued: Instant::now(),
-            reply: Box::new(on_done),
+            reply,
         };
         match self.tx.try_send(Msg::Predict(request)) {
             Ok(()) => {
@@ -464,19 +528,37 @@ fn worker_loop(engine: &dyn Predictor, batch_rx: &Mutex<Receiver<Batch>>, metric
             }
         };
         let fill = batch.replies.len();
-        let matrix = FeatureMatrix::from_row_major(fill, engine.n_features(), &batch.rows);
-        let classes = engine.predict_matrix(&matrix);
+        let n_features = engine.n_features();
+        // Class requests score through the engine's batched path; a
+        // batch that is all `votes:` traffic (a router shard's steady
+        // state) skips the matrix pass entirely.
+        let classes = if batch
+            .replies
+            .iter()
+            .any(|(reply, _)| matches!(reply, Reply::Class(_)))
+        {
+            let matrix = FeatureMatrix::from_row_major(fill, n_features, &batch.rows);
+            engine.predict_matrix(&matrix)
+        } else {
+            Vec::new()
+        };
         metrics.record_batch(fill);
-        for ((reply, enqueued), class) in batch.replies.into_iter().zip(classes) {
+        for (i, (reply, enqueued)) in batch.replies.into_iter().enumerate() {
             metrics.record_latency(enqueued.elapsed());
             // The callback decides what "answered" means: a channel
             // send for blocking callers (a dropped receiver is a caller
             // that gave up — harmless), a completion-queue push plus
             // poller wake for the event loop.
-            reply(Prediction {
-                class,
-                batch_fill: fill,
-            });
+            match reply {
+                Reply::Class(done) => done(Prediction {
+                    class: classes[i],
+                    batch_fill: fill,
+                }),
+                Reply::Votes(done) => done(VotesReply {
+                    votes: engine.predict_votes(&batch.rows[i * n_features..(i + 1) * n_features]),
+                    batch_fill: fill,
+                }),
+            }
         }
     }
 }

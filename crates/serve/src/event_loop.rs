@@ -34,10 +34,10 @@
 //! [`EpollServer::run`] fails with `Unsupported` and callers fall back
 //! to `--front-end threads`.
 
-use crate::batcher::{BatchHandle, BatchPolicy, Batcher, Prediction, ServeError};
+use crate::batcher::{BatchHandle, BatchPolicy, Batcher, ServeError};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::protocol::{
-    render_busy, render_error, render_prediction, ProtocolMachine, Request, WireEvent,
+    render_busy, render_error, render_prediction, render_votes, ProtocolMachine, Request, WireEvent,
 };
 use crate::server::{respond_event, Action};
 use epoll::{Events, Interest, Poller, Waker};
@@ -66,6 +66,28 @@ const READ_CHUNK: usize = 4096;
 /// moves on; level-triggered epoll re-reports leftovers, so a firehose
 /// client cannot starve its neighbours.
 const READ_BURSTS: usize = 16;
+/// Drained-prefix size past which a connection's write buffer is
+/// compacted. Below this the `memmove` costs more than the bytes it
+/// reclaims; above it, a long-lived connection would otherwise retain
+/// its drained prefix until the buffer happened to empty completely.
+const COMPACT_WRITE_BUFFER: usize = 4096;
+/// Floor applied to [`EventLoopConfig::max_write_buffer`] when
+/// computing backpressure thresholds. A cap smaller than one response
+/// line would pause on every answer and — with the resume threshold
+/// `cap / 2` rounding to 0 — resume only on a completely drained
+/// buffer, flapping poll interest at the boundary. Degenerate configs
+/// clamp here instead.
+const MIN_WRITE_BUFFER: usize = 4096;
+
+/// The `(pause above, resume at)` byte thresholds of the write-buffer
+/// backpressure hysteresis, clamped so that the resume threshold is
+/// always strictly below the pause threshold with a non-empty band
+/// between them — any configured `max_write_buffer` (including the
+/// degenerate 0 and 1) yields a stable two-state machine.
+fn backpressure_thresholds(max_write_buffer: usize) -> (usize, usize) {
+    let pause_above = max_write_buffer.max(MIN_WRITE_BUFFER);
+    (pause_above, pause_above / 2)
+}
 
 /// Admission-control and buffering limits of the event loop. Every cap
 /// sheds with an explicit `busy` response (counted in
@@ -130,9 +152,12 @@ impl EventLoopConfig {
     }
 }
 
-/// One finished prediction on its way back from a scoring worker:
-/// connection token, reserved slot sequence number, result.
-type Completion = (u64, u64, Prediction);
+/// One finished request on its way back from a scoring worker:
+/// connection token, reserved slot sequence number, and the
+/// already-rendered response line (class and votes requests render in
+/// the worker callback, so the loop fills slots without knowing which
+/// kind it was).
+type Completion = (u64, u64, String);
 
 /// The epoll-driven TCP inference server (Linux). Protocol,
 /// micro-batcher and metrics are shared with the threaded
@@ -284,10 +309,10 @@ impl EpollServer {
             // already gone — the batcher did the work either way.
             let done: Vec<Completion> =
                 std::mem::take(&mut *completions.lock().expect("completion queue lock"));
-            for (token, seq, prediction) in done {
+            for (token, seq, line) in done {
                 inflight = inflight.saturating_sub(1);
                 if let Some(conn) = conns.get_mut(&token) {
-                    conn.fill_slot(seq, render_prediction(&prediction, handle.engine_name()));
+                    conn.fill_slot(seq, line);
                     dirty.push(token);
                 }
             }
@@ -322,12 +347,19 @@ impl EpollServer {
     }
 }
 
-/// One live connection: its nonblocking stream, framing machine, write
-/// buffer, and the ordered response slots that keep per-connection
-/// request/response order under out-of-order batch completion.
-struct Conn {
-    stream: TcpStream,
-    machine: ProtocolMachine,
+/// One live client connection: its nonblocking stream, framing
+/// machine, write buffer, and the ordered response slots that keep
+/// per-connection request/response order under out-of-order
+/// completion. Public so other event-loop front ends (the fan-out
+/// router) drive the exact same connection layer — framing, slot
+/// ordering, backpressure and buffer hygiene cannot diverge between
+/// a shard and the router in front of it.
+#[derive(Debug)]
+pub struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Sans-io request framing for this connection's byte stream.
+    pub machine: ProtocolMachine,
     /// Bytes waiting for the socket; `out_pos..` is still unsent.
     out: Vec<u8>,
     out_pos: usize,
@@ -339,8 +371,10 @@ struct Conn {
     base_seq: u64,
     /// Slots still `None` (this connection's in-flight window).
     pending: usize,
-    eof: bool,
-    dead: bool,
+    /// Peer half-closed its write side; drain then close.
+    pub eof: bool,
+    /// Transport failed; close without draining.
+    pub dead: bool,
     /// Read interest withdrawn while the write buffer is over the cap.
     paused: bool,
     want_read: bool,
@@ -348,7 +382,8 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Self {
+    /// Wraps an accepted, already-nonblocking stream.
+    pub fn new(stream: TcpStream) -> Self {
         Self {
             stream,
             machine: ProtocolMachine::new(),
@@ -366,13 +401,53 @@ impl Conn {
     }
 
     /// Appends an already-answered slot (stats, errors, busy lines).
-    fn push_response(&mut self, line: String) {
+    pub fn push_response(&mut self, line: String) {
         self.slots.push_back(Some(line));
     }
 
-    /// Reserves the next slot for an in-flight prediction and returns
+    /// Requests awaiting answers on this connection (the per-connection
+    /// in-flight window admission control checks).
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Reads whatever the socket has ready (bounded per readiness
+    /// report; level-triggered epoll re-reports leftovers) through the
+    /// framing machine and returns the completed wire events. Marks
+    /// the connection `eof` / `dead` as the socket dictates.
+    pub fn read_wire_events(&mut self, metrics: &ServeMetrics) -> Vec<WireEvent> {
+        let mut buf = [0u8; READ_CHUNK];
+        let mut wire: Vec<WireEvent> = Vec::new();
+        for _ in 0..READ_BURSTS {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    // A final unterminated line is still a request
+                    // (`BufRead::lines` semantics, same as the
+                    // threaded front end).
+                    wire.extend(self.machine.finish());
+                    break;
+                }
+                Ok(n) => {
+                    self.machine.receive(&buf[..n], |event| wire.push(event));
+                    metrics.record_read_buffer(self.machine.buffered());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // Transport failure voids the connection: nothing
+                    // already framed is worth answering.
+                    self.dead = true;
+                    return Vec::new();
+                }
+            }
+        }
+        wire
+    }
+
+    /// Reserves the next slot for an in-flight request and returns
     /// its sequence number.
-    fn reserve_slot(&mut self) -> u64 {
+    pub fn reserve_slot(&mut self) -> u64 {
         let seq = self.base_seq + self.slots.len() as u64;
         self.slots.push_back(None);
         self.pending += 1;
@@ -380,7 +455,7 @@ impl Conn {
     }
 
     /// Delivers a response into its reserved slot.
-    fn fill_slot(&mut self, seq: u64, line: String) {
+    pub fn fill_slot(&mut self, seq: u64, line: String) {
         let idx = seq.wrapping_sub(self.base_seq) as usize;
         if let Some(slot @ None) = self.slots.get_mut(idx) {
             *slot = Some(line);
@@ -392,7 +467,7 @@ impl Conn {
     /// much as the socket takes, updates backpressure state and poll
     /// interest. Returns true when the connection should be closed
     /// (dead, or drained after EOF / during shutdown).
-    fn pump(
+    pub fn pump(
         &mut self,
         poller: &Poller,
         token: u64,
@@ -432,14 +507,23 @@ impl Conn {
         if self.out_pos == self.out.len() {
             self.out.clear();
             self.out_pos = 0;
+        } else if self.out_pos >= COMPACT_WRITE_BUFFER {
+            // Reclaim the drained prefix: without this a connection
+            // that is never fully flushed in one pump (a slow reader
+            // under pipelined load) keeps every byte it ever sent,
+            // and the buffer tracks lifetime traffic instead of the
+            // bytes still owed to the socket.
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
         }
         if self.out.is_empty() && self.slots.is_empty() && (self.eof || stopping) {
             return true;
         }
         let buffered = self.out.len() - self.out_pos;
-        if !self.paused && buffered > cfg.max_write_buffer {
+        let (pause_above, resume_at) = backpressure_thresholds(cfg.max_write_buffer);
+        if !self.paused && buffered > pause_above {
             self.paused = true;
-        } else if self.paused && buffered <= cfg.max_write_buffer / 2 {
+        } else if self.paused && buffered <= resume_at {
             self.paused = false;
         }
         let want_read = !self.eof && !self.paused;
@@ -521,31 +605,7 @@ fn read_ready(
     inflight: &mut usize,
     stopping: &mut bool,
 ) {
-    let mut buf = [0u8; READ_CHUNK];
-    let mut wire: Vec<WireEvent> = Vec::new();
-    for _ in 0..READ_BURSTS {
-        match conn.stream.read(&mut buf) {
-            Ok(0) => {
-                conn.eof = true;
-                // A final unterminated line is still a request
-                // (`BufRead::lines` semantics, same as the threaded
-                // front end).
-                wire.extend(conn.machine.finish());
-                break;
-            }
-            Ok(n) => {
-                conn.machine.receive(&buf[..n], |event| wire.push(event));
-                metrics.record_read_buffer(conn.machine.buffered());
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => {
-                conn.dead = true;
-                return;
-            }
-        }
-    }
-    for event in wire {
+    for event in conn.read_wire_events(metrics) {
         dispatch_wire_event(
             conn,
             token,
@@ -576,8 +636,9 @@ fn dispatch_wire_event(
     inflight: &mut usize,
     stopping: &mut bool,
 ) {
-    let row = match event {
-        WireEvent::Request(Request::Predict(row)) => row,
+    let (row, wants_votes) = match event {
+        WireEvent::Request(Request::Predict(row)) => (row, false),
+        WireEvent::Request(Request::Votes(row)) => (row, true),
         other => {
             // Stats, shutdown, malformed and oversized lines answer
             // without touching the batcher — same renderings as the
@@ -609,13 +670,30 @@ fn dispatch_wire_event(
     let seq = conn.reserve_slot();
     let queue = Arc::clone(completions);
     let wake = waker.clone();
-    match handle.try_submit(&row, move |prediction| {
-        queue
-            .lock()
-            .expect("completion queue lock")
-            .push((token, seq, prediction));
-        wake.wake();
-    }) {
+    let engine = handle.engine_name();
+    // The worker callback renders the response line itself: class and
+    // votes requests then share one completion queue and the loop
+    // fills slots without caring which kind produced the line.
+    let submitted = if wants_votes {
+        handle.try_submit_votes(&row, move |reply| {
+            let line = render_votes(&reply.votes, engine, reply.batch_fill);
+            queue
+                .lock()
+                .expect("completion queue lock")
+                .push((token, seq, line));
+            wake.wake();
+        })
+    } else {
+        handle.try_submit(&row, move |prediction| {
+            let line = render_prediction(&prediction, engine);
+            queue
+                .lock()
+                .expect("completion queue lock")
+                .push((token, seq, line));
+            wake.wake();
+        })
+    };
+    match submitted {
         Ok(()) => *inflight += 1,
         // `try_submit` already counted the shed / rejection; the
         // reserved slot is answered inline so ordering holds.
@@ -840,5 +918,173 @@ mod tests {
         assert_eq!(stats.accepted, 65);
         assert_eq!(stats.connections, 0, "idle connections all closed");
         drop(idle);
+    }
+
+    #[test]
+    fn votes_requests_round_trip_with_reference_histograms() {
+        let (engine, forest, data) = engine_and_data();
+        let server = EpollServer::bind("127.0.0.1:0", engine, BatchPolicy::default().workers(2))
+            .expect("binds loopback");
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().expect("serves"));
+
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+        let mut writer = stream;
+        let mut line = String::new();
+        for i in 0..6 {
+            let row: Vec<String> = data.sample(i).iter().map(f32::to_string).collect();
+            writeln!(writer, "votes:{}", row.join(",")).expect("writes");
+            line.clear();
+            reader.read_line(&mut line).expect("reads");
+            let expected = flint_forest::votes::render_votes(&forest.predict_votes(data.sample(i)));
+            assert!(
+                line.starts_with(&format!(
+                    "{{\"votes\":{expected},\"engine\":\"flint-blocked\""
+                )),
+                "sample {i}: {line}"
+            );
+        }
+        // Class and votes requests pipelined on one connection answer
+        // in request order even though they render differently.
+        let row: Vec<String> = data.sample(7).iter().map(f32::to_string).collect();
+        writeln!(writer, "{}\nvotes:{}", row.join(","), row.join(",")).expect("writes");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        let class = forest.predict_majority(data.sample(7));
+        assert!(line.starts_with(&format!("{{\"class\":{class},")), "{line}");
+        line.clear();
+        reader.read_line(&mut line).expect("reads");
+        assert!(line.starts_with("{\"votes\":"), "{line}");
+        writeln!(writer, "shutdown").expect("writes");
+        runner.join().expect("server thread");
+    }
+
+    #[test]
+    fn backpressure_thresholds_never_degenerate() {
+        for cap in [0, 1, 2, 7, 4095, 4096, 1 << 20] {
+            let (pause_above, resume_at) = backpressure_thresholds(cap);
+            assert!(pause_above >= cap, "cap {cap}: clamp only raises the cap");
+            assert!(
+                resume_at < pause_above,
+                "cap {cap}: hysteresis band must be non-empty"
+            );
+            // The original bug: resume_at = cap / 2 rounds to 0 for
+            // cap <= 1, so a paused connection could only resume on a
+            // completely drained buffer.
+            assert!(
+                resume_at >= 1,
+                "cap {cap}: paused connections must resume before a full drain"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_write_buffer_config_still_delivers_every_response() {
+        let (engine, forest, data) = engine_and_data();
+        // max_write_buffer(0) is the degenerate corner: unclamped it
+        // would pause on the first buffered byte and resume only at
+        // zero. The clamped thresholds must keep a pipelined burst
+        // flowing to completion, in order.
+        let server = EpollServer::bind_with_config(
+            "127.0.0.1:0",
+            engine,
+            BatchPolicy::default().workers(2),
+            EventLoopConfig::default()
+                .max_write_buffer(0)
+                .max_pending_per_conn(512),
+        )
+        .expect("binds loopback");
+        let addr = server.local_addr();
+        let runner = std::thread::spawn(move || server.run().expect("serves"));
+
+        let stream = TcpStream::connect(addr).expect("connects");
+        stream.set_nodelay(true).expect("nodelay");
+        let mut reader = BufReader::new(stream.try_clone().expect("clones"));
+        let mut writer = stream;
+        let mut burst = String::new();
+        for i in 0..256 {
+            let row: Vec<String> = data.sample(i % 90).iter().map(f32::to_string).collect();
+            burst.push_str(&row.join(","));
+            burst.push('\n');
+        }
+        writer.write_all(burst.as_bytes()).expect("writes");
+        let mut line = String::new();
+        for i in 0..256 {
+            line.clear();
+            reader.read_line(&mut line).expect("reads");
+            let expected = forest.predict_majority(data.sample(i % 90));
+            assert!(
+                line.starts_with(&format!("{{\"class\":{expected},")),
+                "response {i}: {line}"
+            );
+        }
+        writeln!(writer, "shutdown").expect("writes");
+        runner.join().expect("server thread");
+    }
+
+    #[test]
+    fn write_buffer_compacts_and_hwm_tracks_live_bytes() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("binds");
+        let addr = listener.local_addr().expect("addr");
+        let mut client = TcpStream::connect(addr).expect("connects");
+        let (server_side, _) = listener.accept().expect("accepts");
+        server_side.set_nonblocking(true).expect("nonblocking");
+
+        let poller = Poller::new().expect("poller");
+        poller
+            .add(server_side.as_raw_fd(), FIRST_CONN, Interest::READ)
+            .expect("registers");
+        let metrics = ServeMetrics::default();
+        let cfg = EventLoopConfig::default().max_write_buffer(1);
+        let mut conn = Conn::new(server_side);
+
+        // Stage far more than the kernel socket buffers will take while
+        // the peer reads nothing, so the flush stalls mid-buffer.
+        const LINE: usize = 1 << 20;
+        const LINES: usize = 32;
+        for _ in 0..LINES {
+            conn.push_response("x".repeat(LINE));
+        }
+        let staged = LINES * (LINE + 1); // one newline per line
+        assert!(!conn.pump(&poller, FIRST_CONN, &metrics, &cfg, false));
+        assert!(
+            conn.out.len() - conn.out_pos > 0,
+            "kernel swallowed {staged} bytes with an unread peer"
+        );
+        assert!(conn.paused, "a buffer this deep must pause reads");
+        // The gauge records live staged bytes, not buffer capacity.
+        assert_eq!(metrics.snapshot().write_hwm, staged as u64);
+
+        // Drain from the client side while pumping: the drained prefix
+        // must keep being reclaimed (out_pos never lingers past the
+        // compaction threshold) and the live buffer must shrink long
+        // before the final byte — without compaction `out` retains
+        // every byte ever sent until a lucky full drain.
+        let mut sink = vec![0u8; 1 << 16];
+        let mut total_read = 0;
+        let mut saw_shrunk_live_buffer = false;
+        while total_read < staged {
+            let n = client.read(&mut sink).expect("reads");
+            assert!(n > 0, "peer hung up early at {total_read}/{staged}");
+            total_read += n;
+            assert!(!conn.pump(&poller, FIRST_CONN, &metrics, &cfg, false));
+            assert!(
+                conn.out_pos < COMPACT_WRITE_BUFFER,
+                "drained prefix of {} bytes was never compacted",
+                conn.out_pos
+            );
+            if !conn.out.is_empty() && conn.out.len() < staged / 2 {
+                saw_shrunk_live_buffer = true;
+            }
+        }
+        assert!(
+            saw_shrunk_live_buffer,
+            "write buffer never compacted mid-drain"
+        );
+        assert!(conn.out.is_empty(), "fully acked buffer should be clear");
+        assert!(!conn.paused, "drained connection must resume reads");
+        assert_eq!(metrics.snapshot().write_hwm, staged as u64);
     }
 }

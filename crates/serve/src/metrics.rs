@@ -197,6 +197,17 @@ impl MetricsSnapshot {
             self.max_us
         )
     }
+
+    /// The snapshot with an extra `"shards"` block spliced in before
+    /// the closing brace — the `stats` wire format of the router
+    /// front end, which reports its shard map alongside the standard
+    /// counters. `shards_json` must already be a well-formed JSON
+    /// value (the router renders an array of per-shard objects).
+    pub fn to_json_with_shards(&self, shards_json: &str) -> String {
+        let mut line = self.to_json();
+        line.insert_str(line.len() - 1, &format!(",\"shards\":{shards_json}"));
+        line
+    }
 }
 
 #[cfg(test)]
@@ -271,6 +282,17 @@ mod tests {
         assert_eq!(snap.shed, 1);
         assert_eq!(snap.read_hwm, 100);
         assert_eq!(snap.write_hwm, 9000);
+    }
+
+    #[test]
+    fn shards_block_splices_into_the_stats_line() {
+        let snap = ServeMetrics::default().snapshot();
+        let line = snap.to_json_with_shards("[{\"addr\":\"127.0.0.1:9\",\"up\":true}]");
+        assert!(
+            line.ends_with(",\"shards\":[{\"addr\":\"127.0.0.1:9\",\"up\":true}]}"),
+            "{line}"
+        );
+        assert!(line.starts_with("{\"requests\":0,"), "{line}");
     }
 
     #[test]

@@ -6,11 +6,16 @@
 //! |---|---|
 //! | `0.5,1.25,-3.0,0.1` | score this feature row (bare CSV floats) |
 //! | `{"features":[0.5,1.25,-3.0,0.1]}` | the same row, JSON-ish form |
+//! | `votes:0.5,1.25,-3.0,0.1` | return the row's per-class vote histogram (the sharded-inference partial) |
 //! | `stats` (or `/stats`) | return the serving metrics snapshot |
 //! | `shutdown` (or `/shutdown`) | stop the server gracefully |
 //!
 //! Responses are one JSON object per line:
 //! `{"class":2,"engine":"flint-blocked","batch":17}` for predictions,
+//! `{"votes":[3,0,2],"engine":"flint-blocked","batch":1}` for vote
+//! histograms (what a forest shard reports to the `flint-router`
+//! fan-out tier, which merges shard histograms and applies the
+//! canonical majority-vote tie-break),
 //! the [`MetricsSnapshot::to_json`](crate::MetricsSnapshot::to_json)
 //! object for `stats`, `{"ok":"shutting down"}` for `shutdown`, and
 //! `{"error":"..."}` for anything malformed (the connection stays
@@ -46,8 +51,29 @@ pub const MAX_LINE_BYTES: usize = 64 * 1024;
 pub enum Request {
     /// Score one feature row.
     Predict(Vec<f32>),
+    /// Score one feature row and return the per-class vote histogram
+    /// instead of the merged class — the partial a forest shard
+    /// contributes to a distributed majority vote.
+    Votes(Vec<f32>),
     /// Report the serving metrics snapshot.
     Stats,
+    /// Liveness probe (`health`): answered without touching the
+    /// scoring path, so a router can distinguish "process up" from
+    /// "keeping up".
+    Health,
+    /// Report the shard map (`shardmap`) — the router's control plane;
+    /// a single-node server answers with an error.
+    ShardMap,
+    /// Replace the shard map (`shardmap set a:1,b:2`). Addresses stay
+    /// unresolved strings at the protocol layer; the router validates
+    /// them.
+    ShardMapSet(Vec<String>),
+    /// Stop admitting new predict/votes requests while continuing to
+    /// answer in-flight ones and control verbs (`drain`).
+    Drain,
+    /// Resume admitting requests after a [`Request::Drain`]
+    /// (`undrain`).
+    Undrain,
     /// Stop the server gracefully.
     Shutdown,
 }
@@ -81,12 +107,57 @@ pub fn parse_request(line: &str) -> Result<Request, ParseRequestError> {
     if text.eq_ignore_ascii_case("shutdown") || text.eq_ignore_ascii_case("/shutdown") {
         return Ok(Request::Shutdown);
     }
+    if text.eq_ignore_ascii_case("health") || text.eq_ignore_ascii_case("/health") {
+        return Ok(Request::Health);
+    }
+    if text.eq_ignore_ascii_case("drain") || text.eq_ignore_ascii_case("/drain") {
+        return Ok(Request::Drain);
+    }
+    if text.eq_ignore_ascii_case("undrain") || text.eq_ignore_ascii_case("/undrain") {
+        return Ok(Request::Undrain);
+    }
+    if text.eq_ignore_ascii_case("shardmap") || text.eq_ignore_ascii_case("/shardmap") {
+        return Ok(Request::ShardMap);
+    }
+    if let Some(rest) = strip_verb_prefix(text, "shardmap set ") {
+        let addrs: Vec<String> = rest
+            .split(',')
+            .map(|a| a.trim().to_owned())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if addrs.is_empty() {
+            return Err(ParseRequestError(
+                "shardmap set needs a comma-separated address list".to_owned(),
+            ));
+        }
+        return Ok(Request::ShardMapSet(addrs));
+    }
+    if let Some(rest) = strip_verb_prefix(text, "votes:") {
+        return Ok(Request::Votes(parse_row(rest)?));
+    }
+    Ok(Request::Predict(parse_row(text)?))
+}
+
+/// Strips an optional leading `/` then a case-insensitive ASCII verb
+/// prefix, returning the trimmed remainder. `get` refuses a split
+/// inside a multibyte character instead of panicking on hostile input.
+fn strip_verb_prefix<'a>(text: &'a str, verb: &str) -> Option<&'a str> {
+    let bare = text.strip_prefix('/').unwrap_or(text);
+    match bare.get(..verb.len()) {
+        Some(prefix) if prefix.eq_ignore_ascii_case(verb) => Some(bare[verb.len()..].trim()),
+        _ => None,
+    }
+}
+
+/// Parses one feature row: bare CSV floats or the JSON-ish
+/// `{"features":[...]}` form.
+fn parse_row(text: &str) -> Result<Vec<f32>, ParseRequestError> {
     let numbers = if text.starts_with('{') {
         features_array(text)?
     } else {
         text
     };
-    let row = numbers
+    numbers
         .split(',')
         .map(|field| {
             let field = field.trim();
@@ -94,8 +165,7 @@ pub fn parse_request(line: &str) -> Result<Request, ParseRequestError> {
                 .parse::<f32>()
                 .map_err(|_| ParseRequestError(format!("cannot parse feature {field:?}")))
         })
-        .collect::<Result<Vec<f32>, _>>()?;
-    Ok(Request::Predict(row))
+        .collect()
 }
 
 /// Extracts the contents of the `[...]` array following a `"features"`
@@ -128,13 +198,30 @@ pub enum WireEvent {
     },
 }
 
-/// The sans-io line-framing state machine: buffers partial lines across
-/// arbitrarily-chunked reads, strips LF / CRLF terminators, enforces
-/// the line-length cap, and hands every complete line to
-/// [`parse_request`]. No transport knowledge: callers feed it bytes and
-/// write out whatever responses its events call for.
+/// One framing-level event from [`LineMachine::receive`]: a complete
+/// line, or the fact that one blew the length cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FramedLine<'a> {
+    /// A complete line, LF / CRLF terminator stripped.
+    Line(&'a [u8]),
+    /// A line that exceeded the cap before its newline arrived; the
+    /// rest of the line is being discarded.
+    Oversized {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+}
+
+/// The sans-io line-framing core: buffers partial lines across
+/// arbitrarily-chunked reads, strips LF / CRLF terminators and enforces
+/// the line-length cap. It carries no protocol knowledge, so it frames
+/// both directions of the wire: [`ProtocolMachine`] layers request
+/// parsing on top for servers, and the `flint-router` fan-out tier
+/// drives it bare to frame upstream shard *responses* over the same
+/// chunk-invariant state machine instead of growing a second framing
+/// layer.
 #[derive(Debug)]
-pub struct ProtocolMachine {
+pub struct LineMachine {
     /// Bytes of the current (still unterminated) line.
     buf: Vec<u8>,
     max_line: usize,
@@ -143,13 +230,13 @@ pub struct ProtocolMachine {
     discarding: bool,
 }
 
-impl Default for ProtocolMachine {
+impl Default for LineMachine {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl ProtocolMachine {
+impl LineMachine {
     /// A machine with the standard [`MAX_LINE_BYTES`] cap.
     pub fn new() -> Self {
         Self::with_max_line(MAX_LINE_BYTES)
@@ -170,10 +257,10 @@ impl ProtocolMachine {
         self.buf.len()
     }
 
-    /// Consumes one transport chunk, emitting one [`WireEvent`] per
+    /// Consumes one transport chunk, emitting one [`FramedLine`] per
     /// complete line. Chunk boundaries are invisible: any split of the
     /// same byte stream yields the same event sequence.
-    pub fn receive(&mut self, mut bytes: &[u8], mut sink: impl FnMut(WireEvent)) {
+    pub fn receive(&mut self, mut bytes: &[u8], mut sink: impl FnMut(FramedLine<'_>)) {
         while let Some(nl) = bytes.iter().position(|&b| b == b'\n') {
             let (head, rest) = bytes.split_at(nl);
             bytes = &rest[1..];
@@ -186,15 +273,15 @@ impl ProtocolMachine {
                 // Same verdict the split-chunk path reaches below, so
                 // chunking cannot change whether a line is accepted.
                 self.buf.clear();
-                sink(WireEvent::Oversized {
+                sink(FramedLine::Oversized {
                     limit: self.max_line,
                 });
             } else if self.buf.is_empty() {
-                sink(line_event(head));
+                sink(FramedLine::Line(strip_cr(head)));
             } else {
                 self.buf.extend_from_slice(head);
                 let line = std::mem::take(&mut self.buf);
-                sink(line_event(&line));
+                sink(FramedLine::Line(strip_cr(&line)));
             }
         }
         if self.discarding {
@@ -203,7 +290,7 @@ impl ProtocolMachine {
         if self.buf.len() + bytes.len() > self.max_line {
             self.buf.clear();
             self.discarding = true;
-            sink(WireEvent::Oversized {
+            sink(FramedLine::Oversized {
                 limit: self.max_line,
             });
             return;
@@ -214,22 +301,73 @@ impl ProtocolMachine {
     /// Flushes the final unterminated line at end of input, if any —
     /// the same treatment `BufRead::lines` gives a file without a
     /// trailing newline.
-    pub fn finish(&mut self) -> Option<WireEvent> {
+    pub fn finish(&mut self) -> Option<Vec<u8>> {
         self.discarding = false;
         if self.buf.is_empty() {
             return None;
         }
         let line = std::mem::take(&mut self.buf);
-        Some(line_event(&line))
+        Some(strip_cr(&line).to_vec())
+    }
+}
+
+/// CRLF clients: the framing layer owns terminator stripping (a
+/// parser's trim would also handle it, but a `\r` must never count
+/// against field contents).
+fn strip_cr(line: &[u8]) -> &[u8] {
+    line.strip_suffix(b"\r").unwrap_or(line)
+}
+
+/// The sans-io request-protocol state machine: [`LineMachine`] framing
+/// with every complete line handed to [`parse_request`]. No transport
+/// knowledge: callers feed it bytes and write out whatever responses
+/// its events call for.
+#[derive(Debug, Default)]
+pub struct ProtocolMachine {
+    lines: LineMachine,
+}
+
+impl ProtocolMachine {
+    /// A machine with the standard [`MAX_LINE_BYTES`] cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A machine with a custom line-length cap (tests use small caps).
+    pub fn with_max_line(max_line: usize) -> Self {
+        Self {
+            lines: LineMachine::with_max_line(max_line),
+        }
+    }
+
+    /// Bytes currently buffered for a partial line (the read-side
+    /// memory this connection holds).
+    pub fn buffered(&self) -> usize {
+        self.lines.buffered()
+    }
+
+    /// Consumes one transport chunk, emitting one [`WireEvent`] per
+    /// complete line. Chunk boundaries are invisible: any split of the
+    /// same byte stream yields the same event sequence.
+    pub fn receive(&mut self, bytes: &[u8], mut sink: impl FnMut(WireEvent)) {
+        self.lines.receive(bytes, |frame| {
+            sink(match frame {
+                FramedLine::Line(line) => line_event(line),
+                FramedLine::Oversized { limit } => WireEvent::Oversized { limit },
+            })
+        });
+    }
+
+    /// Flushes the final unterminated line at end of input, if any —
+    /// the same treatment `BufRead::lines` gives a file without a
+    /// trailing newline.
+    pub fn finish(&mut self) -> Option<WireEvent> {
+        self.lines.finish().map(|line| line_event(&line))
     }
 }
 
 /// Classifies one complete, terminator-stripped line.
 fn line_event(line: &[u8]) -> WireEvent {
-    // CRLF clients: the framing layer owns terminator stripping (the
-    // parser's trim would also handle it, but a `\r` must never count
-    // against field contents).
-    let line = line.strip_suffix(b"\r").unwrap_or(line);
     let text = String::from_utf8_lossy(line);
     match parse_request(&text) {
         Ok(request) => WireEvent::Request(request),
@@ -242,6 +380,18 @@ pub fn render_prediction(prediction: &Prediction, engine: &str) -> String {
     format!(
         "{{\"class\":{},\"engine\":\"{engine}\",\"batch\":{}}}",
         prediction.class, prediction.batch_fill
+    )
+}
+
+/// Renders one per-class vote histogram as a response line — the
+/// answer to a `votes:` request, i.e. the partial a forest shard
+/// reports upward for distributed merge. The array fragment uses the
+/// canonical `flint_forest::votes` wire form so the router can parse
+/// it back with `parse_votes`.
+pub fn render_votes(votes: &[u32], engine: &str, batch_fill: usize) -> String {
+    format!(
+        "{{\"votes\":{},\"engine\":\"{engine}\",\"batch\":{batch_fill}}}",
+        flint_forest::votes::render_votes(votes)
     )
 }
 
@@ -281,6 +431,91 @@ mod tests {
         let json = parse_request("{\"features\": [0.5, 1.25, -3.0]}").expect("parses");
         assert_eq!(csv, Request::Predict(vec![0.5, 1.25, -3.0]));
         assert_eq!(csv, json);
+    }
+
+    #[test]
+    fn votes_requests_parse_both_row_forms() {
+        for line in [
+            "votes:0.5, 1.25,-3.0",
+            "VOTES: 0.5,1.25,-3.0",
+            "/votes:{\"features\":[0.5,1.25,-3.0]}",
+        ] {
+            assert_eq!(
+                parse_request(line).expect("parses"),
+                Request::Votes(vec![0.5, 1.25, -3.0]),
+                "{line}"
+            );
+        }
+        assert!(parse_request("votes:zap").unwrap_err().0.contains("zap"));
+        assert!(parse_request("votes:").unwrap_err().0.contains("feature"));
+    }
+
+    #[test]
+    fn control_verbs_parse_case_insensitively() {
+        assert_eq!(parse_request("health").expect("parses"), Request::Health);
+        assert_eq!(parse_request("/HEALTH").expect("parses"), Request::Health);
+        assert_eq!(parse_request("drain").expect("parses"), Request::Drain);
+        assert_eq!(parse_request("Undrain").expect("parses"), Request::Undrain);
+        assert_eq!(
+            parse_request("/shardmap").expect("parses"),
+            Request::ShardMap
+        );
+        assert_eq!(
+            parse_request("SHARDMAP SET 127.0.0.1:1, 127.0.0.1:2").expect("parses"),
+            Request::ShardMapSet(vec!["127.0.0.1:1".to_owned(), "127.0.0.1:2".to_owned()])
+        );
+        assert!(
+            parse_request("shardmap set ,")
+                .unwrap_err()
+                .0
+                .contains("address list"),
+            "empty shard list must not parse"
+        );
+    }
+
+    #[test]
+    fn votes_response_round_trips_through_the_forest_parser() {
+        let line = render_votes(&[3, 0, 2], "flint", 1);
+        assert_eq!(line, "{\"votes\":[3,0,2],\"engine\":\"flint\",\"batch\":1}");
+        let inner = line
+            .split_once("\"votes\":")
+            .and_then(|(_, rest)| rest.split_once(']'))
+            .map(|(head, _)| format!("{head}]"))
+            .expect("array fragment");
+        assert_eq!(
+            flint_forest::votes::parse_votes(&inner).expect("parses"),
+            vec![3, 0, 2]
+        );
+    }
+
+    #[test]
+    fn line_machine_frames_raw_lines_for_the_router() {
+        let mut machine = LineMachine::with_max_line(16);
+        let mut lines: Vec<String> = Vec::new();
+        let mut oversized = 0;
+        let feed = |m: &mut LineMachine, bytes: &[u8], lines: &mut Vec<String>, over: &mut u32| {
+            m.receive(bytes, |frame| match frame {
+                FramedLine::Line(l) => lines.push(String::from_utf8_lossy(l).into_owned()),
+                FramedLine::Oversized { .. } => *over += 1,
+            });
+        };
+        feed(
+            &mut machine,
+            b"{\"votes\":[1]}\r\nab",
+            &mut lines,
+            &mut oversized,
+        );
+        feed(
+            &mut machine,
+            b"c\nthis line is far too long to fit\nok\n",
+            &mut lines,
+            &mut oversized,
+        );
+        assert_eq!(lines, vec!["{\"votes\":[1]}", "abc", "ok"]);
+        assert_eq!(oversized, 1);
+        assert_eq!(machine.finish(), None);
+        machine.receive(b"tail", |_| {});
+        assert_eq!(machine.finish().as_deref(), Some(b"tail".as_slice()));
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use crate::batcher::{BatchHandle, BatchPolicy, Batcher};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
-use crate::protocol::{render_error, render_prediction, ProtocolMachine, Request, WireEvent};
+use crate::protocol::{
+    render_error, render_prediction, render_votes, ProtocolMachine, Request, WireEvent,
+};
 use flint_exec::Predictor;
 use std::io::{BufRead, ErrorKind, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream};
@@ -113,7 +115,24 @@ pub(crate) fn respond_event(event: WireEvent, handle: &BatchHandle) -> (String, 
             ),
             Err(e) => (render_error(&e.to_string()), Action::Continue),
         },
+        WireEvent::Request(Request::Votes(row)) => match handle.predict_votes(&row) {
+            Ok(reply) => (
+                render_votes(&reply.votes, handle.engine_name(), reply.batch_fill),
+                Action::Continue,
+            ),
+            Err(e) => (render_error(&e.to_string()), Action::Continue),
+        },
         WireEvent::Request(Request::Stats) => (handle.metrics().to_json(), Action::Continue),
+        WireEvent::Request(Request::Health) => (
+            "{\"ok\":true,\"role\":\"server\"}".to_owned(),
+            Action::Continue,
+        ),
+        WireEvent::Request(
+            Request::ShardMap | Request::ShardMapSet(_) | Request::Drain | Request::Undrain,
+        ) => (
+            render_error("router control verb; this is a single-node server"),
+            Action::Continue,
+        ),
         WireEvent::Request(Request::Shutdown) => {
             ("{\"ok\":\"shutting down\"}".to_owned(), Action::Shutdown)
         }
